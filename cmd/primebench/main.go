@@ -1,0 +1,174 @@
+// Command primebench regenerates the paper's evaluation artifacts — every
+// figure and table of §6 — on the simulated cluster and prints them as text
+// tables.
+//
+// Usage:
+//
+//	primebench                 # run everything (several minutes at 32 GPUs)
+//	primebench -exp fig7       # one experiment
+//	primebench -exp fig7 -quick
+//
+// Experiments: fig2a fig2b fig4 table1 fig7 fig8 fig9 fig10 table2 ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig2a, fig2b, fig4, table1, fig7, fig8, fig9, fig10, table2, ablations, sweeps, all)")
+		quick = flag.Bool("quick", false, "reduced sweep (2 models, scales 4–8) for smoke runs")
+	)
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	if *quick {
+		setup = experiments.QuickSetup()
+	}
+
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+	start := time.Now()
+
+	if run("fig2a") {
+		_, table, err := experiments.Fig2a(setup)
+		check(err)
+		fmt.Println(table)
+	}
+	if run("fig2b") {
+		_, table, err := experiments.Fig2b(setup)
+		check(err)
+		fmt.Println(table)
+	}
+	if run("fig4") {
+		_, out, err := experiments.Fig4(setup)
+		check(err)
+		fmt.Println(out)
+	}
+	if run("table1") {
+		out, err := experiments.Table1(setup)
+		check(err)
+		fmt.Println(out)
+	}
+	if run("fig7") || run("fig8") {
+		data, err := experiments.RunThroughputSweep(setup)
+		check(err)
+		if run("fig7") {
+			fmt.Println(data.Fig7Table())
+			last := setup.Scales[len(setup.Scales)-1]
+			fmt.Printf("Geo-mean PrimePar speedup over Megatron-LM at %d GPUs: %.2fx\n\n",
+				last, data.GeoMeanSpeedup(last))
+		}
+		if run("fig8") {
+			fmt.Println(data.Fig8Table())
+		}
+	}
+	if run("fig9") {
+		_, table, err := experiments.Fig9(setup)
+		check(err)
+		fmt.Println(table)
+	}
+	if run("fig10") {
+		devices := 32
+		if *quick {
+			devices = 8
+		}
+		_, table, err := experiments.Fig10(setup, devices, 64, 2)
+		check(err)
+		fmt.Println(table)
+	}
+	if run("table2") {
+		_, table, err := experiments.Table2(setup)
+		check(err)
+		fmt.Println(table)
+	}
+	if run("ablations") {
+		cfg := model.OPT175B()
+		scale := 8
+
+		_, _, t1, err := experiments.AblationNoOverlap(setup, cfg, scale)
+		check(err)
+		fmt.Println(t1)
+
+		_, t2, err := experiments.AblationAlphaSweep(setup, cfg, scale, []float64{0, 1e-12, 1e-10, 1e-9})
+		check(err)
+		fmt.Println(t2)
+
+		t3, err := experiments.AblationSpatialOnly(setup, cfg)
+		check(err)
+		fmt.Println(t3)
+
+		t4, err := experiments.AblationSegmentedVsExhaustive(setup, model.OPT6B7())
+		check(err)
+		fmt.Println(t4)
+
+		t5, err := experiments.AblationTopology(setup, cfg, scale)
+		check(err)
+		fmt.Println(t5)
+
+		t6, err := experiments.AblationZeRO(setup, model.Llama2_70B(), scale)
+		check(err)
+		fmt.Println(t6)
+
+		t7, err := experiments.DiscussionTorus(setup, cfg, 16)
+		check(err)
+		fmt.Println(t7)
+
+		_, t8, err := experiments.FullModel(setup, model.OPT6B7(), scale)
+		check(err)
+		fmt.Println(t8)
+
+		t9, err := experiments.AblationRecompute(setup, model.OPT175B(), scale)
+		check(err)
+		fmt.Println(t9)
+
+		t10, err := experiments.HardwareEvolution(setup, model.OPT175B(), 16)
+		check(err)
+		fmt.Println(t10)
+	}
+	if run("sweeps") {
+		scale := 8
+		if !*quick {
+			scale = 16
+		}
+		_, t1, err := experiments.SweepBatch(setup, model.OPT175B(), scale, []int{4, 8, 16, 32})
+		check(err)
+		fmt.Println(t1)
+		_, t2, err := experiments.SweepSeqLen(setup, model.OPT175B(), scale, []int{512, 1024, 2048, 4096})
+		check(err)
+		fmt.Println(t2)
+		t3, err := experiments.RealTokenThroughput(setup, model.OPT175B(), scale)
+		check(err)
+		fmt.Println(t3)
+	}
+
+	if !anyRan(*exp) {
+		fmt.Fprintf(os.Stderr, "primebench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("primebench finished in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func anyRan(exp string) bool {
+	known := "all fig2a fig2b fig4 table1 fig7 fig8 fig9 fig10 table2 ablations sweeps"
+	for _, k := range strings.Fields(known) {
+		if exp == k {
+			return true
+		}
+	}
+	return false
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primebench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Corpus-planner: pick a batching policy for a long-tailed corpus and see
+// what the cluster actually delivers in REAL tokens/second under the
+// searched PrimePar strategy — padding waste eats nominal throughput.
+//
+//	go run ./examples/corpus_planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/workload"
+	"repro/primepar"
+)
+
+func main() {
+	cluster, err := primepar.NewCluster(16, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := primepar.OPT175B()
+	plan, err := primepar.Search(cfg, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := plan.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	padded := rep.Throughput(plan.TokensPerIteration())
+
+	dist := workload.LongTail{Min: 128, Max: cfg.SeqLen, Alpha: 1.3}
+	lengths := dist.Sample(8192, 42)
+	fmt.Printf("%s on 16 GPUs: %.0f padded tokens/s under the searched strategy\n", cfg.Name, padded)
+	fmt.Printf("corpus: %s, %d sampled sequences\n\n", dist.Name(), len(lengths))
+	fmt.Printf("%-14s %12s %16s\n", "batching", "utilization", "real tokens/s")
+	for _, p := range []struct {
+		name string
+		b    workload.Batching
+	}{
+		{"pad-to-max", workload.PadToMax},
+		{"2 buckets", workload.NewBuckets(128, cfg.SeqLen, 2)},
+		{"4 buckets", workload.NewBuckets(128, cfg.SeqLen, 4)},
+		{"8 buckets", workload.NewBuckets(128, cfg.SeqLen, 8)},
+		{"16 buckets", workload.NewBuckets(128, cfg.SeqLen, 16)},
+	} {
+		stats, err := p.b.Apply(lengths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %11.1f%% %16.0f\n", p.name,
+			stats.Utilization*100, workload.EffectiveThroughput(padded, stats))
+	}
+	fmt.Println("\nBucketing recovers most of the padding waste; the parallel")
+	fmt.Println("strategy is orthogonal and keeps its advantage in real tokens.")
+}

@@ -1,0 +1,54 @@
+// Parallel3d: sweep every (pipeline, data, model) = (p,d,m) configuration of
+// 3D parallelism for OPT-175B on 32 simulated GPUs, comparing Megatron-LM's
+// hand-designed tensor parallelism against PrimePar's searched
+// spatial-temporal strategies inside each pipeline stage — the paper's
+// Fig. 10 experiment as a library call.
+//
+//	go run ./examples/parallel3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/primepar"
+)
+
+func main() {
+	cluster, err := primepar.NewCluster(32, 4) // 8 nodes × 4 GPUs
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := primepar.OPT175B()
+	const globalBatch, microbatch = 64, 2
+
+	fmt.Printf("3D parallelism sweep for %s on 32 GPUs (global batch %d):\n\n", cfg.Name, globalBatch)
+	fmt.Printf("%-10s %16s %16s %9s\n", "(p,d,m)", "Megatron tok/s", "PrimePar tok/s", "speedup")
+
+	var bestMega, bestPrime float64
+	var bestMegaCfg, bestPrimeCfg string
+	for p := 2; p <= 8; p *= 2 {
+		for d := 1; p*d <= 32; d *= 2 {
+			m := 32 / (p * d)
+			c3 := primepar.Config3D{P: p, D: d, M: m, Microbatch: microbatch, GlobalBatch: globalBatch}
+			mega, err := primepar.Evaluate3DMegatron(cfg, cluster, c3)
+			if err != nil {
+				continue
+			}
+			prime, err := primepar.Evaluate3D(cfg, cluster, c3)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-10s %16.0f %16.0f %8.2fx\n",
+				c3.String(), mega.Throughput, prime.Throughput, prime.Throughput/mega.Throughput)
+			if mega.Throughput > bestMega {
+				bestMega, bestMegaCfg = mega.Throughput, c3.String()
+			}
+			if prime.Throughput > bestPrime {
+				bestPrime, bestPrimeCfg = prime.Throughput, c3.String()
+			}
+		}
+	}
+	fmt.Printf("\nbest Megatron-LM: %s at %.0f tokens/s\n", bestMegaCfg, bestMega)
+	fmt.Printf("best PrimePar:    %s at %.0f tokens/s  (%.2fx)\n", bestPrimeCfg, bestPrime, bestPrime/bestMega)
+}

@@ -1,0 +1,269 @@
+// Package attention numerically verifies the partitioning assumptions the
+// cost model makes about the attention block (paper §3.2):
+//
+//   - splitting heads (H) or query rows (Sq) is communication-free in both
+//     forward and backward — each goroutine device computes its own heads
+//     and rows independently (why Megatron's head split needs no
+//     collectives, and why our graph model assigns those splits no
+//     reductions);
+//
+//   - splitting the key dimension (Sk) — the summed-over axis of attn·V —
+//     requires an aggregation of softmax statistics (row maxima and
+//     denominators) and of the partial context sums, which this package
+//     implements as a distributed two-pass online softmax over channels
+//     (the "potential all-reduce of expectations" the paper notes for
+//     normalisation-style operators).
+//
+// The reference semantics is standard scaled dot-product attention per
+// head: ctx = softmax(Q·Kᵀ/√E)·V.
+package attention
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Input holds one attention instance: per-head Q, K, V of shapes
+// [Sq×E], [Sk×E], [Sk×E].
+type Input struct {
+	Q, K, V []*tensor.Tensor
+}
+
+// Validate checks head-count and shape consistency.
+func (in *Input) Validate() error {
+	h := len(in.Q)
+	if h == 0 || len(in.K) != h || len(in.V) != h {
+		return fmt.Errorf("attention: inconsistent head counts %d/%d/%d", len(in.Q), len(in.K), len(in.V))
+	}
+	e := in.Q[0].Dim(1)
+	sk := in.K[0].Dim(0)
+	for i := 0; i < h; i++ {
+		if in.Q[i].Dim(1) != e || in.K[i].Dim(1) != e || in.V[i].Dim(1) != e {
+			return fmt.Errorf("attention: head %d embed mismatch", i)
+		}
+		if in.K[i].Dim(0) != sk || in.V[i].Dim(0) != sk {
+			return fmt.Errorf("attention: head %d key-length mismatch", i)
+		}
+	}
+	return nil
+}
+
+// softmaxRows applies a numerically-stable softmax to each row in place and
+// returns the per-row maxima and denominators (for backward).
+func softmaxRows(s *tensor.Tensor) (maxes, denoms []float64) {
+	rows, cols := s.Dim(0), s.Dim(1)
+	maxes = make([]float64, rows)
+	denoms = make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		m := math.Inf(-1)
+		for j := 0; j < cols; j++ {
+			if v := s.At(i, j); v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for j := 0; j < cols; j++ {
+			e := math.Exp(s.At(i, j) - m)
+			s.Set(e, i, j)
+			sum += e
+		}
+		for j := 0; j < cols; j++ {
+			s.Set(s.At(i, j)/sum, i, j)
+		}
+		maxes[i] = m
+		denoms[i] = sum
+	}
+	return maxes, denoms
+}
+
+// Serial computes reference attention outputs and, given upstream dCtx,
+// the gradients dQ, dK, dV for every head.
+func Serial(in *Input, dCtx []*tensor.Tensor) (ctx, dQ, dK, dV []*tensor.Tensor, err error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	h := len(in.Q)
+	scale := 1 / math.Sqrt(float64(in.Q[0].Dim(1)))
+	ctx = make([]*tensor.Tensor, h)
+	dQ = make([]*tensor.Tensor, h)
+	dK = make([]*tensor.Tensor, h)
+	dV = make([]*tensor.Tensor, h)
+	for i := 0; i < h; i++ {
+		scores := tensor.MatMulTransB(in.Q[i], in.K[i]).Scale(scale)
+		p := scores // softmax in place
+		softmaxRows(p)
+		ctx[i] = tensor.MatMul(p, in.V[i])
+		if dCtx == nil {
+			continue
+		}
+		// Backward: dP = dCtx·Vᵀ; dS = P∘(dP − rowsum(dP∘P));
+		// dQ = dS·K·scale; dK = dSᵀ·Q·scale; dV = Pᵀ·dCtx.
+		dP := tensor.MatMulTransB(dCtx[i], in.V[i])
+		dS := softmaxBackward(p, dP)
+		dQ[i] = tensor.MatMul(dS, in.K[i]).Scale(scale)
+		dK[i] = tensor.MatMulTransA(dS, in.Q[i]).Scale(scale)
+		dV[i] = tensor.MatMulTransA(p, dCtx[i])
+	}
+	return ctx, dQ, dK, dV, nil
+}
+
+// softmaxBackward computes dS given the softmax output p and upstream dP.
+func softmaxBackward(p, dP *tensor.Tensor) *tensor.Tensor {
+	rows, cols := p.Dim(0), p.Dim(1)
+	dS := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		dot := 0.0
+		for j := 0; j < cols; j++ {
+			dot += p.At(i, j) * dP.At(i, j)
+		}
+		for j := 0; j < cols; j++ {
+			dS.Set(p.At(i, j)*(dP.At(i, j)-dot), i, j)
+		}
+	}
+	return dS
+}
+
+// HeadParallel runs forward+backward attention with the heads split across
+// `devices` goroutines (Megatron's attention partition). No inter-device
+// communication happens at all; the test asserts the results still equal
+// Serial — the communication-free claim for H splits.
+func HeadParallel(in *Input, dCtx []*tensor.Tensor, devices int) (ctx, dQ, dK, dV []*tensor.Tensor, err error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	h := len(in.Q)
+	if devices < 1 || h%devices != 0 {
+		return nil, nil, nil, nil, fmt.Errorf("attention: %d heads not divisible by %d devices", h, devices)
+	}
+	ctx = make([]*tensor.Tensor, h)
+	dQ = make([]*tensor.Tensor, h)
+	dK = make([]*tensor.Tensor, h)
+	dV = make([]*tensor.Tensor, h)
+	per := h / devices
+	var wg sync.WaitGroup
+	errs := make([]error, devices)
+	for dev := 0; dev < devices; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			lo, hi := dev*per, (dev+1)*per
+			sub := &Input{Q: in.Q[lo:hi], K: in.K[lo:hi], V: in.V[lo:hi]}
+			var subD []*tensor.Tensor
+			if dCtx != nil {
+				subD = dCtx[lo:hi]
+			}
+			c, q, k, v, err := Serial(sub, subD)
+			if err != nil {
+				errs[dev] = err
+				return
+			}
+			copy(ctx[lo:hi], c)
+			copy(dQ[lo:hi], q)
+			copy(dK[lo:hi], k)
+			copy(dV[lo:hi], v)
+		}(dev)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, nil, nil, e
+		}
+	}
+	return ctx, dQ, dK, dV, nil
+}
+
+// statMsg carries one device's partial softmax statistics and context sums
+// during the distributed online softmax.
+type statMsg struct {
+	maxes  []float64
+	denoms []float64 // scaled to the sender's local max
+	ctx    *tensor.Tensor
+}
+
+// KeyParallel computes FORWARD attention with the key dimension Sk split
+// across `devices` goroutines: each device holds a slice of K and V, forms
+// partial scores, and the devices combine via a two-round exchange —
+// first agreeing on global row maxima and denominators, then summing
+// rescaled partial context products (a flash-attention-style distributed
+// softmax). This is the aggregation the cost model prices when the
+// summed-over axis of attn·V is partitioned spatially.
+func KeyParallel(in *Input, devices int) ([]*tensor.Tensor, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	h := len(in.Q)
+	sk := in.K[0].Dim(0)
+	if devices < 1 || sk%devices != 0 {
+		return nil, fmt.Errorf("attention: key length %d not divisible by %d devices", sk, devices)
+	}
+	per := sk / devices
+	scale := 1 / math.Sqrt(float64(in.Q[0].Dim(1)))
+
+	out := make([]*tensor.Tensor, h)
+	for head := 0; head < h; head++ {
+		q := in.Q[head]
+		sq := q.Dim(0)
+
+		// Round 1: each device computes partial scores for its K slice
+		// and reports row maxima, denominators and the partial
+		// exp(S−max)·V product.
+		parts := make([]statMsg, devices)
+		var wg sync.WaitGroup
+		for dev := 0; dev < devices; dev++ {
+			wg.Add(1)
+			go func(dev int) {
+				defer wg.Done()
+				kSlice := in.K[head].Block(dev*per, (dev+1)*per, 0, in.K[head].Dim(1))
+				vSlice := in.V[head].Block(dev*per, (dev+1)*per, 0, in.V[head].Dim(1))
+				scores := tensor.MatMulTransB(q, kSlice).Scale(scale)
+				maxes := make([]float64, sq)
+				denoms := make([]float64, sq)
+				for i := 0; i < sq; i++ {
+					m := math.Inf(-1)
+					for j := 0; j < per; j++ {
+						if v := scores.At(i, j); v > m {
+							m = v
+						}
+					}
+					sum := 0.0
+					for j := 0; j < per; j++ {
+						e := math.Exp(scores.At(i, j) - m)
+						scores.Set(e, i, j)
+						sum += e
+					}
+					maxes[i] = m
+					denoms[i] = sum
+				}
+				parts[dev] = statMsg{maxes: maxes, denoms: denoms, ctx: tensor.MatMul(scores, vSlice)}
+			}(dev)
+		}
+		wg.Wait()
+
+		// Round 2 (the all-reduce): combine under the global maxima.
+		ctx := tensor.New(sq, in.V[head].Dim(1))
+		for i := 0; i < sq; i++ {
+			gm := math.Inf(-1)
+			for dev := 0; dev < devices; dev++ {
+				if parts[dev].maxes[i] > gm {
+					gm = parts[dev].maxes[i]
+				}
+			}
+			denom := 0.0
+			for dev := 0; dev < devices; dev++ {
+				denom += parts[dev].denoms[i] * math.Exp(parts[dev].maxes[i]-gm)
+			}
+			for c := 0; c < ctx.Dim(1); c++ {
+				s := 0.0
+				for dev := 0; dev < devices; dev++ {
+					s += parts[dev].ctx.At(i, c) * math.Exp(parts[dev].maxes[i]-gm)
+				}
+				ctx.Set(s/denom, i, c)
+			}
+		}
+		out[head] = ctx
+	}
+	return out, nil
+}

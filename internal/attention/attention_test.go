@@ -1,0 +1,169 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+const tol = 1e-10
+
+func randomInput(rng *rand.Rand, h, sq, sk, e int) (*Input, []*tensor.Tensor) {
+	in := &Input{}
+	var dCtx []*tensor.Tensor
+	for i := 0; i < h; i++ {
+		in.Q = append(in.Q, tensor.New(sq, e).FillRandom(rng))
+		in.K = append(in.K, tensor.New(sk, e).FillRandom(rng))
+		in.V = append(in.V, tensor.New(sk, e).FillRandom(rng))
+		dCtx = append(dCtx, tensor.New(sq, e).FillRandom(rng))
+	}
+	return in, dCtx
+}
+
+func TestInputValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, _ := randomInput(rng, 2, 4, 4, 8)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Input{Q: in.Q, K: in.K[:1], V: in.V}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched head counts accepted")
+	}
+	bad2, _ := randomInput(rng, 2, 4, 4, 8)
+	bad2.K[1] = tensor.New(6, 8) // wrong Sk
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("mismatched key length accepted")
+	}
+}
+
+// Softmax rows sum to one and are invariant to constant row shifts.
+func TestSoftmaxRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := tensor.New(3, 5).FillRandom(rng)
+	shifted := s.Clone()
+	for j := 0; j < 5; j++ {
+		shifted.Set(shifted.At(1, j)+100, 1, j)
+	}
+	softmaxRows(s)
+	softmaxRows(shifted)
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 5; j++ {
+			sum += s.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	if tensor.MaxAbsDiff(s, shifted) > 1e-9 {
+		t.Fatal("softmax not shift-invariant")
+	}
+}
+
+// Softmax backward satisfies the zero-sum property: Σ_j dS[i,j] ≈ 0 when
+// dP is constant along a row (softmax is invariant to row shifts).
+func TestSoftmaxBackwardZeroSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := tensor.New(2, 6).FillRandom(rng)
+	softmaxRows(p)
+	dP := tensor.New(2, 6).Fill(3.7)
+	dS := softmaxBackward(p, dP)
+	if dS.Sum() > 1e-9 || dS.Sum() < -1e-9 {
+		t.Fatalf("constant upstream should give zero gradient, got %v", dS.Sum())
+	}
+}
+
+// Head splits are exactly communication-free: per-head results agree with
+// serial for forward AND backward.
+func TestHeadParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in, dCtx := randomInput(rng, 8, 6, 10, 4)
+	sc, sq, sk, sv, err := Serial(in, dCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, devices := range []int{1, 2, 4, 8} {
+		pc, pq, pk, pv, err := HeadParallel(in, dCtx, devices)
+		if err != nil {
+			t.Fatalf("devices=%d: %v", devices, err)
+		}
+		for h := range sc {
+			if tensor.MaxAbsDiff(pc[h], sc[h]) > tol ||
+				tensor.MaxAbsDiff(pq[h], sq[h]) > tol ||
+				tensor.MaxAbsDiff(pk[h], sk[h]) > tol ||
+				tensor.MaxAbsDiff(pv[h], sv[h]) > tol {
+				t.Fatalf("devices=%d head %d diverges", devices, h)
+			}
+		}
+	}
+}
+
+func TestHeadParallelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in, _ := randomInput(rng, 6, 4, 4, 4)
+	if _, _, _, _, err := HeadParallel(in, nil, 4); err == nil {
+		t.Fatal("non-divisible head split accepted")
+	}
+}
+
+// The distributed online softmax over a split key dimension reproduces
+// serial attention exactly — the statistics aggregation the cost model
+// prices for Sk splits.
+func TestKeyParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in, _ := randomInput(rng, 3, 5, 12, 4)
+	sc, _, _, _, err := Serial(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, devices := range []int{1, 2, 3, 4, 6, 12} {
+		pc, err := KeyParallel(in, devices)
+		if err != nil {
+			t.Fatalf("devices=%d: %v", devices, err)
+		}
+		for h := range sc {
+			if d := tensor.MaxAbsDiff(pc[h], sc[h]); d > tol {
+				t.Fatalf("devices=%d head %d differs by %g", devices, h, d)
+			}
+		}
+	}
+	if _, err := KeyParallel(in, 5); err == nil {
+		t.Fatal("non-divisible key split accepted")
+	}
+}
+
+// Property: any divisible (heads, devices) and (sk, devices) combination
+// preserves semantics.
+func TestQuickAttentionPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := []int{2, 4}[rng.Intn(2)]
+		sk := []int{6, 8, 12}[rng.Intn(3)]
+		in, dCtx := randomInput(rng, h, 3+rng.Intn(4), sk, 4)
+		sc, _, _, _, err := Serial(in, dCtx)
+		if err != nil {
+			return false
+		}
+		pc, _, _, _, err := HeadParallel(in, dCtx, h)
+		if err != nil {
+			return false
+		}
+		kc, err := KeyParallel(in, 2)
+		if err != nil {
+			return false
+		}
+		for i := range sc {
+			if tensor.MaxAbsDiff(pc[i], sc[i]) > tol || tensor.MaxAbsDiff(kc[i], sc[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func blockGraph(t *testing.T, cfg model.Config) *graph.Graph {
+	t.Helper()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Megatron's canonical layout: column-parallel qkv/fc1, row-parallel
+// proj/fc2, head-split attention, replicated norms.
+func TestMegatronLayout(t *testing.T) {
+	g := blockGraph(t, model.OPT6B7())
+	seqs, err := Megatron(g, 3, 1) // 2-way DP × 4-way TP
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(node int, wantSlicedAxis int, wantSlices int) {
+		t.Helper()
+		seq := seqs[node]
+		if got := seq.NumSlices(wantSlicedAxis); got != wantSlices {
+			t.Fatalf("node %d (%s): axis %d sliced %d ways, want %d",
+				node, g.Nodes[node].Name, wantSlicedAxis, got, wantSlices)
+		}
+		if seq.HasPrime() {
+			t.Fatalf("Megatron must not use Prime")
+		}
+	}
+	check(model.NodeQKV, model.LinK, 4)  // column parallel
+	check(model.NodeProj, model.LinN, 4) // row parallel
+	check(model.NodeFC1, model.LinK, 4)
+	check(model.NodeFC2, model.LinN, 4)
+	check(model.NodeQKT, model.AttH, 4) // head split
+	check(model.NodeAV, model.AttH, 4)
+	// All nodes carry the 2-way batch split.
+	for i, seq := range seqs {
+		if b := batchAxisOf(g.Nodes[i]); b >= 0 {
+			if seq.NumSlices(b) != 2 {
+				t.Fatalf("node %d: batch sliced %d ways, want 2", i, seq.NumSlices(b))
+			}
+		}
+	}
+	// Norms are replicated within the TP group: only the DP bit is used.
+	if got := seqs[model.NodeNorm1].Bits(); got != 1 {
+		t.Fatalf("norm1 uses %d bits, want 1 (replicated in TP group)", got)
+	}
+}
+
+func TestMegatronRejectsInfeasible(t *testing.T) {
+	g := blockGraph(t, model.OPT6B7()) // batch 8 → at most 8-way DP
+	if _, err := Megatron(g, 5, 4); err == nil {
+		t.Fatal("16-way DP on batch 8 accepted")
+	}
+	if _, err := Megatron(g, 3, -1); err == nil {
+		t.Fatal("negative dBits accepted")
+	}
+	if _, err := Megatron(g, 3, 4); err == nil {
+		t.Fatal("dBits > nbits accepted")
+	}
+}
+
+// Megatron's known communication signature under the cost model: forward
+// all-reduce on proj and fc2 only; backward all-reduce on qkv and fc1.
+func TestMegatronAllReduceSignature(t *testing.T) {
+	g := blockGraph(t, model.OPT6B7())
+	seqs, err := Megatron(g, 2, 0) // pure 4-way TP
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.NewModel(device.MustCluster(4, 4, device.V100Profile()))
+	for _, node := range []int{model.NodeProj, model.NodeFC2} {
+		ic := m.IntraCost(g.Nodes[node], seqs[node])
+		if ic.AllReduce <= 0 {
+			t.Errorf("%s: expected all-reduce (row parallel)", g.Nodes[node].Name)
+		}
+	}
+	// Attention matmuls under pure head split need no collective at all.
+	for _, node := range []int{model.NodeQKT, model.NodeAV} {
+		ic := m.IntraCost(g.Nodes[node], seqs[node])
+		if ic.AllReduce != 0 {
+			t.Errorf("%s: head split should be collective-free, got %v",
+				g.Nodes[node].Name, ic.AllReduce)
+		}
+	}
+}
+
+// Megatron edges must be alignment-free (its hand design avoids resharding).
+func TestMegatronEdgesAreAligned(t *testing.T) {
+	g := blockGraph(t, model.OPT175B())
+	m := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	seqs, err := Megatron(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if c := m.InterCost(g, e, seqs[e.Src], seqs[e.Dst]); c != 0 {
+			t.Errorf("edge %s→%s: redistribution cost %v, want 0",
+				g.Nodes[e.Src].Name, g.Nodes[e.Dst].Name, c)
+		}
+	}
+}
+
+func TestBestMegatronPicksFeasibleOptimum(t *testing.T) {
+	g := blockGraph(t, model.Llama2_70B())
+	m := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	best, err := BestMegatron(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.DBits < 0 || best.DBits > 3 {
+		t.Fatalf("DBits = %d out of range", best.DBits)
+	}
+	// No enumerated feasible configuration beats it.
+	for d := 0; d <= 3; d++ {
+		seqs, err := Megatron(g, 3, d)
+		if err != nil {
+			continue
+		}
+		if c := m.Overall(g, seqs); c < best.Cost-1e-12 {
+			t.Fatalf("d=%d has cost %v < reported best %v", d, c, best.Cost)
+		}
+	}
+}
+
+// Alpa (optimal spatial-only) can never lose to Megatron (hand spatial-only)
+// under the same cost model, and PrimePar can never lose to Alpa.
+func TestBaselineDominanceChain(t *testing.T) {
+	g := blockGraph(t, model.OPT175B())
+	m := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	mega, err := BestMegatron(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpa, err := Alpa(m, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime, err := PrimePar(m, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpa.TotalCost > mega.Cost+1e-9 {
+		t.Fatalf("Alpa %v worse than Megatron %v", alpa.TotalCost, mega.Cost)
+	}
+	if prime.TotalCost > alpa.TotalCost+1e-12 {
+		t.Fatalf("PrimePar %v worse than Alpa %v", prime.TotalCost, alpa.TotalCost)
+	}
+	for _, s := range alpa.Seqs {
+		if s.HasPrime() {
+			t.Fatal("Alpa strategy contains a Prime token")
+		}
+	}
+}
+
+// MLP graphs work through the same generator (Fig. 9 uses them).
+func TestMegatronOnMLP(t *testing.T) {
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := Megatron(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs[1].NumSlices(model.LinK) != 8 || seqs[3].NumSlices(model.LinN) != 8 {
+		t.Fatalf("MLP column/row layout wrong: fc1=%v fc2=%v", seqs[1], seqs[3])
+	}
+	var _ partition.Seq = seqs[0]
+}

@@ -1,0 +1,212 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Fatalf("R² = %v, want ≈1", f.R2)
+	}
+	if got := f.Predict(10); math.Abs(got-21) > 1e-12 {
+		t.Fatalf("Predict(10) = %v, want 21", got)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+}
+
+// Profiling the (noise-free) system recovers its linear latency model
+// exactly — the paper's premise that latency is linear in payload size.
+func TestProfileAllReduceRecoversModel(t *testing.T) {
+	c := device.MustCluster(8, 4, device.V100Profile())
+	sizes := Sizes(1e5, 1e8, 12)
+	for _, ind := range []device.Indicator{{1}, {2, 3}, {1, 2, 3}} {
+		f, err := ProfileAllReduce(c, ind, sizes, Noise{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.R2 < 0.999999 {
+			t.Fatalf("indicator %v: R² = %v", ind, f.R2)
+		}
+		// Prediction must match the cluster model at an unseen size.
+		want := c.AllReduceTime(ind, 3.3e7)
+		if got := f.Predict(3.3e7); math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("indicator %v: predict %v, want %v", ind, got, want)
+		}
+	}
+}
+
+// Regression stays accurate under realistic measurement jitter.
+func TestProfileWithNoise(t *testing.T) {
+	c := device.MustCluster(8, 4, device.V100Profile())
+	sizes := Sizes(1e5, 1e8, 40)
+	f, err := ProfileAllReduce(c, device.Indicator{2, 3}, sizes, Noise{Amp: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.AllReduceTime(device.Indicator{2, 3}, 5e7)
+	if got := f.Predict(5e7); math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("noisy fit off by %v%%", 100*math.Abs(got-want)/want)
+	}
+}
+
+func TestProfileRingAndCompute(t *testing.T) {
+	c := device.MustCluster(8, 4, device.V100Profile())
+	ring, err := ProfileRing(c, device.Indicator{2, 3}, Sizes(1e5, 1e8, 10), Noise{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.R2 < 0.999999 || ring.Slope <= 0 {
+		t.Fatalf("ring fit %+v", ring)
+	}
+	comp, err := ProfileCompute(c, 0.01, Sizes(1e9, 1e12, 10), Noise{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.R2 < 0.999999 || comp.Slope <= 0 {
+		t.Fatalf("compute fit %+v", comp)
+	}
+	// The compute intercept is the kernel-launch overhead.
+	if math.Abs(comp.Intercept-c.Profile.KernelOverhead)/c.Profile.KernelOverhead > 1e-6 {
+		t.Fatalf("intercept %v, want kernel overhead %v", comp.Intercept, c.Profile.KernelOverhead)
+	}
+}
+
+// The paper's scalability claim: distinct latency classes are FAR fewer
+// than indicators (2^n) or devices.
+func TestDistinctClassesScalability(t *testing.T) {
+	c := device.MustCluster(32, 4, device.V100Profile())
+	classes := DistinctClasses(c)
+	if len(classes) >= 32 {
+		t.Fatalf("%d classes for 32 devices — profiling would not scale", len(classes))
+	}
+	if len(classes) < 3 {
+		t.Fatalf("suspiciously few classes: %d", len(classes))
+	}
+}
+
+// Latency class determines all-reduce latency: indicators in the same class
+// must profile identically.
+func TestQuickClassDeterminesLatency(t *testing.T) {
+	c := device.MustCluster(16, 4, device.V100Profile())
+	indicators := func(mask uint8) device.Indicator {
+		var ind device.Indicator
+		for p := 1; p <= 4; p++ {
+			if mask&(1<<(p-1)) != 0 {
+				ind = append(ind, p)
+			}
+		}
+		return ind
+	}
+	f := func(m1, m2 uint8) bool {
+		a := indicators(m1 & 0x0f)
+		b := indicators(m2 & 0x0f)
+		if ClassOf(c, a) != ClassOf(c, b) {
+			return true // different classes may differ
+		}
+		return math.Abs(c.AllReduceTime(a, 1e7)-c.AllReduceTime(b, 1e7)) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizesSweep(t *testing.T) {
+	s := Sizes(1, 1024, 11)
+	if len(s) != 11 || s[0] != 1 || math.Abs(s[10]-1024) > 1e-9 {
+		t.Fatalf("Sizes = %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatal("sizes not increasing")
+		}
+	}
+	if got := Sizes(5, 10, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate Sizes = %v", got)
+	}
+}
+
+func TestFitPlaneExact(t *testing.T) {
+	// y = 2·x1 + 3·x2 + 5
+	x1 := []float64{1, 2, 3, 4, 5, 1}
+	x2 := []float64{1, 1, 2, 3, 5, 4}
+	ys := make([]float64, len(x1))
+	for i := range ys {
+		ys[i] = 2*x1[i] + 3*x2[i] + 5
+	}
+	f, err := FitPlane(x1, x2, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.A-2) > 1e-9 || math.Abs(f.B-3) > 1e-9 || math.Abs(f.C-5) > 1e-9 {
+		t.Fatalf("plane fit = %+v", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Fatalf("R² = %v", f.R2)
+	}
+}
+
+func TestFitPlaneErrors(t *testing.T) {
+	if _, err := FitPlane([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+	// Collinear regressors are degenerate.
+	if _, err := FitPlane([]float64{1, 2, 3}, []float64{2, 4, 6}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("collinear design accepted")
+	}
+}
+
+// The full calibration campaign recovers the analytic models exactly.
+func TestProfileBookRecoversCluster(t *testing.T) {
+	c := device.MustCluster(16, 4, V100())
+	book, err := Profile(c, Noise{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inds := []device.Indicator{{1}, {3, 4}, {1, 2, 3, 4}, {2, 4}}
+	for _, ind := range inds {
+		want := c.AllReduceTime(ind, 7.7e7)
+		if got := book.AllReduceTime(c, ind, 7.7e7); math.Abs(got-want)/want > 1e-6 {
+			t.Fatalf("indicator %v: book %v, analytic %v", ind, got, want)
+		}
+		wantR := c.RingStepTime(ind, 3.1e6)
+		if got := book.RingStepTime(c, ind, 3.1e6); math.Abs(got-wantR)/wantR > 1e-6 {
+			t.Fatalf("indicator %v ring: book %v, analytic %v", ind, got, wantR)
+		}
+	}
+	wantC := c.ComputeTime(4.2e12, 9e8)
+	if got := book.ComputeTime(4.2e12, 9e8); math.Abs(got-wantC)/wantC > 1e-6 {
+		t.Fatalf("compute: book %v, analytic %v", got, wantC)
+	}
+	if book.ComputeTime(0, 0) != 0 {
+		t.Fatal("empty compute should be free")
+	}
+	if book.AllReduceTime(c, nil, 1e6) != 0 {
+		t.Fatal("empty indicator should be free")
+	}
+}
+
+func V100() device.Profile { return device.V100Profile() }

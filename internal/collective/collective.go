@@ -1,0 +1,193 @@
+// Package collective models the collective-communication algorithms a
+// NCCL-like library chooses between, at the latency/bandwidth (α–β) level:
+//
+//   - ring all-reduce: 2(g−1) steps, bandwidth-optimal, latency O(g);
+//   - recursive halving-doubling: 2·log2(g) steps, latency-optimal,
+//     bandwidth 2·bytes·(g−1)/g like ring but with log-step latency;
+//   - binary-tree reduce+broadcast: 2·log2(g) steps, 2·bytes per step —
+//     bandwidth-suboptimal but lowest latency for tiny payloads;
+//   - reduce-scatter / all-gather halves (used by ZeRO-style sharding);
+//   - broadcast and point-to-point sends.
+//
+// The paper's evaluation rides on NCCL, which picks an algorithm per
+// message size; Select reproduces that choice so the cluster model's
+// all-reduce latency is realistic across the size spectrum (tiny layer-norm
+// statistic reductions vs multi-GB gradient reductions).
+package collective
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm identifies a collective implementation.
+type Algorithm int
+
+const (
+	// Ring is the bandwidth-optimal ring algorithm.
+	Ring Algorithm = iota
+	// HalvingDoubling is recursive halving-doubling (latency-optimal
+	// among bandwidth-optimal algorithms; needs power-of-two groups).
+	HalvingDoubling
+	// Tree is reduce-to-root plus broadcast over a binary tree.
+	Tree
+	// Auto picks per message size like NCCL.
+	Auto
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case HalvingDoubling:
+		return "halving-doubling"
+	case Tree:
+		return "tree"
+	case Auto:
+		return "auto"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Link is the α–β model of the bottleneck link a collective runs over.
+type Link struct {
+	// Bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency per message in seconds (α).
+	Latency float64
+}
+
+// Validate rejects non-physical links.
+func (l Link) Validate() error {
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("collective: non-positive bandwidth %v", l.Bandwidth)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("collective: negative latency %v", l.Latency)
+	}
+	return nil
+}
+
+// hdBandwidthEfficiency discounts halving-doubling's non-neighbor
+// exchanges relative to the strictly link-local ring.
+const hdBandwidthEfficiency = 0.85
+
+// AllReduce returns the completion time of an all-reduce of `bytes` bytes
+// across a group of g devices using the given algorithm.
+func AllReduce(alg Algorithm, g int, bytes float64, link Link) float64 {
+	if g <= 1 || bytes <= 0 {
+		return 0
+	}
+	gf := float64(g)
+	switch alg {
+	case Ring:
+		// 2(g−1) steps of bytes/g each.
+		return 2*(gf-1)/gf*bytes/link.Bandwidth + 2*(gf-1)*link.Latency
+	case HalvingDoubling:
+		// reduce-scatter: log g steps of bytes/2, bytes/4, ... then
+		// all-gather mirrors them: total 2·bytes·(g−1)/g, 2·log g steps.
+		// Its exchange partners are distance 2^i apart rather than
+		// neighbors, which costs ~15% effective bandwidth on real
+		// fabrics (why NCCL still rides ring for huge payloads).
+		steps := 2 * math.Ceil(math.Log2(gf))
+		return 2*(gf-1)/gf*bytes/(hdBandwidthEfficiency*link.Bandwidth) + steps*link.Latency
+	case Tree:
+		// reduce up + broadcast down: each stage ships the full payload.
+		steps := 2 * math.Ceil(math.Log2(gf))
+		return 2*bytes/link.Bandwidth + steps*link.Latency
+	case Auto:
+		return AllReduce(Select(g, bytes, link), g, bytes, link)
+	}
+	return math.Inf(1)
+}
+
+// ReduceScatter returns the time of a ring reduce-scatter (each device ends
+// with the reduced 1/g-th of the payload).
+func ReduceScatter(g int, bytes float64, link Link) float64 {
+	if g <= 1 || bytes <= 0 {
+		return 0
+	}
+	gf := float64(g)
+	return (gf-1)/gf*bytes/link.Bandwidth + (gf-1)*link.Latency
+}
+
+// AllGather returns the time of a ring all-gather (inverse of
+// reduce-scatter; same cost).
+func AllGather(g int, bytes float64, link Link) float64 {
+	return ReduceScatter(g, bytes, link)
+}
+
+// Broadcast returns the time of a binary-tree broadcast.
+func Broadcast(g int, bytes float64, link Link) float64 {
+	if g <= 1 || bytes <= 0 {
+		return 0
+	}
+	steps := math.Ceil(math.Log2(float64(g)))
+	return bytes/link.Bandwidth + steps*link.Latency
+}
+
+// Send returns the time of one point-to-point transfer.
+func Send(bytes float64, link Link) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes/link.Bandwidth + link.Latency
+}
+
+// Select picks the fastest algorithm for the message size — the NCCL-style
+// size-based protocol switch: tree for tiny latency-bound messages,
+// halving-doubling in the middle, ring for bandwidth-bound payloads (ring
+// and halving-doubling tie on bandwidth; ring wins on real networks for
+// huge messages because its transfers are strictly neighbor-local, which we
+// reflect with a slight large-message preference).
+func Select(g int, bytes float64, link Link) Algorithm {
+	if g <= 1 {
+		return Ring
+	}
+	best := Ring
+	bestT := math.Inf(1)
+	// Evaluate in preference order so ties go to the more local algorithm.
+	for _, alg := range []Algorithm{Ring, HalvingDoubling, Tree} {
+		t := AllReduce(alg, g, bytes, link)
+		if t < bestT {
+			best, bestT = alg, t
+		}
+	}
+	return best
+}
+
+// Crossover returns the payload size (bytes) at which two algorithms have
+// equal completion time for a group of g, found by bisection over
+// [1, 1e12]. Returns 0 when no crossover exists in that range.
+func Crossover(a, b Algorithm, g int, link Link) float64 {
+	f := func(bytes float64) float64 {
+		return AllReduce(a, g, bytes, link) - AllReduce(b, g, bytes, link)
+	}
+	lo, hi := 1.0, 1e12
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 && fhi == 0 {
+		return 0 // identical algorithms: no crossover
+	}
+	if flo == 0 {
+		return lo
+	}
+	if fhi == 0 {
+		return hi
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection (sizes span decades)
+		fm := f(mid)
+		if fm == 0 {
+			return mid
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

@@ -1,0 +1,166 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var nvlink = Link{Bandwidth: 300e9, Latency: 5e-6}
+
+func TestDegenerateCases(t *testing.T) {
+	for _, alg := range []Algorithm{Ring, HalvingDoubling, Tree, Auto} {
+		if AllReduce(alg, 1, 1e6, nvlink) != 0 {
+			t.Errorf("%v: single-device all-reduce should be free", alg)
+		}
+		if AllReduce(alg, 8, 0, nvlink) != 0 {
+			t.Errorf("%v: zero-byte all-reduce should be free", alg)
+		}
+	}
+	if ReduceScatter(1, 1e6, nvlink) != 0 || AllGather(1, 1e6, nvlink) != 0 ||
+		Broadcast(1, 1e6, nvlink) != 0 || Send(0, nvlink) != 0 {
+		t.Error("degenerate collectives should be free")
+	}
+}
+
+func TestLinkValidate(t *testing.T) {
+	if err := nvlink.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Link{Bandwidth: 0, Latency: 0}).Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if err := (Link{Bandwidth: 1, Latency: -1}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+// The α–β structure: ring and halving-doubling share the bandwidth term;
+// tree ships the full payload twice. For large payloads ring ≤ HD ≤ tree.
+func TestBandwidthAsymptotics(t *testing.T) {
+	const bytes = 1e9
+	g := 16
+	ring := AllReduce(Ring, g, bytes, nvlink)
+	hd := AllReduce(HalvingDoubling, g, bytes, nvlink)
+	tree := AllReduce(Tree, g, bytes, nvlink)
+	if !(ring <= hd && ring < tree) {
+		t.Fatalf("large payload ordering wrong: ring=%v hd=%v tree=%v", ring, hd, tree)
+	}
+	// Bandwidth term of ring: 2·(g−1)/g · bytes/bw.
+	want := 2 * 15.0 / 16 * bytes / nvlink.Bandwidth
+	if math.Abs(ring-want-2*15*nvlink.Latency) > 1e-12 {
+		t.Fatalf("ring time %v deviates from α–β model", ring)
+	}
+}
+
+// For tiny payloads the latency term dominates: log-step algorithms beat
+// the ring.
+func TestLatencyAsymptotics(t *testing.T) {
+	const bytes = 64
+	g := 64
+	ring := AllReduce(Ring, g, bytes, nvlink)
+	hd := AllReduce(HalvingDoubling, g, bytes, nvlink)
+	tree := AllReduce(Tree, g, bytes, nvlink)
+	if !(tree < ring && hd < ring) {
+		t.Fatalf("small payload ordering wrong: ring=%v hd=%v tree=%v", ring, hd, tree)
+	}
+}
+
+// Auto must never lose to any fixed algorithm.
+func TestQuickAutoIsOptimal(t *testing.T) {
+	f := func(rawBytes uint32, rawG uint8) bool {
+		bytes := float64(rawBytes%1_000_000_000) + 1
+		g := 2 << (rawG % 6) // 2..64
+		auto := AllReduce(Auto, g, bytes, nvlink)
+		for _, alg := range []Algorithm{Ring, HalvingDoubling, Tree} {
+			if auto > AllReduce(alg, g, bytes, nvlink)+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All collectives are monotone in payload size and group size.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(rawBytes uint32, rawG uint8) bool {
+		bytes := float64(rawBytes%1_000_000) + 1
+		g := 2 << (rawG % 5)
+		for _, alg := range []Algorithm{Ring, HalvingDoubling, Tree} {
+			if AllReduce(alg, g, bytes, nvlink) > AllReduce(alg, g, bytes*2, nvlink) {
+				return false
+			}
+			if AllReduce(alg, g, bytes, nvlink) > AllReduce(alg, g*2, bytes, nvlink) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reduce-scatter + all-gather compose to a ring all-reduce exactly.
+func TestReduceScatterAllGatherComposeToRing(t *testing.T) {
+	g, bytes := 8, 1e8
+	composed := ReduceScatter(g, bytes, nvlink) + AllGather(g, bytes, nvlink)
+	ring := AllReduce(Ring, g, bytes, nvlink)
+	if math.Abs(composed-ring) > 1e-12 {
+		t.Fatalf("RS+AG = %v, ring = %v", composed, ring)
+	}
+}
+
+func TestBroadcastAndSend(t *testing.T) {
+	b := Broadcast(8, 1e6, nvlink)
+	want := 1e6/nvlink.Bandwidth + 3*nvlink.Latency
+	if math.Abs(b-want) > 1e-12 {
+		t.Fatalf("Broadcast = %v, want %v", b, want)
+	}
+	s := Send(1e6, nvlink)
+	if math.Abs(s-(1e6/nvlink.Bandwidth+nvlink.Latency)) > 1e-15 {
+		t.Fatalf("Send = %v", s)
+	}
+}
+
+// The tree→ring crossover exists and sits where the α–β model predicts:
+// tree wins below, ring wins above.
+func TestCrossover(t *testing.T) {
+	g := 16
+	x := Crossover(Tree, Ring, g, nvlink)
+	if x <= 0 {
+		t.Fatal("no tree/ring crossover found")
+	}
+	below := AllReduce(Tree, g, x/4, nvlink) <= AllReduce(Ring, g, x/4, nvlink)
+	above := AllReduce(Ring, g, x*4, nvlink) <= AllReduce(Tree, g, x*4, nvlink)
+	if !below || !above {
+		t.Fatalf("crossover at %v does not separate regimes", x)
+	}
+	// Identical algorithms never cross.
+	if Crossover(Ring, Ring, g, nvlink) != 0 {
+		t.Fatal("self-crossover should be 0")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, alg := range []Algorithm{Ring, HalvingDoubling, Tree, Auto} {
+		if alg.String() == "" {
+			t.Fatalf("empty name for %d", int(alg))
+		}
+	}
+}
+
+// Select prefers tree for tiny messages and ring for huge ones on a
+// high-latency link (the regime split NCCL exhibits).
+func TestSelectRegimes(t *testing.T) {
+	ib := Link{Bandwidth: 25e9, Latency: 15e-6}
+	if alg := Select(32, 256, ib); alg == Ring {
+		t.Fatalf("tiny message selected %v, want a log-step algorithm", alg)
+	}
+	if alg := Select(32, 4e9, ib); alg != Ring {
+		t.Fatalf("huge message selected %v, want ring", alg)
+	}
+}

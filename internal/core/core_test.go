@@ -1,0 +1,521 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/calibrate"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func optimizerFor(t *testing.T, devices, perNode int) *Optimizer {
+	t.Helper()
+	m := cost.NewModel(device.MustCluster(devices, perNode, device.V100Profile()))
+	return NewOptimizer(m)
+}
+
+func TestCandidatesCountsLinear(t *testing.T) {
+	op := model.NewLinear("lin", 1024, 1024, 4096, 4096)
+	opts := DefaultOptions()
+	// Exact-length counts follow f(n) = 4f(n−1) + f(n−2) [P_{2×2}] +
+	// f(n−4) [P_{4×4}]: 1, 4, 17, 72, 306, 1300. The space is
+	// prefix-closed (trailing bits replicate), so |P| at n bits is the
+	// cumulative sum.
+	if got := len(Candidates(op, 2, opts)); got != 1+4+17 {
+		t.Fatalf("|P| at 2 bits = %d, want 22", got)
+	}
+	if got := len(Candidates(op, 3, opts)); got != 1+4+17+72 {
+		t.Fatalf("|P| at 3 bits = %d, want 94", got)
+	}
+	if got := len(Candidates(op, 5, opts)); got != 1+4+17+72+306+1300 {
+		t.Fatalf("|P| at 5 bits = %d, want 1700", got)
+	}
+}
+
+func TestCandidatesRespectAxisSizes(t *testing.T) {
+	// Batch of 2 admits at most one batch split.
+	op := model.NewLinear("lin", 2, 1024, 4096, 4096)
+	got := len(Candidates(op, 2, DefaultOptions()))
+	if got != 21 { // 22 minus the "B,B" sequence
+		t.Fatalf("|P| with B=2 at 2 bits = %d, want 21", got)
+	}
+	for _, s := range Candidates(op, 3, DefaultOptions()) {
+		if s.NumSlices(model.LinB) > 2 {
+			t.Fatalf("sequence %v over-splits the batch axis", s)
+		}
+	}
+}
+
+func TestCandidatesOptionGates(t *testing.T) {
+	op := model.NewLinear("lin", 1024, 1024, 4096, 4096)
+	noPrime := DefaultOptions()
+	noPrime.AllowPrime = false
+	for _, s := range Candidates(op, 4, noPrime) {
+		if s.HasPrime() {
+			t.Fatalf("AllowPrime=false produced %v", s)
+		}
+	}
+	if got := len(Candidates(op, 2, noPrime)); got != 1+4+16 {
+		t.Fatalf("spatial-only |P| at 2 bits = %d, want 21", got)
+	}
+	noBatch := DefaultOptions()
+	noBatch.AllowBatchSplit = false
+	for _, s := range Candidates(op, 3, noBatch) {
+		if s.NumSlices(model.LinB) != 1 {
+			t.Fatalf("AllowBatchSplit=false produced %v", s)
+		}
+	}
+}
+
+func TestCandidatesSkipUnsplittableAxes(t *testing.T) {
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	softmax := g.Nodes[model.NodeSoftmax]
+	for _, s := range Candidates(softmax, 3, DefaultOptions()) {
+		if s.NumSlices(3) != 1 { // Sk is the softmax axis
+			t.Fatalf("softmax axis split by %v", s)
+		}
+		if s.HasPrime() {
+			t.Fatalf("softmax cannot take Prime: %v", s)
+		}
+	}
+	qkt := g.Nodes[model.NodeQKT]
+	for _, s := range Candidates(qkt, 3, DefaultOptions()) {
+		if s.NumSlices(model.AttE) != 1 {
+			t.Fatalf("head-embed axis split by %v", s)
+		}
+	}
+}
+
+// Candidates never exceed the machine's bits, are all valid, and include
+// the fully-replicated (empty) and the Megatron-replicated-norm styles.
+func TestCandidatesWithinBudgetAndPrefixClosed(t *testing.T) {
+	op := model.NewLinear("lin", 1024, 1024, 4096, 4096)
+	cands := Candidates(op, 4, DefaultOptions())
+	seen := map[string]bool{}
+	for _, s := range cands {
+		if s.Bits() > 4 {
+			t.Fatalf("candidate %v uses %d bits > 4", s, s.Bits())
+		}
+		if err := s.Validate(4, 4); err != nil {
+			t.Fatalf("invalid candidate %v: %v", s, err)
+		}
+		if seen[s.Key()] {
+			t.Fatalf("duplicate candidate %v", s)
+		}
+		seen[s.Key()] = true
+	}
+	if !seen[partition.NewSeq().Key()] {
+		t.Fatal("fully-replicated candidate missing")
+	}
+	if !seen[partition.NewSeq(partition.Split(model.LinB)).Key()] {
+		t.Fatal("partial (replicating) candidate missing")
+	}
+}
+
+// The segmented DP must match the exhaustive oracle (paper §5.2 optimality).
+func TestDPMatchesExhaustiveOnMLP(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	g, err := model.BuildMLP(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := o.Exhaustive(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.TotalCost-ex.TotalCost) > 1e-9*ex.TotalCost {
+		t.Fatalf("DP cost %v != exhaustive cost %v", dp.TotalCost, ex.TotalCost)
+	}
+	// The reconstructed strategy must actually achieve the reported cost.
+	if got := o.Cost.Overall(g, dp.Seqs); math.Abs(got-dp.TotalCost) > 1e-9*dp.TotalCost {
+		t.Fatalf("strategy replays to %v, DP reported %v", got, dp.TotalCost)
+	}
+}
+
+func TestDPMatchesExhaustiveWithMemoryWeight(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	o.Cost.Alpha = 1e-10
+	g, err := model.BuildMLP(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := o.Exhaustive(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.TotalCost-ex.TotalCost) > 1e-9*ex.TotalCost {
+		t.Fatalf("DP cost %v != exhaustive cost %v (alpha > 0)", dp.TotalCost, ex.TotalCost)
+	}
+}
+
+// Full 13-node block with extended edges and segment merging, against the
+// oracle on a 2-device machine (batch splits disabled on both sides to keep
+// the oracle's joint space enumerable).
+func TestDPMatchesExhaustiveOnFullBlock(t *testing.T) {
+	o := optimizerFor(t, 2, 2)
+	o.Opts.AllowBatchSplit = false
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := o.Exhaustive(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.TotalCost-ex.TotalCost) > 1e-9*ex.TotalCost {
+		t.Fatalf("DP cost %v != exhaustive %v on full block", dp.TotalCost, ex.TotalCost)
+	}
+	if got := o.Cost.Overall(g, dp.Seqs); math.Abs(got-dp.TotalCost) > 1e-9*dp.TotalCost {
+		t.Fatalf("block strategy replays to %v, DP reported %v", got, dp.TotalCost)
+	}
+}
+
+func TestLayerStacking(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.TotalCost-one.LayerCost) > 1e-12 {
+		t.Fatalf("1-layer total %v != layer cost %v", one.TotalCost, one.LayerCost)
+	}
+	for _, layers := range []int{2, 3, 8, 31} {
+		s, err := o.Optimize(g, layers)
+		if err != nil {
+			t.Fatalf("layers=%d: %v", layers, err)
+		}
+		// Stacking constrains shared boundaries: per-layer cost cannot
+		// beat the unconstrained single-layer optimum.
+		if s.TotalCost < float64(layers)*one.LayerCost-1e-6 {
+			t.Fatalf("layers=%d: total %v below %d × layer optimum %v",
+				layers, s.TotalCost, layers, one.LayerCost)
+		}
+		// And it cannot exceed layers × the best boundary-periodic layer.
+		if s.TotalCost > float64(layers)*one.TotalCost*3 {
+			t.Fatalf("layers=%d: total %v implausibly high", layers, s.TotalCost)
+		}
+	}
+}
+
+// Enlarging the space with the Prime primitive can only improve the optimum,
+// and on a multi-node machine it strictly improves it (the paper's headline).
+func TestPrimeSpaceDominatesSpatialOnly(t *testing.T) {
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, devs := range []struct{ n, per int }{{4, 4}, {8, 4}} {
+		o := optimizerFor(t, devs.n, devs.per)
+		withPrime, err := o.Optimize(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2 := optimizerFor(t, devs.n, devs.per)
+		o2.Opts.AllowPrime = false
+		spatial, err := o2.Optimize(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withPrime.TotalCost > spatial.TotalCost+1e-12 {
+			t.Fatalf("%d devices: prime space cost %v exceeds spatial-only %v",
+				devs.n, withPrime.TotalCost, spatial.TotalCost)
+		}
+		if devs.n == 8 && withPrime.TotalCost >= spatial.TotalCost {
+			t.Fatalf("8 devices: prime should strictly beat spatial-only (%v vs %v)",
+				withPrime.TotalCost, spatial.TotalCost)
+		}
+	}
+}
+
+// The optimizer must actually deploy the novel primitive on the big MLP
+// linears when it wins (paper Fig. 9 shows P_{2×2} on fc1/fc2 at 8 GPUs).
+func TestOptimalStrategyUsesPrimeOnBigLinears(t *testing.T) {
+	o := optimizerFor(t, 8, 4)
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc1 := s.Seqs[1]
+	fc2 := s.Seqs[3]
+	if !fc1.HasPrime() && !fc2.HasPrime() {
+		t.Fatalf("expected Prime on fc1 or fc2; got fc1=%v fc2=%v",
+			fc1.Format(g.Nodes[1].AxisNames()), fc2.Format(g.Nodes[3].AxisNames()))
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	g, err := model.BuildMLP(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Optimize(g, 0); err == nil {
+		t.Fatal("layers=0 accepted")
+	}
+}
+
+// An operator with nothing to split gets the fully-replicated strategy.
+func TestOptimizeDegenerateOpReplicates(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	g := &graph.Graph{}
+	op := model.NewLinear("tiny", 1, 1, 1, 1)
+	for i := range op.Axes {
+		op.Axes[i].Size = 1
+	}
+	g.AddNode(op)
+	g.AddNode(model.NewLinear("ok", 8, 64, 64, 64))
+	g.Connect(0, 1, 0, []int{0, 1, 2})
+	s, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seqs[0].Bits() != 0 {
+		t.Fatalf("degenerate op assigned %v, want the replicated strategy", s.Seqs[0])
+	}
+}
+
+// Exhaustive must refuse absurdly large spaces rather than hang.
+func TestExhaustiveRefusesHugeSpace(t *testing.T) {
+	o := optimizerFor(t, 32, 4)
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Exhaustive(g); err == nil {
+		t.Fatal("exhaustive accepted a 32-device full block")
+	}
+}
+
+// Strategies returned for stacked layers must be internally consistent:
+// every node assigned, spaces reported, intra matching seqs.
+func TestStrategyConsistency(t *testing.T) {
+	o := optimizerFor(t, 8, 4)
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := o.Optimize(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Seqs) != len(g.Nodes) || len(s.Intra) != len(g.Nodes) {
+		t.Fatalf("strategy arity mismatch")
+	}
+	for i, seq := range s.Seqs {
+		if seq.Bits() > o.Cost.Cluster.Bits() {
+			t.Fatalf("node %d assigned %v (%d bits)", i, seq, seq.Bits())
+		}
+		ic := o.Cost.IntraCost(g.Nodes[i], seq)
+		if math.Abs(ic.Latency()-s.Intra[i].Latency()) > 1e-12 {
+			t.Fatalf("node %d intra mismatch", i)
+		}
+		if s.SpaceSizes[i] <= 0 {
+			t.Fatalf("node %d space size %d", i, s.SpaceSizes[i])
+		}
+	}
+}
+
+// Deterministic: repeated optimization returns identical costs/strategies.
+func TestOptimizeDeterministic(t *testing.T) {
+	o := optimizerFor(t, 8, 4)
+	g, err := model.BuildMLP(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCost != b.TotalCost {
+		t.Fatalf("nondeterministic cost: %v vs %v", a.TotalCost, b.TotalCost)
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i].Key() != b.Seqs[i].Key() {
+			t.Fatalf("nondeterministic strategy at node %d", i)
+		}
+	}
+}
+
+var _ = partition.NewSeq // keep import when tests shrink
+
+// Beam pruning: approximate but close, never crashes stacking, and much
+// smaller spaces.
+func TestBeamSearch(t *testing.T) {
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := optimizerFor(t, 8, 4)
+	full, err := exact.Optimize(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := optimizerFor(t, 8, 4)
+	approx.Opts.Beam = 24
+	pruned, err := approx.Optimize(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.TotalCost < full.TotalCost-1e-9 {
+		t.Fatalf("beam beat the exact optimum: %v < %v", pruned.TotalCost, full.TotalCost)
+	}
+	if pruned.TotalCost > full.TotalCost*2 {
+		t.Fatalf("beam cost %v too far from optimum %v", pruned.TotalCost, full.TotalCost)
+	}
+	for _, sz := range pruned.SpaceSizes {
+		if sz > 24 {
+			t.Fatalf("beam left a space of size %d", sz)
+		}
+	}
+}
+
+// Beam makes machines beyond the exact search's reach tractable.
+func TestBeamScalesTo64Devices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-device beam search takes a few seconds")
+	}
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := optimizerFor(t, 64, 4)
+	o.Opts.Beam = 128
+	s, err := o.Optimize(g, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalCost <= 0 {
+		t.Fatal("degenerate 64-device strategy")
+	}
+	// The stacked reconstruction's layer must replay to at least the
+	// unconstrained layer optimum and stay close to it (its boundary
+	// states are constrained to match its neighbours).
+	got := o.Cost.Overall(g, s.Seqs)
+	if got < s.LayerCost-1e-9 {
+		t.Fatalf("replayed layer cost %v beats the reported optimum %v", got, s.LayerCost)
+	}
+	if got > s.LayerCost*1.05 {
+		t.Fatalf("replayed layer cost %v far above optimum %v", got, s.LayerCost)
+	}
+}
+
+// The grouped edge matrix must agree with dense per-pair evaluation — the
+// grouping is a lossless compression, not an approximation.
+func TestGroupedEdgeMatrixMatchesDense(t *testing.T) {
+	o := optimizerFor(t, 8, 4)
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []int{0, 2, 6, 9} { // a mix of edge shapes
+		edge := g.Edges[e]
+		src := o.evalNode(g.Nodes[edge.Src])
+		dst := o.evalNode(g.Nodes[edge.Dst])
+		em := o.buildEdgeMat(g, edge, src, dst)
+		plan := o.Cost.PlanEdge(g, edge)
+		// Spot-check a grid of pairs.
+		for i := 0; i < len(src.seqs); i += 37 {
+			for j := 0; j < len(dst.seqs); j += 41 {
+				want := o.Cost.RedistributeDetail(plan.Measure(src.out[i], dst.in[j]))
+				if got := em.at(int32(i), int32(j)); math.Abs(got-want) > 1e-15 {
+					t.Fatalf("edge %d pair (%d,%d): grouped %v, dense %v", e, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// sumEdgeMats with two different matrices refines groups correctly.
+func TestSumEdgeMatsRefinement(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two QKV→QKT edges (Q and K destinations) share endpoints.
+	var edges []*graph.Edge
+	for _, e := range g.Edges {
+		if e.Src == model.NodeQKV && e.Dst == model.NodeQKT {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) != 2 {
+		t.Fatalf("want 2 qkv→qkt edges, got %d", len(edges))
+	}
+	src := o.evalNode(g.Nodes[model.NodeQKV])
+	dst := o.evalNode(g.Nodes[model.NodeQKT])
+	m1 := o.buildEdgeMat(g, edges[0], src, dst)
+	m2 := o.buildEdgeMat(g, edges[1], src, dst)
+	sum := sumEdgeMats([]*edgeMat{m1, m2})
+	for i := 0; i < len(src.seqs); i += 11 {
+		for j := 0; j < len(dst.seqs); j += 13 {
+			want := m1.at(int32(i), int32(j)) + m2.at(int32(i), int32(j))
+			if got := sum.at(int32(i), int32(j)); math.Abs(got-want) > 1e-15 {
+				t.Fatalf("pair (%d,%d): sum %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// Searching with the calibrated latency book (paper §4 methodology) yields
+// the same optimum as the analytic formulas it was fitted from.
+func TestCalibratedBookSearchEquivalence(t *testing.T) {
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := optimizerFor(t, 8, 4)
+	a, err := analytic.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated := optimizerFor(t, 8, 4)
+	book, err := calibrate.Profile(calibrated.Cost.Cluster, calibrate.Noise{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated.Cost.Book = book
+	c, err := calibrated.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TotalCost-c.TotalCost)/a.TotalCost > 1e-6 {
+		t.Fatalf("calibrated cost %v != analytic %v", c.TotalCost, a.TotalCost)
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i].Key() != c.Seqs[i].Key() {
+			t.Fatalf("node %d: calibrated search picked %v, analytic %v", i, c.Seqs[i], a.Seqs[i])
+		}
+	}
+}

@@ -1,0 +1,609 @@
+// Segmented dynamic programming (paper §5): Bellman iterations within
+// segments (Eqs. 11–12), segment merging (Eqs. 13–14) and logarithmic layer
+// stacking. Strategy reconstruction walks stored back-pointers.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Optimizer searches the partition space of a computation graph.
+type Optimizer struct {
+	Cost *cost.Model
+	Opts Options
+}
+
+// NewOptimizer returns an optimizer over the given cost model with defaults.
+func NewOptimizer(m *cost.Model) *Optimizer {
+	return &Optimizer{Cost: m, Opts: DefaultOptions()}
+}
+
+// nodeCands caches per-candidate evaluations for one graph node.
+type nodeCands struct {
+	seqs  []partition.Seq
+	intra []cost.Intra
+	total []float64 // Intra.Total(alpha), the DP node cost
+	out   []*cost.Iface
+	in    []*cost.Iface
+}
+
+// Strategy is an optimized partition assignment for one representative layer
+// plus the stacked total cost.
+type Strategy struct {
+	// Seqs has one partition sequence per node of the layer graph.
+	Seqs []partition.Seq
+	// Intra is the cost breakdown per node under Seqs.
+	Intra []cost.Intra
+	// LayerCost is the optimal DP cost of a single layer (min over
+	// boundary states).
+	LayerCost float64
+	// TotalCost is the optimal DP cost of all stacked layers.
+	TotalCost float64
+	// Layers is the stacked layer count.
+	Layers int
+	// SpaceSizes records |P| per node for reporting.
+	SpaceSizes []int
+}
+
+func (o *Optimizer) workers() int {
+	if o.Opts.Parallelism > 0 {
+		return o.Opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRows runs f(i) for i in [0, n) across the worker pool.
+func (o *Optimizer) parallelRows(n int, f func(i int)) {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				f(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// evalNode enumerates and evaluates the candidate space of node i.
+func (o *Optimizer) evalNode(op *graph.Op) *nodeCands {
+	seqs := Candidates(op, o.Cost.Cluster.Bits(), o.Opts)
+	nc := &nodeCands{
+		seqs:  seqs,
+		intra: make([]cost.Intra, len(seqs)),
+		total: make([]float64, len(seqs)),
+		out:   make([]*cost.Iface, len(seqs)),
+		in:    make([]*cost.Iface, len(seqs)),
+	}
+	o.parallelRows(len(seqs), func(i int) {
+		nc.intra[i] = o.Cost.IntraCost(op, seqs[i])
+		nc.total[i] = nc.intra[i].Total(o.Cost.Alpha)
+		nc.out[i] = o.Cost.OutputIface(op, seqs[i])
+		nc.in[i] = o.Cost.InputIface(op, seqs[i])
+	})
+	return nc
+}
+
+// edgeKey identifies structurally identical edges so their (P1×P2) cost
+// matrices are computed once (the two QKV→QKᵀ edges, the two residual
+// hand-offs, ...). Two edges share a matrix when both endpoint operators
+// have identical axis structure (sizes, splittability, prime roles), the
+// tensors and axis map coincide, and the candidate spaces therefore
+// enumerate identically.
+func edgeKey(g *graph.Graph, e *graph.Edge) string {
+	src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+	opSig := func(op *graph.Op) string {
+		s := fmt.Sprintf("P%d,%d,%d|", op.PrimeM, op.PrimeN, op.PrimeK)
+		for _, a := range op.Axes {
+			s += fmt.Sprintf("%d:%v;", a.Size, a.Splittable)
+		}
+		return s
+	}
+	return fmt.Sprintf("%s>%s:%v:%v:%v", opSig(src), opSig(dst),
+		e.AxisMap, dst.Tensors[e.DstTensor].Axes, src.Tensors[src.OutputTensor].Axes)
+}
+
+// table is an optimal-substructure matrix C_{a,b}(p_a, p_b) with the
+// back-pointers needed to reconstruct the witness assignment.
+type table struct {
+	a, b int
+	cost [][]float64
+
+	// Chain segments: args[j-a-1][ia][ij] is the best index of p_{j-1}
+	// in the Bellman step that introduced node j (a+1 ≤ j ≤ b).
+	chainArgs [][][]int32
+
+	// Merge nodes: argmid[ia][ib] is the best middle index.
+	left, right *table
+	argmid      [][]int32
+}
+
+// segmentDP runs the Bellman iteration (Eqs. 11–12) over nodes a..b.
+// Extended edges inside the segment must originate at a (checked by
+// graph.CheckSegmentAssumptions).
+func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int) *table {
+	t := &table{a: a, b: b}
+	na := len(cands[a].seqs)
+
+	sumEdges := func(j int, from int) *edgeMat {
+		var ms []*edgeMat
+		for _, e := range g.InEdges(j) {
+			if e.Src == from {
+				ms = append(ms, edgeMats[e])
+			}
+		}
+		if len(ms) == 0 {
+			return nil
+		}
+		return sumEdgeMats(ms)
+	}
+
+	// C_{a,a+1}: no min needed — the only predecessor state is p_a itself.
+	nb := len(cands[a+1].seqs)
+	cur := make([][]float64, na)
+	args0 := make([][]int32, na)
+	adj := sumEdges(a+1, a)
+	o.parallelRows(na, func(ia int) {
+		row := make([]float64, nb)
+		arow := make([]int32, nb)
+		base := cands[a].total[ia]
+		for ib := 0; ib < nb; ib++ {
+			c := base + cands[a+1].total[ib]
+			if adj != nil {
+				c += adj.at(int32(ia), int32(ib))
+			}
+			row[ib] = c
+			arow[ib] = int32(ia)
+		}
+		cur[ia] = row
+		args0[ia] = arow
+	})
+	t.chainArgs = append(t.chainArgs, args0)
+
+	// Bellman steps j = a+2 .. b. The min over p_{j-1} runs over edge-row
+	// GROUPS: candidates with identical edge interfaces share matrix rows,
+	// so we first fold C over each group, then scan groups per column.
+	for j := a + 2; j <= b; j++ {
+		nj := len(cands[j].seqs)
+		nprev := len(cands[j-1].seqs)
+		em := sumEdges(j, j-1)
+		var eExt *edgeMat
+		if j != a+1 {
+			eExt = sumEdges(j, a)
+		}
+
+		// Transposed group-value matrix for sequential access.
+		var valsT [][]float64
+		if em != nil {
+			uR := em.numRowGroups()
+			uC := len(em.vals[0])
+			valsT = make([][]float64, uC)
+			for c := 0; c < uC; c++ {
+				col := make([]float64, uR)
+				for r := 0; r < uR; r++ {
+					col[r] = em.vals[r][c]
+				}
+				valsT[c] = col
+			}
+		}
+
+		next := make([][]float64, na)
+		args := make([][]int32, na)
+		o.parallelRows(na, func(ia int) {
+			row := make([]float64, nj)
+			arow := make([]int32, nj)
+			prevRow := cur[ia]
+
+			if em == nil {
+				// No edge: one global min serves every p_j.
+				best := math.Inf(1)
+				bestK := int32(-1)
+				for k := 0; k < nprev; k++ {
+					if prevRow[k] < best {
+						best = prevRow[k]
+						bestK = int32(k)
+					}
+				}
+				for ij := 0; ij < nj; ij++ {
+					c := best + cands[j].total[ij]
+					if eExt != nil {
+						c += eExt.at(int32(ia), int32(ij))
+					}
+					row[ij] = c
+					arow[ij] = bestK
+				}
+				next[ia] = row
+				args[ia] = arow
+				return
+			}
+
+			uR := em.numRowGroups()
+			m := make([]float64, uR)
+			argm := make([]int32, uR)
+			for u := range m {
+				m[u] = math.Inf(1)
+				argm[u] = -1
+			}
+			for k := 0; k < nprev; k++ {
+				u := em.rows[k]
+				if prevRow[k] < m[u] {
+					m[u] = prevRow[k]
+					argm[u] = int32(k)
+				}
+			}
+			uC := len(em.vals[0])
+			bestVal := make([]float64, uC)
+			bestK := make([]int32, uC)
+			for c := 0; c < uC; c++ {
+				col := valsT[c]
+				best := math.Inf(1)
+				bu := -1
+				for u := 0; u < uR; u++ {
+					if v := m[u] + col[u]; v < best {
+						best = v
+						bu = u
+					}
+				}
+				bestVal[c] = best
+				bestK[c] = argm[bu]
+			}
+			for ij := 0; ij < nj; ij++ {
+				cg := em.cols[ij]
+				c := bestVal[cg] + cands[j].total[ij]
+				if eExt != nil {
+					c += eExt.at(int32(ia), int32(ij))
+				}
+				row[ij] = c
+				arow[ij] = bestK[cg]
+			}
+			next[ia] = row
+			args[ia] = arow
+		})
+		cur = next
+		t.chainArgs = append(t.chainArgs, args)
+	}
+	t.cost = cur
+	return t
+}
+
+// merge combines adjacent tables per Eqs. 13–14:
+//
+//	out(pa, pb) = min_pm { L(pa,pm) + R(pm,pb) − n_m(pm) } + cross(pa,pb)
+//
+// where cross sums the edge matrices of extended edges a→b (e.g. e(0,7)).
+func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat) *table {
+	na := len(left.cost)
+	nm := len(midTotal)
+	nb := len(right.cost[0])
+	t := &table{a: left.a, b: right.b, left: left, right: right}
+	t.cost = make([][]float64, na)
+	t.argmid = make([][]int32, na)
+	// Fold the shared-node subtraction into a transposed right matrix for
+	// sequential access in the inner loop.
+	rightT := make([][]float64, nb)
+	for ib := 0; ib < nb; ib++ {
+		col := make([]float64, nm)
+		for im := 0; im < nm; im++ {
+			col[im] = right.cost[im][ib] - midTotal[im]
+		}
+		rightT[ib] = col
+	}
+	o.parallelRows(na, func(ia int) {
+		row := make([]float64, nb)
+		arow := make([]int32, nb)
+		lrow := left.cost[ia]
+		for ib := 0; ib < nb; ib++ {
+			best := math.Inf(1)
+			bestM := int32(-1)
+			col := rightT[ib]
+			for im := 0; im < nm; im++ {
+				c := lrow[im] + col[im]
+				if c < best {
+					best = c
+					bestM = int32(im)
+				}
+			}
+			if cross != nil {
+				best += cross.at(int32(ia), int32(ib))
+			}
+			row[ib] = best
+			arow[ib] = bestM
+		}
+		t.cost[ia] = row
+		t.argmid[ia] = arow
+	})
+	return t
+}
+
+// Optimize searches the layer graph g and stacks `layers` identical layers,
+// returning the optimal strategy for a representative layer and the total
+// stacked cost.
+func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("core: layers must be ≥ 1, got %d", layers)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.CheckSegmentAssumptions(); err != nil {
+		return nil, err
+	}
+
+	// Evaluate all candidate spaces.
+	cands := make([]*nodeCands, len(g.Nodes))
+	for i, op := range g.Nodes {
+		cands[i] = o.evalNode(op)
+		if len(cands[i].seqs) == 0 {
+			return nil, fmt.Errorf("core: node %d (%s) has an empty partition space", i, op.Name)
+		}
+	}
+	if o.Opts.Beam > 0 {
+		o.pruneBeam(g, cands)
+	}
+
+	// Edge cost matrices (grouped; deduplicated by structural key).
+	edgeMats := make(map[*graph.Edge]*edgeMat)
+	byKey := make(map[string]*edgeMat)
+	for _, e := range g.Edges {
+		k := edgeKey(g, e)
+		if m, ok := byKey[k]; ok {
+			edgeMats[e] = m
+			continue
+		}
+		m := o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
+		byKey[k] = m
+		edgeMats[e] = m
+	}
+
+	// Per-segment DP, then left-to-right merging with cross edges.
+	cuts := g.SegmentCuts()
+	if len(cuts) < 2 {
+		return nil, fmt.Errorf("core: graph needs at least two nodes")
+	}
+	var acc *table
+	for s := 0; s+1 < len(cuts); s++ {
+		seg := o.segmentDP(g, cands, edgeMats, cuts[s], cuts[s+1])
+		if acc == nil {
+			acc = seg
+			continue
+		}
+		cross := o.crossEdges(g, edgeMats, acc.a, seg.b)
+		acc = o.merge(acc, seg, cands[seg.a].total, cross)
+	}
+
+	layerTable := acc
+	layerCost := matrixMin(layerTable.cost)
+
+	// Stack layers: binary decomposition with Eq. 14 merging. The layer
+	// boundary appears as the zero-cost anchor in the next layer, so no
+	// subtraction is needed — but the boundary STATE must be shared, which
+	// requires the anchor's candidate space to equal the tail node's.
+	if layers > 1 {
+		if len(cands[0].seqs) != len(cands[len(g.Nodes)-1].seqs) {
+			return nil, fmt.Errorf("core: layer head and tail spaces differ (%d vs %d); cannot stack",
+				len(cands[0].seqs), len(cands[len(g.Nodes)-1].seqs))
+		}
+	}
+	zeroMid := make([]float64, len(cands[0].seqs)) // anchor costs nothing
+	full := layerTable
+	remaining := layers - 1
+	doubled := layerTable
+	for remaining > 0 {
+		if remaining&1 == 1 {
+			full = o.merge(full, doubled, zeroMid, nil)
+		}
+		remaining >>= 1
+		if remaining > 0 {
+			doubled = o.merge(doubled, doubled, zeroMid, nil)
+		}
+	}
+	totalCost := matrixMin(full.cost)
+
+	// Reconstruct the representative (leftmost) layer's assignment.
+	ia, ib := matrixArgMin(full.cost)
+	assign := make([]int32, len(g.Nodes))
+	for i := range assign {
+		assign[i] = -1
+	}
+	reconstruct(full, ia, ib, assign)
+	strat := &Strategy{
+		Seqs:       make([]partition.Seq, len(g.Nodes)),
+		Intra:      make([]cost.Intra, len(g.Nodes)),
+		LayerCost:  layerCost,
+		TotalCost:  totalCost,
+		Layers:     layers,
+		SpaceSizes: make([]int, len(g.Nodes)),
+	}
+	for i := range g.Nodes {
+		if assign[i] < 0 {
+			return nil, fmt.Errorf("core: reconstruction left node %d unassigned", i)
+		}
+		strat.Seqs[i] = cands[i].seqs[assign[i]]
+		strat.Intra[i] = cands[i].intra[assign[i]]
+		strat.SpaceSizes[i] = len(cands[i].seqs)
+	}
+	return strat, nil
+}
+
+// pruneBeam keeps each node's Beam cheapest candidates by intra cost.
+// Zero-cost nodes (anchors) adopt the TAIL node's kept set so the layer
+// head/tail candidate spaces stay index-identical for stacking.
+func (o *Optimizer) pruneBeam(g *graph.Graph, cands []*nodeCands) {
+	beam := o.Opts.Beam
+	tail := len(g.Nodes) - 1
+	var tailKept []int32
+	// Prune the tail first so anchors can mirror it.
+	order := make([]int, 0, len(g.Nodes))
+	order = append(order, tail)
+	for i := 0; i < tail; i++ {
+		order = append(order, i)
+	}
+	for _, i := range order {
+		nc := cands[i]
+		if len(nc.seqs) <= beam {
+			if i == tail {
+				tailKept = identity(len(nc.seqs))
+			}
+			continue
+		}
+		var keep []int32
+		if i != tail && g.Nodes[i].FlopFactor == 0 && tailKept != nil &&
+			sameSpaceShape(g.Nodes[i], g.Nodes[tail]) {
+			keep = tailKept // anchors mirror the tail for stacking
+		}
+		if keep == nil {
+			keep = cheapestK(nc.total, beam)
+		}
+		cands[i] = selectCands(nc, keep)
+		if i == tail {
+			tailKept = keep
+		}
+	}
+}
+
+func identity(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// cheapestK returns the indices of the k smallest totals, in ascending
+// index order (deterministic).
+func cheapestK(total []float64, k int) []int32 {
+	idx := identity(len(total))
+	sort.SliceStable(idx, func(a, b int) bool { return total[idx[a]] < total[idx[b]] })
+	idx = idx[:k]
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
+func selectCands(nc *nodeCands, keep []int32) *nodeCands {
+	out := &nodeCands{}
+	for _, i := range keep {
+		out.seqs = append(out.seqs, nc.seqs[i])
+		out.intra = append(out.intra, nc.intra[i])
+		out.total = append(out.total, nc.total[i])
+		out.out = append(out.out, nc.out[i])
+		out.in = append(out.in, nc.in[i])
+	}
+	return out
+}
+
+// sameSpaceShape reports whether two ops enumerate identical candidate
+// spaces (same axes and prime roles).
+func sameSpaceShape(a, b *graph.Op) bool {
+	if len(a.Axes) != len(b.Axes) || a.PrimeM != b.PrimeM || a.PrimeN != b.PrimeN || a.PrimeK != b.PrimeK {
+		return false
+	}
+	for i := range a.Axes {
+		if a.Axes[i].Size != b.Axes[i].Size || a.Axes[i].Splittable != b.Axes[i].Splittable {
+			return false
+		}
+	}
+	return true
+}
+
+// crossEdges sums edge matrices of extended edges connecting exactly (a, b).
+func (o *Optimizer) crossEdges(g *graph.Graph, edgeMats map[*graph.Edge]*edgeMat, a, b int) *edgeMat {
+	var ms []*edgeMat
+	for _, e := range g.Edges {
+		if e.Src == a && e.Dst == b && e.IsExtended() {
+			ms = append(ms, edgeMats[e])
+		}
+	}
+	if len(ms) == 0 {
+		return nil
+	}
+	return sumEdgeMats(ms)
+}
+
+// reconstruct walks back-pointers, recording candidate indices for the nodes
+// of the LEFTMOST layer instance into assign (indexed by node id; later
+// layer instances only contribute their boundary choices).
+func reconstruct(t *table, ia, ib int32, assign []int32) {
+	if t.argmid != nil {
+		im := t.argmid[ia][ib]
+		reconstruct(t.left, ia, im, assign)
+		// Right subtree: only needed while it still covers leftmost-layer
+		// nodes (merge of segments within the layer). Stacked-layer merges
+		// reuse the same underlying node range; recursing would overwrite
+		// the leftmost layer's choices, so only descend when unassigned.
+		if assign[t.right.a] == -1 || !rangeAssigned(assign, t.right.a, t.right.b) {
+			reconstruct(t.right, im, ib, assign)
+		}
+		return
+	}
+	// Chain segment: walk j = b .. a+1.
+	cur := ib
+	for j := t.b; j > t.a; j-- {
+		if assign[j] == -1 {
+			assign[j] = cur
+		}
+		cur = t.chainArgs[j-t.a-1][ia][cur]
+	}
+	if assign[t.a] == -1 {
+		assign[t.a] = ia
+	}
+}
+
+func rangeAssigned(assign []int32, a, b int) bool {
+	for i := a; i <= b; i++ {
+		if assign[i] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+func matrixMin(m [][]float64) float64 {
+	best := math.Inf(1)
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < best {
+				best = m[i][j]
+			}
+		}
+	}
+	return best
+}
+
+func matrixArgMin(m [][]float64) (int32, int32) {
+	best := math.Inf(1)
+	var bi, bj int32
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < best {
+				best = m[i][j]
+				bi, bj = int32(i), int32(j)
+			}
+		}
+	}
+	return bi, bj
+}

@@ -1,0 +1,121 @@
+// Grouped edge-cost matrices: two candidates whose interfaces agree on the
+// axes an edge actually moves produce identical inter-operator costs, so the
+// (|P1| × |P2|) matrix of interC values collapses to a much smaller
+// (uniqueRows × uniqueCols) core plus row/column group maps. The Bellman
+// min-plus step then runs over groups instead of raw candidates, which is
+// what keeps 32-device searches in the seconds range (paper §5.3).
+package core
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// edgeMat is a grouped inter-operator cost matrix.
+type edgeMat struct {
+	// rows[i] / cols[j] map candidate indices to group ids.
+	rows, cols []int32
+	// vals[r][c] is the cost for (row group r, col group c).
+	vals [][]float64
+}
+
+// at returns the cost for candidate pair (i, j).
+func (m *edgeMat) at(i, j int32) float64 { return m.vals[m.rows[i]][m.cols[j]] }
+
+// numRowGroups returns the distinct-row count.
+func (m *edgeMat) numRowGroups() int { return len(m.vals) }
+
+// ifaceGroups partitions candidates by their interface signature restricted
+// to the relevant axes, returning per-candidate group ids, group count and
+// one representative candidate per group.
+func ifaceGroups(ifaces []*cost.Iface, axes []int) (ids []int32, reps []int32) {
+	var h maphash.Hash
+	seed := maphash.MakeSeed()
+	byKey := make(map[uint64]int32)
+	ids = make([]int32, len(ifaces))
+	var buf [8]byte
+	for i, ifc := range ifaces {
+		h.SetSeed(seed)
+		devs := len(ifc.Fwd) / ifc.NumAxes
+		for _, ax := range axes {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(ifc.Width[ax]))
+			h.Write(buf[:])
+			for dev := 0; dev < devs; dev++ {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(ifc.Fwd[dev*ifc.NumAxes+ax]))
+				h.Write(buf[:])
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(ifc.Bwd[dev*ifc.NumAxes+ax]))
+				h.Write(buf[:])
+			}
+		}
+		key := h.Sum64()
+		id, ok := byKey[key]
+		if !ok {
+			id = int32(len(reps))
+			byKey[key] = id
+			reps = append(reps, int32(i))
+		}
+		ids[i] = id
+	}
+	return ids, reps
+}
+
+// buildEdgeMat computes the grouped cost matrix for edge e.
+func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCands) *edgeMat {
+	plan := o.Cost.PlanEdge(g, e)
+	rows, rowReps := ifaceGroups(src.out, plan.SrcRelevantAxes())
+	cols, colReps := ifaceGroups(dst.in, plan.DstRelevantAxes())
+	m := &edgeMat{rows: rows, cols: cols, vals: make([][]float64, len(rowReps))}
+	o.parallelRows(len(rowReps), func(r int) {
+		row := make([]float64, len(colReps))
+		srcIface := src.out[rowReps[r]]
+		for c, cj := range colReps {
+			row[c] = o.Cost.RedistributeDetail(plan.Measure(srcIface, dst.in[cj]))
+		}
+		m.vals[r] = row
+	})
+	return m
+}
+
+// sumEdgeMats combines several grouped matrices over the same candidate
+// pair into one (group refinement by pairing ids).
+func sumEdgeMats(ms []*edgeMat) *edgeMat {
+	if len(ms) == 1 {
+		return ms[0]
+	}
+	type pairKey struct{ a, b int32 }
+	refine := func(x, y []int32) ([]int32, [][2]int32) {
+		byKey := map[pairKey]int32{}
+		ids := make([]int32, len(x))
+		var reps [][2]int32
+		for i := range x {
+			k := pairKey{x[i], y[i]}
+			id, ok := byKey[k]
+			if !ok {
+				id = int32(len(reps))
+				byKey[k] = id
+				reps = append(reps, [2]int32{x[i], y[i]})
+			}
+			ids[i] = id
+		}
+		return ids, reps
+	}
+	acc := ms[0]
+	for _, m := range ms[1:] {
+		rows, rowReps := refine(acc.rows, m.rows)
+		cols, colReps := refine(acc.cols, m.cols)
+		vals := make([][]float64, len(rowReps))
+		for r := range vals {
+			row := make([]float64, len(colReps))
+			for c := range row {
+				row[c] = acc.vals[rowReps[r][0]][colReps[c][0]] + m.vals[rowReps[r][1]][colReps[c][1]]
+			}
+			vals[r] = row
+		}
+		acc = &edgeMat{rows: rows, cols: cols, vals: vals}
+	}
+	return acc
+}

@@ -1,0 +1,390 @@
+// Package device models the parallel machine PrimePar partitions over:
+// 2^n homogeneous devices, each identified by a bit-vector Device ID
+// D = (d_1, ..., d_n) (paper §3.1), organised into nodes with fast
+// intra-node links and slower inter-node links (the paper's testbed is
+// 8 nodes × 4 V100s: 300 GB/s NVLink inside a node, 100 GB/s InfiniBand
+// across nodes).
+//
+// The package also implements the paper's group-indicator analysis (§4.1,
+// Fig. 5): a group indicator is a sub-sequence of device-ID bit positions;
+// it partitions the machine into disjoint device groups within which
+// collective (all-reduce) or ring communication takes place. Latency models
+// for those communications live here too.
+package device
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/collective"
+)
+
+// Profile holds the hardware coefficients of the latency model. Times are
+// seconds, bandwidths bytes/second, sizes bytes. The default V100Profile
+// mirrors the paper's evaluation cluster.
+type Profile struct {
+	Name string
+
+	// FLOPs is the effective sustained device throughput in FLOP/s.
+	FLOPs float64
+	// MemBW is the device memory (HBM) bandwidth in bytes/s.
+	MemBW float64
+
+	// IntraBW and InterBW are per-link bandwidths inside a node and
+	// across nodes.
+	IntraBW float64
+	InterBW float64
+	// IntraLatency and InterLatency are fixed per-message latencies.
+	IntraLatency float64
+	InterLatency float64
+
+	// KernelOverhead is the fixed launch cost added to every computation
+	// step (kernel launch + framework dispatch).
+	KernelOverhead float64
+
+	// ElementBytes is the width of a tensor element on the wire and in
+	// memory (2 for fp16 training).
+	ElementBytes float64
+
+	// MemoryCapacity is per-device memory in bytes (informational; the
+	// simulator reports occupancy but does not enforce capacity).
+	MemoryCapacity float64
+
+	// Collective selects the all-reduce algorithm (collective.Ring by
+	// default — the zero value — matching NCCL's large-message behaviour;
+	// collective.Auto enables the per-size algorithm switch).
+	Collective collective.Algorithm
+
+	// Topology selects the interconnect shape. The default Switch models
+	// NVLink islands joined by a node fabric (the paper's testbed);
+	// Torus2D models TPU-style per-chip neighbor links, where every ring
+	// communication rides a dedicated link (the paper's §7 discussion).
+	Topology Topology
+	// TorusBW and TorusLatency describe one torus link (Torus2D only).
+	TorusBW      float64
+	TorusLatency float64
+}
+
+// Topology enumerates interconnect shapes.
+type Topology int
+
+const (
+	// Switch is the NVLink-within-node / fabric-across-nodes testbed.
+	Switch Topology = iota
+	// Torus2D gives every device dedicated neighbor links (TPU-style
+	// twistable tori, paper §7).
+	Torus2D
+)
+
+func (t Topology) String() string {
+	if t == Torus2D {
+		return "torus-2d"
+	}
+	return "switch"
+}
+
+// V100Profile returns a profile modeled after the paper's cluster:
+// V100-SXM2 32 GB GPUs, 300 GB/s NVLink intra-node, InfiniBand across
+// nodes, fp16 training. The paper quotes "100 GB/s InfiniBand" per node;
+// we provision InterBW = 25 GB/s as the effective large-message bandwidth a
+// single cross-node stream attains (PCIe staging and protocol overhead),
+// with linkFor dividing it further among concurrent cross-node flows
+// sharing the NIC. This keeps inter-node collectives roughly 10–50× more
+// expensive than NVLink, matching the communication-bound shapes of the
+// paper's Figs. 2a and 9.
+func V100Profile() Profile {
+	return Profile{
+		Name:           "v100-cluster",
+		FLOPs:          50e12, // effective mixed-precision throughput
+		MemBW:          900e9,
+		IntraBW:        300e9,
+		InterBW:        25e9,
+		IntraLatency:   5e-6,
+		InterLatency:   15e-6,
+		KernelOverhead: 8e-6,
+		ElementBytes:   2,
+		MemoryCapacity: 32e9,
+	}
+}
+
+// Cluster describes a machine of NumDevices = 2^n homogeneous devices packed
+// into nodes of DevicesPerNode each. Device IDs are integers 0..NumDevices-1
+// whose binary digits are the paper's (d_1, ..., d_n) with d_1 the most
+// significant bit; consequently node(dev) = dev / DevicesPerNode, matching
+// the paper's Fig. 9 numbering (GPUs 0–3 form one node on an 8-GPU machine).
+type Cluster struct {
+	NumDevices     int
+	DevicesPerNode int
+	Profile        Profile
+}
+
+// NewCluster returns a cluster of numDevices devices grouped into nodes of
+// devicesPerNode. Both must be powers of two and devicesPerNode must divide
+// numDevices (a machine smaller than one node is a single partial node).
+func NewCluster(numDevices, devicesPerNode int, p Profile) (*Cluster, error) {
+	if numDevices <= 0 || numDevices&(numDevices-1) != 0 {
+		return nil, fmt.Errorf("device: NumDevices %d is not a positive power of two", numDevices)
+	}
+	if devicesPerNode <= 0 || devicesPerNode&(devicesPerNode-1) != 0 {
+		return nil, fmt.Errorf("device: DevicesPerNode %d is not a positive power of two", devicesPerNode)
+	}
+	if devicesPerNode > numDevices {
+		devicesPerNode = numDevices
+	}
+	return &Cluster{NumDevices: numDevices, DevicesPerNode: devicesPerNode, Profile: p}, nil
+}
+
+// MustCluster is NewCluster that panics on error, for tests and examples.
+func MustCluster(numDevices, devicesPerNode int, p Profile) *Cluster {
+	c, err := NewCluster(numDevices, devicesPerNode, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Bits returns n = log2(NumDevices), the number of device-ID bits.
+func (c *Cluster) Bits() int { return bits.TrailingZeros(uint(c.NumDevices)) }
+
+// NodeBits returns the number of leading ID bits that select the node.
+func (c *Cluster) NodeBits() int {
+	return c.Bits() - bits.TrailingZeros(uint(c.DevicesPerNode))
+}
+
+// Node returns the node index hosting device dev.
+func (c *Cluster) Node(dev int) int { return dev / c.DevicesPerNode }
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return (c.NumDevices + c.DevicesPerNode - 1) / c.DevicesPerNode }
+
+// Bit returns d_pos of the device ID, with pos 1-based and d_1 the most
+// significant bit (paper convention).
+func (c *Cluster) Bit(dev, pos int) int {
+	n := c.Bits()
+	if pos < 1 || pos > n {
+		panic(fmt.Sprintf("device: bit position %d out of range [1,%d]", pos, n))
+	}
+	return (dev >> (n - pos)) & 1
+}
+
+// Indicator is a group indicator (paper §4.1): an ordered set of device-ID
+// bit positions (1-based, d_1 = MSB). Devices agreeing on all bits NOT in
+// the indicator form one group; the indicator bits vary within the group.
+type Indicator []int
+
+// Size returns the number of devices in each group: 2^len(I).
+func (ind Indicator) Size() int { return 1 << len(ind) }
+
+// String renders the indicator like "(d1,d3)".
+func (ind Indicator) String() string {
+	s := "("
+	for i, b := range ind {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("d%d", b)
+	}
+	return s + ")"
+}
+
+// Groups enumerates the device groups induced by indicator ind: every
+// assignment of the non-indicator bits yields one group, listed with members
+// in increasing device order. The union of all groups is the full machine.
+func (c *Cluster) Groups(ind Indicator) [][]int {
+	n := c.Bits()
+	inInd := make([]bool, n+1)
+	for _, p := range ind {
+		if p < 1 || p > n {
+			panic(fmt.Sprintf("device: indicator bit d%d out of range for %d devices", p, c.NumDevices))
+		}
+		if inInd[p] {
+			panic(fmt.Sprintf("device: duplicate indicator bit d%d", p))
+		}
+		inInd[p] = true
+	}
+	var fixed []int // bit positions not in the indicator
+	for p := 1; p <= n; p++ {
+		if !inInd[p] {
+			fixed = append(fixed, p)
+		}
+	}
+	numGroups := 1 << len(fixed)
+	groupSize := ind.Size()
+	groups := make([][]int, 0, numGroups)
+	for g := 0; g < numGroups; g++ {
+		members := make([]int, 0, groupSize)
+		for m := 0; m < groupSize; m++ {
+			dev := 0
+			for i, p := range fixed {
+				if (g>>(len(fixed)-1-i))&1 == 1 {
+					dev |= 1 << (n - p)
+				}
+			}
+			for i, p := range ind {
+				if (m>>(len(ind)-1-i))&1 == 1 {
+					dev |= 1 << (n - p)
+				}
+			}
+			members = append(members, dev)
+		}
+		groups = append(groups, members)
+	}
+	return groups
+}
+
+// SpansNodes reports whether groups induced by ind contain devices from more
+// than one node. By construction every group of a given indicator has the
+// same span (groups are bit-translations of each other), so this is a
+// property of the indicator alone: it spans nodes iff any indicator bit lies
+// in the node field (positions 1..NodeBits).
+func (c *Cluster) SpansNodes(ind Indicator) bool {
+	nb := c.NodeBits()
+	for _, p := range ind {
+		if p <= nb {
+			return true
+		}
+	}
+	return false
+}
+
+// membersPerNode returns how many devices of one group share a node
+// (2^(# indicator bits inside the intra-node field)).
+func (c *Cluster) membersPerNode(ind Indicator) int {
+	nb := c.NodeBits()
+	m := 1
+	for _, p := range ind {
+		if p > nb {
+			m *= 2
+		}
+	}
+	return m
+}
+
+// linkFor returns the bandwidth and latency of the bottleneck link used by
+// groups of indicator ind, accounting for NIC sharing: when a group spans
+// nodes, all groups with members on a node funnel their cross-node traffic
+// through that node's single NIC, dividing the inter-node bandwidth by the
+// number of concurrent cross-node flows.
+func (c *Cluster) linkFor(ind Indicator) (bw, lat float64) {
+	p := c.Profile
+	if p.Topology == Torus2D {
+		// Every device owns its neighbor links; groups never contend.
+		return p.TorusBW, p.TorusLatency
+	}
+	if !c.SpansNodes(ind) {
+		return p.IntraBW, p.IntraLatency
+	}
+	flows := c.DevicesPerNode / c.membersPerNode(ind)
+	if flows < 1 {
+		flows = 1
+	}
+	return p.InterBW / float64(flows), p.InterLatency
+}
+
+// A100Profile models a newer-generation GPU node (A100-SXM-80GB-like):
+// ~6× the compute of the V100 profile but only ~2× the interconnect,
+// making training MORE communication-bound — the hardware trend the paper's
+// introduction argues will widen tensor-partitioning's impact.
+func A100Profile() Profile {
+	return Profile{
+		Name:           "a100-cluster",
+		FLOPs:          300e12,
+		MemBW:          2000e9,
+		IntraBW:        600e9,
+		InterBW:        50e9,
+		IntraLatency:   4e-6,
+		InterLatency:   12e-6,
+		KernelOverhead: 6e-6,
+		ElementBytes:   2,
+		MemoryCapacity: 80e9,
+	}
+}
+
+// TPUv4Profile models a TPU-v4-style pod slice: strong per-chip compute and
+// a 2-D torus of dedicated inter-chip links where PrimePar's ring
+// communications map one-to-one onto hardware links (paper §7).
+func TPUv4Profile() Profile {
+	return Profile{
+		Name:           "tpuv4-torus",
+		FLOPs:          150e12,
+		MemBW:          1200e9,
+		IntraBW:        50e9, // unused under Torus2D but kept sane
+		InterBW:        50e9,
+		IntraLatency:   2e-6,
+		InterLatency:   2e-6,
+		KernelOverhead: 5e-6,
+		ElementBytes:   2,
+		MemoryCapacity: 32e9,
+		Topology:       Torus2D,
+		TorusBW:        50e9,
+		TorusLatency:   2e-6,
+	}
+}
+
+// AllReduceTime models the latency of an all-reduce of `bytes` bytes within
+// each group of indicator ind (all groups run concurrently; the returned
+// value is the slowest, which by symmetry is any of them). The algorithm is
+// Profile.Collective — ring by default:
+//
+//	t = 2(g-1)/g · bytes / bw + 2(g-1) · latency
+//
+// A group of size 1 costs nothing.
+func (c *Cluster) AllReduceTime(ind Indicator, bytes float64) float64 {
+	g := ind.Size()
+	if g <= 1 {
+		return 0
+	}
+	bw, lat := c.linkFor(ind)
+	return collective.AllReduce(c.Profile.Collective, g, bytes, collective.Link{Bandwidth: bw, Latency: lat})
+}
+
+// ReduceScatterTime models a ring reduce-scatter (half of an all-reduce).
+func (c *Cluster) ReduceScatterTime(ind Indicator, bytes float64) float64 {
+	bw, lat := c.linkFor(ind)
+	return collective.ReduceScatter(ind.Size(), bytes, collective.Link{Bandwidth: bw, Latency: lat})
+}
+
+// AllGatherTime models a ring all-gather (the other half).
+func (c *Cluster) AllGatherTime(ind Indicator, bytes float64) float64 {
+	bw, lat := c.linkFor(ind)
+	return collective.AllGather(ind.Size(), bytes, collective.Link{Bandwidth: bw, Latency: lat})
+}
+
+// RingStepTime models one temporal step of P_{2^k×2^k} ring point-to-point
+// communication: every device in a group concurrently sends `bytes` bytes to
+// a ring neighbor. The bottleneck is the slowest link used by the ring.
+func (c *Cluster) RingStepTime(ind Indicator, bytes float64) float64 {
+	if len(ind) == 0 || bytes == 0 {
+		return 0
+	}
+	bw, lat := c.linkFor(ind)
+	return bytes/bw + lat
+}
+
+// P2PTime models a single point-to-point transfer of `bytes` bytes between
+// two specific devices.
+func (c *Cluster) P2PTime(src, dst int, bytes float64) float64 {
+	if src == dst || bytes == 0 {
+		return 0
+	}
+	p := c.Profile
+	if p.Topology == Torus2D {
+		return bytes/p.TorusBW + p.TorusLatency
+	}
+	if c.Node(src) == c.Node(dst) {
+		return bytes/p.IntraBW + p.IntraLatency
+	}
+	return bytes/p.InterBW + p.InterLatency
+}
+
+// ComputeTime models the latency of a computation step as a linear function
+// of floating point operations and memory traffic (paper §4.1):
+//
+//	t = flops/FLOPs + bytes/MemBW + KernelOverhead.
+func (c *Cluster) ComputeTime(flops, bytes float64) float64 {
+	p := c.Profile
+	if flops == 0 && bytes == 0 {
+		return 0
+	}
+	return flops/p.FLOPs + bytes/p.MemBW + p.KernelOverhead
+}

@@ -1,0 +1,304 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cluster8(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(8, 4, V100Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := NewCluster(6, 2, V100Profile()); err == nil {
+		t.Fatal("NewCluster(6) should fail")
+	}
+	if _, err := NewCluster(8, 3, V100Profile()); err == nil {
+		t.Fatal("NewCluster(_, 3) should fail")
+	}
+	if _, err := NewCluster(0, 1, V100Profile()); err == nil {
+		t.Fatal("NewCluster(0) should fail")
+	}
+}
+
+func TestClusterClampsDevicesPerNode(t *testing.T) {
+	c, err := NewCluster(2, 4, V100Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DevicesPerNode != 2 {
+		t.Fatalf("DevicesPerNode = %d, want clamped to 2", c.DevicesPerNode)
+	}
+}
+
+func TestBitsAndNodeMapping(t *testing.T) {
+	c := cluster8(t)
+	if c.Bits() != 3 {
+		t.Fatalf("Bits = %d, want 3", c.Bits())
+	}
+	if c.NodeBits() != 1 {
+		t.Fatalf("NodeBits = %d, want 1", c.NodeBits())
+	}
+	if c.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", c.NumNodes())
+	}
+	// Paper Fig. 9: GPUs 0–3 one node, 4–7 the other.
+	for dev := 0; dev < 4; dev++ {
+		if c.Node(dev) != 0 {
+			t.Fatalf("Node(%d) = %d, want 0", dev, c.Node(dev))
+		}
+	}
+	for dev := 4; dev < 8; dev++ {
+		if c.Node(dev) != 1 {
+			t.Fatalf("Node(%d) = %d, want 1", dev, c.Node(dev))
+		}
+	}
+}
+
+func TestBitConvention(t *testing.T) {
+	c := cluster8(t)
+	// Device 5 = 101b → d1=1, d2=0, d3=1.
+	if c.Bit(5, 1) != 1 || c.Bit(5, 2) != 0 || c.Bit(5, 3) != 1 {
+		t.Fatalf("Bit(5, ·) = (%d,%d,%d), want (1,0,1)",
+			c.Bit(5, 1), c.Bit(5, 2), c.Bit(5, 3))
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	c := cluster8(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(_, 4) on 8 devices did not panic")
+		}
+	}()
+	c.Bit(0, 4)
+}
+
+// Paper Fig. 9: indicator (d1) on 8 devices groups (0,4),(1,5),(2,6),(3,7).
+func TestGroupsIndicatorD1(t *testing.T) {
+	c := cluster8(t)
+	groups := c.Groups(Indicator{1})
+	want := [][]int{{0, 4}, {1, 5}, {2, 6}, {3, 7}}
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(want))
+	}
+	for i, g := range groups {
+		if len(g) != 2 || g[0] != want[i][0] || g[1] != want[i][1] {
+			t.Fatalf("group %d = %v, want %v", i, g, want[i])
+		}
+	}
+}
+
+// Paper Fig. 9: indicator (d2,d3) groups (0,1,2,3) and (4,5,6,7).
+func TestGroupsIndicatorD2D3(t *testing.T) {
+	c := cluster8(t)
+	groups := c.Groups(Indicator{2, 3})
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	for i, g := range groups {
+		for j := range g {
+			if g[j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, g, want[i])
+			}
+		}
+	}
+}
+
+func TestGroupsEmptyIndicatorIsSingletons(t *testing.T) {
+	c := cluster8(t)
+	groups := c.Groups(Indicator{})
+	if len(groups) != 8 {
+		t.Fatalf("got %d groups, want 8 singletons", len(groups))
+	}
+	for i, g := range groups {
+		if len(g) != 1 || g[0] != i {
+			t.Fatalf("group %d = %v, want [%d]", i, g, i)
+		}
+	}
+}
+
+func TestGroupsPanicOnDuplicateBit(t *testing.T) {
+	c := cluster8(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate indicator bit did not panic")
+		}
+	}()
+	c.Groups(Indicator{2, 2})
+}
+
+func TestSpansNodes(t *testing.T) {
+	c := cluster8(t)
+	if !c.SpansNodes(Indicator{1}) {
+		t.Fatal("(d1) must span nodes: d1 is the node bit")
+	}
+	if c.SpansNodes(Indicator{2, 3}) {
+		t.Fatal("(d2,d3) must stay within a node")
+	}
+	if !c.SpansNodes(Indicator{1, 3}) {
+		t.Fatal("(d1,d3) must span nodes")
+	}
+}
+
+// Groups of any indicator partition the device set (Fig. 5: "disjoint groups
+// whose union is the complete set of devices").
+func TestQuickGroupsArePartition(t *testing.T) {
+	f := func(seedBits uint8) bool {
+		c := MustCluster(16, 4, V100Profile())
+		var ind Indicator
+		for p := 1; p <= 4; p++ {
+			if seedBits&(1<<(p-1)) != 0 {
+				ind = append(ind, p)
+			}
+		}
+		seen := make(map[int]int)
+		for _, g := range c.Groups(ind) {
+			if len(g) != ind.Size() {
+				return false
+			}
+			for _, d := range g {
+				seen[d]++
+			}
+		}
+		if len(seen) != 16 {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceTimeProperties(t *testing.T) {
+	c := cluster8(t)
+	// Size-1 group: free.
+	if got := c.AllReduceTime(Indicator{}, 1e6); got != 0 {
+		t.Fatalf("all-reduce in singleton group = %v, want 0", got)
+	}
+	// Intra-node cheaper than cross-node for same size and group count.
+	intra := c.AllReduceTime(Indicator{3}, 1e6)
+	inter := c.AllReduceTime(Indicator{1}, 1e6)
+	if intra <= 0 || inter <= 0 {
+		t.Fatalf("all-reduce times must be positive: intra=%v inter=%v", intra, inter)
+	}
+	if intra >= inter {
+		t.Fatalf("intra-node all-reduce (%v) should be faster than inter-node (%v)", intra, inter)
+	}
+	// Monotone in size.
+	if c.AllReduceTime(Indicator{3}, 2e6) <= intra {
+		t.Fatal("all-reduce time must grow with tensor size")
+	}
+}
+
+// Fig. 5's point: indicator (d1,d3) groups contain slow links, (d2,d3) does
+// not, so (d1,d3) all-reduce is slower.
+func TestFig5GroupingLatencyOrdering(t *testing.T) {
+	c := MustCluster(16, 4, V100Profile()) // 4 nodes of 4, bits d1..d4, node bits d1,d2
+	slow := c.AllReduceTime(Indicator{1, 3}, 1e7)
+	fast := c.AllReduceTime(Indicator{3, 4}, 1e7)
+	if slow <= fast {
+		t.Fatalf("(d1,d3) all-reduce (%v) should be slower than (d3,d4) (%v)", slow, fast)
+	}
+}
+
+func TestReduceScatterIsHalfAllReduceBandwidthTerm(t *testing.T) {
+	c := cluster8(t)
+	ar := c.AllReduceTime(Indicator{2, 3}, 8e6)
+	rs := c.ReduceScatterTime(Indicator{2, 3}, 8e6)
+	if rs <= 0 || rs >= ar {
+		t.Fatalf("reduce-scatter (%v) should be positive and cheaper than all-reduce (%v)", rs, ar)
+	}
+}
+
+func TestRingStepTime(t *testing.T) {
+	c := cluster8(t)
+	if got := c.RingStepTime(Indicator{2, 3}, 0); got != 0 {
+		t.Fatalf("zero-byte ring step = %v, want 0", got)
+	}
+	intra := c.RingStepTime(Indicator{2, 3}, 1e6)
+	inter := c.RingStepTime(Indicator{1, 2}, 1e6)
+	if intra <= 0 || inter <= intra {
+		t.Fatalf("ring step: intra=%v inter=%v, want 0 < intra < inter", intra, inter)
+	}
+}
+
+func TestP2PTime(t *testing.T) {
+	c := cluster8(t)
+	if c.P2PTime(3, 3, 1e6) != 0 {
+		t.Fatal("self-transfer should be free")
+	}
+	intra := c.P2PTime(0, 1, 1e6)
+	inter := c.P2PTime(0, 4, 1e6)
+	if intra <= 0 || inter <= intra {
+		t.Fatalf("p2p: intra=%v inter=%v, want 0 < intra < inter", intra, inter)
+	}
+}
+
+func TestComputeTimeLinear(t *testing.T) {
+	c := cluster8(t)
+	if c.ComputeTime(0, 0) != 0 {
+		t.Fatal("empty compute should be free")
+	}
+	t1 := c.ComputeTime(1e9, 1e6)
+	t2 := c.ComputeTime(2e9, 2e6)
+	// Linear apart from the constant overhead: t2-overhead = 2*(t1-overhead).
+	oh := c.Profile.KernelOverhead
+	if diff := (t2 - oh) - 2*(t1-oh); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("compute time not linear: t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestIndicatorString(t *testing.T) {
+	if s := (Indicator{1, 3}).String(); s != "(d1,d3)" {
+		t.Fatalf("String = %q, want (d1,d3)", s)
+	}
+}
+
+func TestTorusTopology(t *testing.T) {
+	c := MustCluster(16, 4, TPUv4Profile())
+	// On a torus, node spanning is irrelevant: all indicators see the
+	// same dedicated link.
+	a := c.AllReduceTime(Indicator{1, 2}, 1e7) // would span nodes on a switch
+	b := c.AllReduceTime(Indicator{3, 4}, 1e7)
+	if a != b {
+		t.Fatalf("torus all-reduce should be span-independent: %v vs %v", a, b)
+	}
+	ring1 := c.RingStepTime(Indicator{1, 2}, 1e6)
+	ring2 := c.RingStepTime(Indicator{3, 4}, 1e6)
+	if ring1 != ring2 {
+		t.Fatalf("torus ring step should be span-independent: %v vs %v", ring1, ring2)
+	}
+	// Cross-node P2P costs the same as neighbor P2P.
+	if c.P2PTime(0, 15, 1e6) != c.P2PTime(0, 1, 1e6) {
+		t.Fatal("torus p2p should be uniform")
+	}
+	if Torus2D.String() == Switch.String() {
+		t.Fatal("topology names collide")
+	}
+}
+
+func TestSwitchVsTorusRingCost(t *testing.T) {
+	sw := MustCluster(16, 4, V100Profile())
+	tor := MustCluster(16, 4, TPUv4Profile())
+	// A node-spanning ring is cheaper on the torus than on the switch
+	// (dedicated links vs shared NIC), even though the torus link is
+	// nominally slower than NVLink.
+	swRing := sw.RingStepTime(Indicator{1, 2, 3, 4}, 1e7)
+	torRing := tor.RingStepTime(Indicator{1, 2, 3, 4}, 1e7)
+	if torRing >= swRing {
+		t.Fatalf("node-spanning ring: torus %v should beat switch %v", torRing, swRing)
+	}
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// tinySetup keeps experiment tests fast: one small + one large model at
+// small scales.
+func tinySetup() Setup {
+	s := DefaultSetup()
+	s.Models = []model.Config{model.OPT6B7(), model.OPT175B()}
+	s.Scales = []int{4, 8}
+	return s
+}
+
+func TestThroughputSweepShapes(t *testing.T) {
+	s := tinySetup()
+	data, err := RunThroughputSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Runs) != len(s.Models)*len(s.Scales)*3 {
+		t.Fatalf("got %d runs", len(data.Runs))
+	}
+	for _, cfg := range s.Models {
+		for _, scale := range s.Scales {
+			mega := data.Get(cfg.Name, scale, SysMegatron)
+			alpa := data.Get(cfg.Name, scale, SysAlpa)
+			prime := data.Get(cfg.Name, scale, SysPrimePar)
+			if mega == nil || alpa == nil || prime == nil {
+				t.Fatalf("missing cell for %s@%d", cfg.Name, scale)
+			}
+			// The paper's headline shape: PrimePar wins throughput in
+			// all test cases, Alpa ≈ Megatron in between.
+			if prime.Throughput < mega.Throughput {
+				t.Errorf("%s@%d: PrimePar %v below Megatron %v",
+					cfg.Name, scale, prime.Throughput, mega.Throughput)
+			}
+			if prime.Throughput < alpa.Throughput*0.999 {
+				t.Errorf("%s@%d: PrimePar %v below Alpa %v",
+					cfg.Name, scale, prime.Throughput, alpa.Throughput)
+			}
+			// Fig. 8 shape: PrimePar's memory never exceeds Megatron's.
+			if prime.PeakMemoryBytes > mega.PeakMemoryBytes*1.001 {
+				t.Errorf("%s@%d: PrimePar memory %v above Megatron %v",
+					cfg.Name, scale, prime.PeakMemoryBytes, mega.PeakMemoryBytes)
+			}
+		}
+	}
+	// Speedup grows with scale for the large model (paper: "the speedup
+	// increases as the number of GPUs grow").
+	sp4 := data.Speedups(4)["OPT-175B"]
+	sp8 := data.Speedups(8)["OPT-175B"]
+	if sp8 < sp4*0.95 {
+		t.Errorf("OPT-175B speedup shrank with scale: %v → %v", sp4, sp8)
+	}
+	if g := data.GeoMeanSpeedup(8); g < 1.0 {
+		t.Errorf("geo-mean speedup at 8 GPUs = %v < 1", g)
+	}
+	// Table renderings include every model.
+	fig7 := data.Fig7Table()
+	fig8 := data.Fig8Table()
+	for _, cfg := range s.Models {
+		if !strings.Contains(fig7, cfg.Name) || !strings.Contains(fig8, cfg.Name) {
+			t.Errorf("tables missing %s", cfg.Name)
+		}
+	}
+}
+
+func TestFig2a(t *testing.T) {
+	s := DefaultSetup()
+	res, table, err := Fig2a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if r.CollectiveShare <= 0.02 || r.CollectiveShare >= 0.95 {
+			t.Errorf("%s: collective share %.2f implausible", r.Model, r.CollectiveShare)
+		}
+	}
+	if !strings.Contains(table, "BLOOM-176B") {
+		t.Error("table missing BLOOM-176B")
+	}
+}
+
+func TestFig2b(t *testing.T) {
+	s := DefaultSetup()
+	s.Scales = []int{4, 8, 16}
+	res, table, err := Fig2b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// The gap grows with parallelism (paper: "progressively more severe").
+	for i := 1; i < len(res); i++ {
+		if res[i].Ratio < res[i-1].Ratio*0.98 {
+			t.Errorf("memory gap shrank: %v → %v", res[i-1].Ratio, res[i].Ratio)
+		}
+	}
+	for _, r := range res {
+		if r.Ratio < 1 {
+			t.Errorf("Megatron cannot beat the no-replication ideal: %v", r.Ratio)
+		}
+	}
+	if !strings.Contains(table, "Fig. 2b") {
+		t.Error("table missing title")
+	}
+}
+
+func TestFig4AndTable1(t *testing.T) {
+	s := DefaultSetup()
+	res, out, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError > 1e-9 {
+		t.Fatalf("Fig. 4 numerical error %v", res.MaxError)
+	}
+	if res.Steps != 2 {
+		t.Fatalf("P_{2×2} steps = %d", res.Steps)
+	}
+	if !strings.Contains(out, "M0 N0 K0") {
+		t.Errorf("missing DSI cells:\n%s", out)
+	}
+	t1, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(r, c+1)", "(r−1, c+1)", "dW"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	s := DefaultSetup()
+	cells, table, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		// Paper: collective reduced to 19.9%–62.2% of Megatron's; we
+		// accept anything strictly better.
+		if c.CollectiveReduction >= 1 {
+			t.Errorf("batch %d gpus %d: no collective reduction (%.2f)",
+				c.Batch, c.GPUs, c.CollectiveReduction)
+		}
+		// Paper: roughly the same computation latency.
+		ratio := c.PrimeCompute / c.MegatronCompute
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("batch %d gpus %d: compute parity broken (%.2f)", c.Batch, c.GPUs, ratio)
+		}
+		// Ring fully overlapped.
+		if c.PrimeRingExposed > 0.25*c.PrimeRingTotal {
+			t.Errorf("batch %d gpus %d: ring mostly exposed", c.Batch, c.GPUs)
+		}
+	}
+	if !strings.Contains(table, "fc1.𝒫") {
+		t.Errorf("missing strategy rendering:\n%s", table)
+	}
+}
+
+func TestFig10Small(t *testing.T) {
+	s := DefaultSetup()
+	s.Models = []model.Config{model.OPT6B7()}
+	res, table, err := Fig10(s, 8, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Rows) == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res[0].PeakSpeedup < 1.0 {
+		t.Errorf("PrimePar best 3D throughput below Megatron: %v", res[0].PeakSpeedup)
+	}
+	if !strings.Contains(table, "(2,") {
+		t.Errorf("missing configs:\n%s", table)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	s := DefaultSetup()
+	s.Scales = []int{4, 8}
+	rows, table, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 structures × 2 scales
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Time <= 0 {
+			t.Errorf("%s@%d: non-positive time", r.Model, r.Scale)
+		}
+	}
+	if !strings.Contains(table, "Llama2-70B") {
+		t.Error("table missing Llama2")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := DefaultSetup()
+	cfg := model.OPT6B7()
+
+	on, off, table, err := AblationNoOverlap(s, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on < off {
+		t.Errorf("overlap should not hurt: %v vs %v", on, off)
+	}
+	if !strings.Contains(table, "overlap") {
+		t.Error("no-overlap table malformed")
+	}
+
+	pts, _, err := AblationAlphaSweep(s, cfg, 4, []float64{0, 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("alpha sweep returned %d points", len(pts))
+	}
+	// Heavier memory weight cannot increase chosen peak memory.
+	if pts[1].PeakMemoryBytes > pts[0].PeakMemoryBytes*1.001 {
+		t.Errorf("α=1e-9 picked more memory (%v) than α=0 (%v)",
+			pts[1].PeakMemoryBytes, pts[0].PeakMemoryBytes)
+	}
+
+	if _, err := AblationSpatialOnly(Setup{
+		DevicesPerNode: 4, Profile: s.Profile, Alpha: s.Alpha,
+		Models: s.Models, Scales: []int{4, 8},
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl, err := AblationSegmentedVsExhaustive(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tbl, "NO") {
+		t.Errorf("DP diverged from exhaustive:\n%s", tbl)
+	}
+
+	if _, err := AblationTopology(s, cfg, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscussionTorus(t *testing.T) {
+	s := DefaultSetup()
+	out, err := DiscussionTorus(s, model.OPT175B(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "torus-2d") || !strings.Contains(out, "switch") {
+		t.Fatalf("missing topologies:\n%s", out)
+	}
+}
+
+func TestAblationZeRO(t *testing.T) {
+	s := DefaultSetup()
+	out, err := AblationZeRO(s, model.Llama2_70B(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ZeRO-1", "PrimePar", "Megatron-LM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFullModel(t *testing.T) {
+	s := DefaultSetup()
+	res, out, err := FullModel(s, model.OPT6B7(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullModel <= res.BlocksOnly {
+		t.Fatalf("full model (%v) must cost more than blocks only (%v)",
+			res.FullModel, res.BlocksOnly)
+	}
+	if res.HeadShare <= 0 || res.HeadShare > 0.3 {
+		t.Fatalf("embed+head share %.2f implausible", res.HeadShare)
+	}
+	if !strings.Contains(out, "full model") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestWorkloadSweeps(t *testing.T) {
+	s := DefaultSetup()
+	cfg := model.OPT175B()
+	pts, out, err := SweepBatch(s, cfg, 8, []int{4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d batch points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Speedup < 1.0 {
+			t.Errorf("batch %d: PrimePar loses (%.2f)", p.Batch, p.Speedup)
+		}
+	}
+	if !strings.Contains(out, "micro-batch") {
+		t.Error("batch sweep table malformed")
+	}
+	spts, out2, err := SweepSeqLen(s, cfg, 8, []int{1024, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spts) != 2 || !strings.Contains(out2, "sequence length") {
+		t.Fatalf("seqlen sweep malformed:\n%s", out2)
+	}
+}
+
+func TestAblationRecompute(t *testing.T) {
+	s := DefaultSetup()
+	out, err := AblationRecompute(s, model.OPT6B7(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "recompute") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestRealTokenThroughput(t *testing.T) {
+	s := DefaultSetup()
+	out, err := RealTokenThroughput(s, model.OPT6B7(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pad to max", "8 buckets", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHardwareEvolution(t *testing.T) {
+	s := DefaultSetup()
+	out, err := HardwareEvolution(s, model.OPT175B(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a100") || !strings.Contains(out, "v100") {
+		t.Fatalf("missing profiles:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Fig2aResult is one bar of Fig. 2(a): the all-reduce share of Megatron
+// training latency on 16 GPUs.
+type Fig2aResult struct {
+	Model           string
+	CollectiveShare float64
+}
+
+// Fig2a reproduces the motivation measurement: proportion of all-reduce
+// latency when training OPT 6.7B, Llama2 70B and BLOOM 176B on 16 GPUs with
+// Megatron-LM deployed exactly as the paper states — model parallelism
+// within a node, data parallelism across nodes.
+func Fig2a(s Setup) ([]Fig2aResult, string, error) {
+	models := []model.Config{model.OPT6B7(), model.Llama2_70B(), model.BLOOM176B()}
+	var out []Fig2aResult
+	t := report.NewTable("Fig. 2a — All-reduce share of Megatron-LM training latency (16 GPUs)",
+		"model", "all-reduce share", "")
+	for _, cfg := range models {
+		rep, _, err := megatronNodePolicy(s, cfg, 16)
+		if err != nil {
+			return nil, "", err
+		}
+		share := rep.CollectiveShare()
+		out = append(out, Fig2aResult{Model: cfg.Name, CollectiveShare: share})
+		t.AddRow(cfg.Name, fmt.Sprintf("%.1f%%", share*100), report.Bar(share, 30))
+	}
+	return out, t.String(), nil
+}
+
+// megatronNodePolicy runs Megatron with the paper's Fig. 2 deployment:
+// tensor parallelism filling each node, data parallelism across nodes.
+func megatronNodePolicy(s Setup, cfg model.Config, scale int) (*sim.Report, float64, error) {
+	cl := s.cluster(scale)
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	dBits := cl.NodeBits()
+	seqs, err := baseline.Megatron(g, cl.Bits(), dBits)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := sim.New(cl).Run(g, seqs, cfg.Layers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, rep.PeakMemoryBytes, nil
+}
+
+// Fig2bResult is one point of Fig. 2(b): Megatron peak memory per GPU
+// against the no-replication ideal.
+type Fig2bResult struct {
+	Scale         int
+	MegatronBytes float64
+	IdealBytes    float64
+	// Ratio is Megatron / ideal — the replication waste factor.
+	Ratio float64
+}
+
+// Fig2b reproduces the peak-memory-gap measurement: training Llama2 70B
+// with the same batch on 4/8/16/32 GPUs, Megatron vs the ideal scenario
+// with no tensor replication.
+func Fig2b(s Setup) ([]Fig2bResult, string, error) {
+	cfg := model.Llama2_70B()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	var out []Fig2bResult
+	t := report.NewTable("Fig. 2b — Peak memory per GPU, Megatron-LM vs ideal (Llama2-70B)",
+		"gpus", "Megatron", "ideal", "Megatron/ideal")
+	for _, scale := range s.Scales {
+		_, mem, err := megatronNodePolicy(s, cfg, scale)
+		if err != nil {
+			return nil, "", err
+		}
+		ideal := idealBytes(s, g, cfg.Layers, scale)
+		out = append(out, Fig2bResult{
+			Scale:         scale,
+			MegatronBytes: mem,
+			IdealBytes:    ideal,
+			Ratio:         mem / ideal,
+		})
+		t.AddRow(scale, report.Bytes(mem), report.Bytes(ideal), mem/ideal)
+	}
+	return out, t.String(), nil
+}
+
+// idealBytes computes the no-replication per-device memory: the model's
+// total training state (weights with optimizer state, stashed activations)
+// spread perfectly evenly over all devices.
+func idealBytes(s Setup, g *graph.Graph, layers, scale int) float64 {
+	eb := s.Profile.ElementBytes
+	paramMult := sim.New(s.cluster(scale)).ParamBytesPerElement
+	total := 0.0
+	for _, op := range g.Nodes {
+		total += op.WeightElems() * eb * paramMult
+		total += op.StashElems() * eb
+	}
+	return total * float64(layers) / float64(scale)
+}

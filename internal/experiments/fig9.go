@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fig9Cell is one pillar pair of Fig. 9's left part: the MLP-block latency
+// breakdown of Megatron vs PrimePar for one (batch, gpus) configuration.
+type Fig9Cell struct {
+	Batch, GPUs int
+
+	MegatronCompute    float64
+	MegatronCollective float64
+	PrimeCompute       float64
+	PrimeCollective    float64
+	PrimeRingTotal     float64
+	PrimeRingExposed   float64
+
+	// CollectiveReduction = Prime collective / Megatron collective.
+	CollectiveReduction float64
+
+	// Strategies in the paper's Fig. 9 𝒫 notation.
+	MegatronStrategy map[string]string
+	PrimeStrategy    map[string]string
+}
+
+// Fig9 reproduces the latency-breakdown ablation: OPT-175B MLP block with
+// batch sizes 8 and 16 scaled to 8 and 16 GPUs, Megatron-LM vs PrimePar,
+// with the partition sequences and collective-latency reductions.
+func Fig9(s Setup) ([]Fig9Cell, string, error) {
+	var cells []Fig9Cell
+	t := report.NewTable("Fig. 9 — OPT-175B MLP latency breakdown (per iteration)",
+		"batch", "gpus", "system", "compute", "collective", "ring(total)", "ring(exposed)", "collective vs Megatron")
+	var strat strings.Builder
+	for _, batch := range []int{8, 16} {
+		for _, gpus := range []int{8, 16} {
+			cfg := model.OPT175B().WithBatch(batch)
+			g, err := model.BuildMLP(cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			cl := s.cluster(gpus)
+			sm := sim.New(cl)
+			sm.RecordSegments = batch == 8 && gpus == 8
+
+			megaSeqs, err := bestMegatronBySim(cl, g, 1)
+			if err != nil {
+				return nil, "", err
+			}
+			megaRep, err := sm.Run(g, megaSeqs, 1)
+			if err != nil {
+				return nil, "", err
+			}
+
+			m := cost.NewModel(cl)
+			m.Alpha = s.Alpha
+			primeStrat, err := baseline.PrimePar(m, g, 1)
+			if err != nil {
+				return nil, "", err
+			}
+			primeRep, err := sm.Run(g, primeStrat.Seqs, 1)
+			if err != nil {
+				return nil, "", err
+			}
+
+			cell := Fig9Cell{
+				Batch:              batch,
+				GPUs:               gpus,
+				MegatronCompute:    megaRep.Compute,
+				MegatronCollective: megaRep.Collective,
+				PrimeCompute:       primeRep.Compute,
+				PrimeCollective:    primeRep.Collective,
+				PrimeRingTotal:     primeRep.RingTotal,
+				PrimeRingExposed:   primeRep.RingExposed,
+				MegatronStrategy:   strategyMap(g, megaSeqs),
+				PrimeStrategy:      strategyMap(g, primeStrat.Seqs),
+			}
+			if megaRep.Collective > 0 {
+				cell.CollectiveReduction = primeRep.Collective / megaRep.Collective
+			}
+			cells = append(cells, cell)
+
+			t.AddRow(batch, gpus, "Megatron-LM",
+				report.Seconds(megaRep.Compute), report.Seconds(megaRep.Collective),
+				report.Seconds(megaRep.RingTotal), report.Seconds(megaRep.RingExposed), "1.00")
+			t.AddRow(batch, gpus, "PrimePar",
+				report.Seconds(primeRep.Compute), report.Seconds(primeRep.Collective),
+				report.Seconds(primeRep.RingTotal), report.Seconds(primeRep.RingExposed),
+				fmt.Sprintf("%.2f", cell.CollectiveReduction))
+
+			if batch == 8 && gpus == 8 {
+				fmt.Fprintf(&strat, "\nPartition sequences 𝒫 (batch 8, 8 GPUs):\n")
+				for _, name := range []string{"fc1", "relu", "fc2"} {
+					fmt.Fprintf(&strat, "  %-5s Megatron: %-14s PrimePar: %s\n",
+						name+".𝒫", cell.MegatronStrategy[name], cell.PrimeStrategy[name])
+				}
+				fmt.Fprintf(&strat, "\nKernel execution timelines (batch 8, 8 GPUs):\nMegatron-LM:\n%s\nPrimePar:\n%s",
+					trace.ASCII(megaRep.Segments, 100), trace.ASCII(primeRep.Segments, 100))
+			}
+		}
+	}
+	return cells, t.String() + strat.String(), nil
+}
+
+// strategyMap renders each node's sequence in the paper's Fig. 9 notation.
+func strategyMap(g *graph.Graph, seqs []partition.Seq) map[string]string {
+	out := make(map[string]string, len(g.Nodes))
+	for i, op := range g.Nodes {
+		out[op.Name] = seqs[i].Format(op.AxisNames())
+	}
+	return out
+}

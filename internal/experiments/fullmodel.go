@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cost"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// FullModelResult quantifies what the per-layer accounting leaves out: the
+// embedding and LM-head contribution to a full unrolled model.
+type FullModelResult struct {
+	Model string
+	Scale int
+	// BlocksOnly and FullModel are simulated iteration times.
+	BlocksOnly float64
+	FullModel  float64
+	// HeadShare is the fraction of the full-model iteration spent outside
+	// the transformer layers.
+	HeadShare float64
+}
+
+// FullModel simulates the entire unrolled model — embedding, every layer,
+// final norm, vocab-parallel LM head — under the searched per-layer
+// strategy, and contrasts it with the blocks-only accounting the paper (and
+// our other experiments) use. The small HeadShare justifies the per-layer
+// protocol.
+func FullModel(s Setup, cfg model.Config, scale int) (*FullModelResult, string, error) {
+	cl := s.cluster(scale)
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	m := cost.NewModel(cl)
+	m.Alpha = s.Alpha
+	strat, err := baseline.PrimePar(m, g, cfg.Layers)
+	if err != nil {
+		return nil, "", err
+	}
+	sm := sim.New(cl)
+	blocks, err := sm.Run(g, strat.Seqs, cfg.Layers)
+	if err != nil {
+		return nil, "", err
+	}
+
+	st, err := model.BuildStack(cfg, cfg.Layers)
+	if err != nil {
+		return nil, "", err
+	}
+	// Megatron-style vocab parallelism for embedding and head; the final
+	// norm follows the layer norms' strategy.
+	nbits := cl.Bits()
+	embed := vocabParallel(model.EmbV, nbits)
+	head := vocabParallel(model.LinK, nbits)
+	finalNorm := strat.Seqs[model.NodeNorm2]
+	seqs, err := st.StackSeqs(strat.Seqs, embed, finalNorm, head)
+	if err != nil {
+		return nil, "", err
+	}
+	full, err := sm.Run(st.Graph, seqs, 1)
+	if err != nil {
+		return nil, "", err
+	}
+
+	res := &FullModelResult{
+		Model:      cfg.Name,
+		Scale:      scale,
+		BlocksOnly: blocks.IterationTime,
+		FullModel:  full.IterationTime,
+	}
+	if full.IterationTime > 0 {
+		res.HeadShare = 1 - blocks.IterationTime/full.IterationTime
+		if res.HeadShare < 0 {
+			res.HeadShare = 0
+		}
+	}
+	t := report.NewTable(fmt.Sprintf("Full-model accounting (%s, %d GPUs)", cfg.Name, scale),
+		"accounting", "iteration", "tokens/s")
+	tokens := float64(cfg.Batch) * float64(cfg.SeqLen)
+	t.AddRow("transformer blocks only", report.Seconds(blocks.IterationTime), blocks.Throughput(tokens))
+	t.AddRow("full model (embed+head)", report.Seconds(full.IterationTime), full.Throughput(tokens))
+	t.AddRow("embed+head share", fmt.Sprintf("%.1f%%", res.HeadShare*100), "")
+	return res, t.String(), nil
+}
+
+// vocabParallel splits the vocabulary axis across all device bits.
+func vocabParallel(axis, nbits int) partition.Seq {
+	toks := make([]partition.Token, nbits)
+	for i := range toks {
+		toks[i] = partition.Split(axis)
+	}
+	return partition.NewSeq(toks...)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/report"
+)
+
+// Table2Row is one cell of Table 2: the optimization wall time for a model
+// structure at one parallelism size.
+type Table2Row struct {
+	Model string
+	Scale int
+	Time  time.Duration
+}
+
+// Table2 reproduces the optimization-time measurement: run the segmented DP
+// for the OPT, Llama2 and BLOOM structures at parallelism sizes 4–32 and
+// report wall time (the paper runs single-threaded on a Xeon 5218; ours
+// runs on however many cores the host grants).
+func Table2(s Setup) ([]Table2Row, string, error) {
+	structures := []model.Config{model.OPT175B(), model.Llama2_70B(), model.BLOOM176B()}
+	var rows []Table2Row
+	t := report.NewTable("Table 2 — Optimization time (ms)", "model", "4", "8", "16", "32")
+	for _, cfg := range structures {
+		g, err := model.BuildBlock(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		cells := []interface{}{cfg.Name}
+		for _, scale := range s.Scales {
+			o := s.optimizer(s.cluster(scale))
+			start := time.Now()
+			if _, err := o.Optimize(g, cfg.Layers); err != nil {
+				return nil, "", err
+			}
+			el := time.Since(start)
+			rows = append(rows, Table2Row{Model: cfg.Name, Scale: scale, Time: el})
+			cells = append(cells, fmt.Sprintf("%.1f", float64(el.Microseconds())/1000))
+		}
+		for len(cells) < 5 {
+			cells = append(cells, "-")
+		}
+		t.AddRow(cells...)
+	}
+	return rows, t.String(), nil
+}

@@ -1,0 +1,460 @@
+// Package model defines the transformer models of the paper's evaluation
+// (OPT 6.7B/175B, Llama2 7B/70B, BLOOM 7B1/176B) and builds their
+// computation graphs in the 13-node block layout of the paper's Fig. 6:
+//
+//	n0  anchor (previous layer output)
+//	n1  norm1            n7  residual add 1 (n6 + n0)
+//	n2  QKV projection   n8  norm2
+//	n3  Q·Kᵀ             n9  fc1
+//	n4  softmax          n10 activation
+//	n5  attn·V           n11 fc2
+//	n6  output proj      n12 residual add 2 (n11 + n7)
+//
+// with extended edges e(2,5), e(0,7) and e(7,12) — exactly the segment
+// structure ([0,2], [2,7], [7,12]) the paper's segmented DP relies on.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// NormKind selects the normalisation operator.
+type NormKind int
+
+const (
+	LayerNorm NormKind = iota
+	RMSNorm
+)
+
+// Config describes a transformer model and the training workload shape.
+type Config struct {
+	Name   string
+	Layers int
+	Hidden int
+	Heads  int
+	// KVHeads is informational (GQA models); the graph models all
+	// attention as MHA and only adjusts the QKV weight size.
+	KVHeads int
+	FFN     int
+	SeqLen  int
+	Vocab   int
+	Norm    NormKind
+	// GatedFFN packs gate+up projections into fc1 (SwiGLU models).
+	GatedFFN bool
+	// Batch is the per-iteration micro-batch (sequences).
+	Batch int
+}
+
+// Params returns the approximate parameter count of the model.
+func (c Config) Params() float64 {
+	e := c.Hidden / c.Heads
+	qkv := float64(c.Hidden) * float64((c.Heads+2*c.KVHeads)*e)
+	proj := float64(c.Hidden) * float64(c.Hidden)
+	f1 := float64(c.Hidden) * float64(c.FFN)
+	if c.GatedFFN {
+		f1 *= 2
+	}
+	f2 := float64(c.FFN) * float64(c.Hidden)
+	perLayer := qkv + proj + f1 + f2 + 2*float64(c.Hidden)
+	return float64(c.Layers)*perLayer + float64(c.Vocab)*float64(c.Hidden)
+}
+
+// WithBatch returns a copy of c with the micro-batch set.
+func (c Config) WithBatch(b int) Config {
+	c.Batch = b
+	return c
+}
+
+// The six evaluation models of the paper (§6, "Environment and models").
+func OPT6B7() Config {
+	return Config{Name: "OPT-6.7B", Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 32,
+		FFN: 16384, SeqLen: 2048, Vocab: 50272, Norm: LayerNorm, Batch: 8}
+}
+
+func OPT175B() Config {
+	return Config{Name: "OPT-175B", Layers: 96, Hidden: 12288, Heads: 96, KVHeads: 96,
+		FFN: 49152, SeqLen: 2048, Vocab: 50272, Norm: LayerNorm, Batch: 8}
+}
+
+func Llama2_7B() Config {
+	return Config{Name: "Llama2-7B", Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 32,
+		FFN: 11008, SeqLen: 4096, Vocab: 32000, Norm: RMSNorm, GatedFFN: true, Batch: 8}
+}
+
+func Llama2_70B() Config {
+	return Config{Name: "Llama2-70B", Layers: 80, Hidden: 8192, Heads: 64, KVHeads: 8,
+		FFN: 28672, SeqLen: 4096, Vocab: 32000, Norm: RMSNorm, GatedFFN: true, Batch: 8}
+}
+
+func BLOOM7B1() Config {
+	return Config{Name: "BLOOM-7B1", Layers: 30, Hidden: 4096, Heads: 32, KVHeads: 32,
+		FFN: 16384, SeqLen: 2048, Vocab: 250880, Norm: LayerNorm, Batch: 8}
+}
+
+func BLOOM176B() Config {
+	return Config{Name: "BLOOM-176B", Layers: 70, Hidden: 14336, Heads: 112, KVHeads: 112,
+		FFN: 57344, SeqLen: 2048, Vocab: 250880, Norm: LayerNorm, Batch: 8}
+}
+
+// All returns the paper's six evaluation models.
+func All() []Config {
+	return []Config{OPT6B7(), OPT175B(), Llama2_7B(), Llama2_70B(), BLOOM7B1(), BLOOM176B()}
+}
+
+// ByName looks a model up by its paper name.
+func ByName(name string) (Config, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// Linear operator axis indices (paper Eq. 1).
+const (
+	LinB = 0 // batch
+	LinM = 1 // sequence
+	LinN = 2 // input hidden (summed over in Forward)
+	LinK = 3 // output hidden
+)
+
+// NewLinear builds a linear operator I[B,M,N]·W[N,K] = O[B,M,K] with the
+// paper's reduction structure: Forward sums N, Backward sums K, Gradient
+// sums B and M. The input is stashed for the Gradient phase.
+func NewLinear(name string, b, m, n, k int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpLinear,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "M", Size: m, Splittable: true},
+			{Name: "N", Size: n, Splittable: true},
+			{Name: "K", Size: k, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "I", Kind: graph.Input, Axes: []int{LinB, LinM, LinN}},
+			{Name: "W", Kind: graph.Weight, Axes: []int{LinN, LinK}},
+			{Name: "O", Kind: graph.Output, Axes: []int{LinB, LinM, LinK}},
+		},
+		Reductions: map[partition.Phase][]graph.Reduction{
+			partition.Forward:  {{Over: []int{LinN}, Result: 2}},
+			partition.Backward: {{Over: []int{LinK}, Result: 0}},
+			partition.Gradient: {{Over: []int{LinB, LinM}, Result: 1}},
+		},
+		PrimeM:       LinM,
+		PrimeN:       LinN,
+		PrimeK:       LinK,
+		FlopFactor:   2,
+		Stash:        []int{0},
+		OutputTensor: 2,
+	}
+}
+
+// newIdentity is the anchor node: the previous layer's output [B,S,D].
+func newIdentity(name string, b, s, d int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpIdentity,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "S", Size: s, Splittable: true},
+			{Name: "D", Size: d, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "X", Kind: graph.Output, Axes: []int{0, 1, 2}},
+		},
+		Reductions:   map[partition.Phase][]graph.Reduction{},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		FlopFactor:   0,
+		OutputTensor: 0,
+	}
+}
+
+// newNorm builds LayerNorm/RMSNorm over [B,S,D]: statistics are summed over
+// D (all-reduce of a [B,S]-shaped tensor when D is split), and the γ/β
+// gradients are summed over B,S (paper §3.2).
+func newNorm(name string, kind NormKind, b, s, d int) *graph.Op {
+	op := &graph.Op{
+		Name: name,
+		Kind: graph.OpNorm,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "S", Size: s, Splittable: true},
+			{Name: "D", Size: d, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "in", Kind: graph.Input, Axes: []int{0, 1, 2}},
+			{Name: "out", Kind: graph.Output, Axes: []int{0, 1, 2}},
+			{Name: "gamma", Kind: graph.Weight, Axes: []int{2}},
+			{Name: "stats", Kind: graph.Output, Axes: []int{0, 1}},
+		},
+		Reductions: map[partition.Phase][]graph.Reduction{
+			partition.Forward:  {{Over: []int{2}, Result: 3}},
+			partition.Backward: {{Over: []int{2}, Result: 3}},
+			partition.Gradient: {{Over: []int{0, 1}, Result: 2}},
+		},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		FlopFactor:   6,
+		Stash:        []int{0},
+		OutputTensor: 1,
+	}
+	_ = kind // RMSNorm shares the structure; it simply lacks β, which we fold into γ.
+	return op
+}
+
+// newElementwise builds an activation (ReLU/GeLU/SiLU·mul) over [B,S,F].
+func newElementwise(name string, b, s, f int, flopFactor float64) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpElementwise,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "S", Size: s, Splittable: true},
+			{Name: "F", Size: f, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "in", Kind: graph.Input, Axes: []int{0, 1, 2}},
+			{Name: "out", Kind: graph.Output, Axes: []int{0, 1, 2}},
+		},
+		Reductions:   map[partition.Phase][]graph.Reduction{},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		FlopFactor:   flopFactor,
+		Stash:        []int{0},
+		OutputTensor: 1,
+	}
+}
+
+// newAdd builds a residual addition over [B,S,D] with two inputs.
+func newAdd(name string, b, s, d int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpAdd,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "S", Size: s, Splittable: true},
+			{Name: "D", Size: d, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "a", Kind: graph.Input, Axes: []int{0, 1, 2}},
+			{Name: "b", Kind: graph.Input, Axes: []int{0, 1, 2}},
+			{Name: "out", Kind: graph.Output, Axes: []int{0, 1, 2}},
+		},
+		Reductions:   map[partition.Phase][]graph.Reduction{},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		FlopFactor:   1,
+		OutputTensor: 2,
+	}
+}
+
+// Attention score matmul axis indices.
+const (
+	AttB  = 0
+	AttH  = 1
+	AttSq = 2
+	AttE  = 3
+	AttSk = 4
+)
+
+// newQKT builds scores[B,H,Sq,Sk] = Q[B,H,Sq,E]·K[B,H,Sk,E]ᵀ. The head-embed
+// axis E is not splittable (paper §3.2), which also rules out the Prime
+// primitive here (its N role would be E).
+func newQKT(name string, b, h, sq, e, sk int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpMatMul,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "H", Size: h, Splittable: true},
+			{Name: "Sq", Size: sq, Splittable: true},
+			{Name: "E", Size: e, Splittable: false},
+			{Name: "Sk", Size: sk, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "Q", Kind: graph.Input, Axes: []int{AttB, AttH, AttSq, AttE}},
+			{Name: "K", Kind: graph.Input, Axes: []int{AttB, AttH, AttSk, AttE}},
+			{Name: "S", Kind: graph.Output, Axes: []int{AttB, AttH, AttSq, AttSk}},
+		},
+		Reductions: map[partition.Phase][]graph.Reduction{
+			partition.Forward:  {{Over: []int{AttE}, Result: 2}},
+			partition.Backward: {{Over: []int{AttSk}, Result: 0}},
+			partition.Gradient: {{Over: []int{AttSq}, Result: 1}},
+		},
+		PrimeM:       AttSq,
+		PrimeN:       AttE, // unsplittable → PrimeApplicable() = false
+		PrimeK:       AttSk,
+		FlopFactor:   2,
+		Stash:        []int{0, 1},
+		OutputTensor: 2,
+	}
+}
+
+// newAV builds ctx[B,H,Sq,E] = A[B,H,Sq,Sk]·V[B,H,Sk,E].
+func newAV(name string, b, h, sq, sk, e int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpMatMul,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "H", Size: h, Splittable: true},
+			{Name: "Sq", Size: sq, Splittable: true},
+			{Name: "Sk", Size: sk, Splittable: true},
+			{Name: "E", Size: e, Splittable: false},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "A", Kind: graph.Input, Axes: []int{0, 1, 2, 3}},
+			{Name: "V", Kind: graph.Input, Axes: []int{0, 1, 3, 4}},
+			{Name: "C", Kind: graph.Output, Axes: []int{0, 1, 2, 4}},
+		},
+		Reductions: map[partition.Phase][]graph.Reduction{
+			partition.Forward:  {{Over: []int{3}, Result: 2}},
+			partition.Backward: {{Over: []int{4}, Result: 0}},
+			partition.Gradient: {{Over: []int{2}, Result: 1}},
+		},
+		PrimeM:       2,
+		PrimeN:       3,
+		PrimeK:       4, // E unsplittable → PrimeApplicable() = false
+		FlopFactor:   2,
+		Stash:        []int{0, 1},
+		OutputTensor: 2,
+	}
+}
+
+// newSoftmax builds softmax over the last axis of [B,H,Sq,Sk]: the softmax
+// axis Sk is not splittable (paper §3.2).
+func newSoftmax(name string, b, h, sq, sk int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpSoftmax,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "H", Size: h, Splittable: true},
+			{Name: "Sq", Size: sq, Splittable: true},
+			{Name: "Sk", Size: sk, Splittable: false},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "in", Kind: graph.Input, Axes: []int{0, 1, 2, 3}},
+			{Name: "out", Kind: graph.Output, Axes: []int{0, 1, 2, 3}},
+		},
+		Reductions:   map[partition.Phase][]graph.Reduction{},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		FlopFactor:   5,
+		Stash:        []int{1},
+		OutputTensor: 1,
+	}
+}
+
+// Block node indices in the Fig. 6 layout.
+const (
+	NodeAnchor  = 0
+	NodeNorm1   = 1
+	NodeQKV     = 2
+	NodeQKT     = 3
+	NodeSoftmax = 4
+	NodeAV      = 5
+	NodeProj    = 6
+	NodeAdd1    = 7
+	NodeNorm2   = 8
+	NodeFC1     = 9
+	NodeAct     = 10
+	NodeFC2     = 11
+	NodeAdd2    = 12
+)
+
+// BuildBlock builds one transformer block of cfg as a 13-node graph in the
+// paper's Fig. 6 layout.
+func BuildBlock(cfg Config) (*graph.Graph, error) {
+	b, s, d := cfg.Batch, cfg.SeqLen, cfg.Hidden
+	h := cfg.Heads
+	e := d / h
+	qkvOut := 3 * d
+	if cfg.KVHeads != cfg.Heads {
+		qkvOut = (cfg.Heads + 2*cfg.KVHeads) * e
+	}
+	ffnOut := cfg.FFN
+	if cfg.GatedFFN {
+		ffnOut = 2 * cfg.FFN
+	}
+	actFlops := 4.0
+	if cfg.GatedFFN {
+		actFlops = 6.0
+	}
+
+	g := &graph.Graph{Name: cfg.Name + "/block"}
+	g.AddNode(newIdentity("anchor", b, s, d))                 // n0
+	g.AddNode(newNorm("norm1", cfg.Norm, b, s, d))            // n1
+	g.AddNode(NewLinear("qkv", b, s, d, qkvOut))              // n2
+	g.AddNode(newQKT("qkt", b, h, s, e, s))                   // n3
+	g.AddNode(newSoftmax("softmax", b, h, s, s))              // n4
+	g.AddNode(newAV("av", b, h, s, s, e))                     // n5
+	g.AddNode(NewLinear("proj", b, s, d, d))                  // n6
+	g.AddNode(newAdd("add1", b, s, d))                        // n7
+	g.AddNode(newNorm("norm2", cfg.Norm, b, s, d))            // n8
+	g.AddNode(NewLinear("fc1", b, s, d, ffnOut))              // n9
+	g.AddNode(newElementwise("act", b, s, cfg.FFN, actFlops)) // n10
+	g.AddNode(NewLinear("fc2", b, s, cfg.FFN, d))             // n11
+	g.AddNode(newAdd("add2", b, s, d))                        // n12
+
+	// Straight-line edges.
+	g.Connect(NodeAnchor, NodeNorm1, 0, []int{0, 1, 2})
+	g.Connect(NodeNorm1, NodeQKV, 0, []int{0, 1, 2})
+	// QKV output [B,M,K] feeds Q and K of the score matmul: the flattened
+	// K axis corresponds to heads (head-major packing); E is derived.
+	g.Connect(NodeQKV, NodeQKT, 0, []int{LinB, LinK, LinM, -1}) // Q[B,H,Sq,E]
+	g.Connect(NodeQKV, NodeQKT, 1, []int{LinB, LinK, LinM, -1}) // K[B,H,Sk,E] (extended within segment head n2)
+	g.Connect(NodeQKT, NodeSoftmax, 0, []int{0, 1, 2, 4})
+	g.Connect(NodeSoftmax, NodeAV, 0, []int{0, 1, 2, 3})
+	g.Connect(NodeQKV, NodeAV, 1, []int{LinB, LinK, LinM, -1}) // V[B,H,Sk,E] — extended edge e(2,5)
+	g.Connect(NodeAV, NodeProj, 0, []int{0, 2, 1})             // ctx → proj input [B,M,N], N ↔ flattened (H,E)
+	g.Connect(NodeProj, NodeAdd1, 0, []int{LinB, LinM, LinK})
+	g.Connect(NodeAnchor, NodeAdd1, 1, []int{0, 1, 2}) // extended edge e(0,7)
+	g.Connect(NodeAdd1, NodeNorm2, 0, []int{0, 1, 2})
+	g.Connect(NodeNorm2, NodeFC1, 0, []int{0, 1, 2})
+	g.Connect(NodeFC1, NodeAct, 0, []int{LinB, LinM, LinK})
+	g.Connect(NodeAct, NodeFC2, 0, []int{0, 1, 2})
+	g.Connect(NodeFC2, NodeAdd2, 0, []int{LinB, LinM, LinK})
+	g.Connect(NodeAdd1, NodeAdd2, 1, []int{0, 1, 2}) // extended edge e(7,12)
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.CheckSegmentAssumptions(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildMLP builds the MLP sub-block (anchor, fc1, act, fc2) used by the
+// paper's Fig. 9 latency-breakdown experiment.
+func BuildMLP(cfg Config) (*graph.Graph, error) {
+	b, s, d := cfg.Batch, cfg.SeqLen, cfg.Hidden
+	ffnOut := cfg.FFN
+	if cfg.GatedFFN {
+		ffnOut = 2 * cfg.FFN
+	}
+	g := &graph.Graph{Name: cfg.Name + "/mlp"}
+	g.AddNode(newIdentity("anchor", b, s, d))
+	g.AddNode(NewLinear("fc1", b, s, d, ffnOut))
+	g.AddNode(newElementwise("relu", b, s, cfg.FFN, 1))
+	g.AddNode(NewLinear("fc2", b, s, cfg.FFN, d))
+	g.Connect(0, 1, 0, []int{0, 1, 2})
+	g.Connect(1, 2, 0, []int{LinB, LinM, LinK})
+	g.Connect(2, 3, 0, []int{0, 1, 2})
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,215 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Parameter counts must land near the models' nominal sizes.
+func TestParamsMatchNominalSizes(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64
+	}{
+		{OPT6B7(), 6.7e9},
+		{OPT175B(), 175e9},
+		{Llama2_7B(), 7e9},
+		{Llama2_70B(), 70e9},
+		{BLOOM7B1(), 7.1e9},
+		{BLOOM176B(), 176e9},
+	}
+	for _, c := range cases {
+		got := c.cfg.Params()
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.15 {
+			t.Errorf("%s: params = %.3g, want ≈ %.3g (rel err %.0f%%)", c.cfg.Name, got, c.want, rel*100)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("OPT-175B")
+	if err != nil || c.Layers != 96 {
+		t.Fatalf("ByName(OPT-175B) = %+v, %v", c, err)
+	}
+	if _, err := ByName("GPT-5"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestWithBatch(t *testing.T) {
+	c := OPT6B7().WithBatch(16)
+	if c.Batch != 16 {
+		t.Fatalf("Batch = %d, want 16", c.Batch)
+	}
+	if OPT6B7().Batch != 8 {
+		t.Fatal("WithBatch mutated the base config")
+	}
+}
+
+// The block graph must reproduce the paper's Fig. 6 structure: 13 nodes,
+// extended edges from n0, n2, n7, segment cuts {0, 2, 7, 12}.
+func TestBuildBlockFig6Structure(t *testing.T) {
+	g, err := BuildBlock(OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 13 {
+		t.Fatalf("block has %d nodes, want 13", len(g.Nodes))
+	}
+	cuts := g.SegmentCuts()
+	want := []int{0, 2, 7, 12}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+	if err := g.CheckSegmentAssumptions(); err != nil {
+		t.Fatal(err)
+	}
+	// The three extended edges of Fig. 6.
+	ext := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		if e.IsExtended() {
+			ext[[2]int{e.Src, e.Dst}] = true
+		}
+	}
+	for _, w := range [][2]int{{NodeQKV, NodeAV}, {NodeAnchor, NodeAdd1}, {NodeAdd1, NodeAdd2}} {
+		if !ext[w] {
+			t.Errorf("missing extended edge %v (have %v)", w, ext)
+		}
+	}
+}
+
+// Prime applies exactly to the four big linears, per the paper.
+func TestPrimeApplicabilityAcrossBlock(t *testing.T) {
+	g, err := BuildBlock(OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPrime := map[int]bool{NodeQKV: true, NodeProj: true, NodeFC1: true, NodeFC2: true}
+	for i, op := range g.Nodes {
+		if got := op.PrimeApplicable(); got != wantPrime[i] {
+			t.Errorf("node %d (%s): PrimeApplicable = %v, want %v", i, op.Name, got, wantPrime[i])
+		}
+	}
+}
+
+func TestBuildBlockValidatesForAllModels(t *testing.T) {
+	for _, cfg := range All() {
+		g, err := BuildBlock(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+// Axis-size consistency across edges: every mapped axis pair must have
+// equal sizes OR represent a flattening (src size a multiple of dst size).
+func TestEdgeAxisSizesConsistent(t *testing.T) {
+	for _, cfg := range All() {
+		g, err := BuildBlock(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges {
+			src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+			dt := dst.Tensors[e.DstTensor]
+			for i, sa := range e.AxisMap {
+				if sa == -1 {
+					continue
+				}
+				ss := src.Axes[sa].Size
+				ds := dst.Axes[dt.Axes[i]].Size
+				if ss%ds != 0 && ds%ss != 0 {
+					t.Errorf("%s: edge %s→%s axis %s(%d) vs %s(%d): not a flattening",
+						cfg.Name, src.Name, dst.Name, src.Axes[sa].Name, ss, dst.Axes[dt.Axes[i]].Name, ds)
+				}
+			}
+		}
+	}
+}
+
+// Gated-FFN models must double fc1's output axis; GQA models must shrink
+// the QKV projection.
+func TestModelVariants(t *testing.T) {
+	llama, err := BuildBlock(Llama2_70B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc1 := llama.Nodes[NodeFC1]
+	if got := fc1.Axes[LinK].Size; got != 2*28672 {
+		t.Fatalf("Llama2-70B fc1 K = %d, want %d (gated)", got, 2*28672)
+	}
+	qkv := llama.Nodes[NodeQKV]
+	e := 8192 / 64
+	if got := qkv.Axes[LinK].Size; got != (64+16)*e {
+		t.Fatalf("Llama2-70B qkv K = %d, want %d (GQA)", got, (64+16)*e)
+	}
+	opt, err := BuildBlock(OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.Nodes[NodeQKV].Axes[LinK].Size; got != 3*4096 {
+		t.Fatalf("OPT qkv K = %d, want %d", got, 3*4096)
+	}
+}
+
+func TestBuildMLP(t *testing.T) {
+	g, err := BuildMLP(OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 4 {
+		t.Fatalf("MLP has %d nodes, want 4", len(g.Nodes))
+	}
+	if g.Nodes[1].Name != "fc1" || g.Nodes[3].Name != "fc2" {
+		t.Fatalf("unexpected MLP nodes: %v, %v", g.Nodes[1].Name, g.Nodes[3].Name)
+	}
+	if !g.Nodes[1].PrimeApplicable() || !g.Nodes[3].PrimeApplicable() {
+		t.Fatal("MLP linears must accept Prime")
+	}
+}
+
+// The stashed-activation inventory drives the memory model; spot-check the
+// block's per-layer activation volume for OPT-6.7B against a hand count.
+func TestStashAccounting(t *testing.T) {
+	g, err := BuildBlock(OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stash := 0.0
+	for _, op := range g.Nodes {
+		stash += op.StashElems()
+	}
+	// Hand count (B=8, S=2048, D=4096, H=32, F=16384):
+	// norm1 in: BSD; qkv I: BSD; qkt Q+K: 2·BSD; softmax out: B·H·S²;
+	// av A+V: B·H·S² + BSD; proj I: BSD; norm2 in: BSD; fc1 I: BSD;
+	// act in: BSF; fc2 I: BSF — 8·BSD + 2·BHSS + 2·BSF.
+	bsd := 8.0 * 2048 * 4096
+	bhss := 8.0 * 32 * 2048 * 2048
+	bsf := 8.0 * 2048 * 16384
+	want := 8*bsd + 2*bhss + 2*bsf
+	if math.Abs(stash-want)/want > 1e-9 {
+		t.Fatalf("stash = %g elements, want %g", stash, want)
+	}
+}
+
+// Graph node kinds should be displayable (used in reports).
+func TestOpKindStrings(t *testing.T) {
+	kinds := []graph.OpKind{graph.OpIdentity, graph.OpLinear, graph.OpMatMul,
+		graph.OpSoftmax, graph.OpNorm, graph.OpElementwise, graph.OpAdd, graph.OpEmbedding}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", int(k))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Embedding axis indices.
+const (
+	EmbV = 0 // vocabulary
+	EmbB = 1
+	EmbS = 2
+	EmbD = 3
+)
+
+// NewEmbedding builds a vocab-parallel-capable embedding lookup: the table
+// [V,D] is the weight; splitting V yields partial (masked) outputs that need
+// an all-reduce, exactly like Megatron's VocabParallelEmbedding; the table
+// gradient is summed over B,S.
+func NewEmbedding(name string, vocab, b, s, d int) *graph.Op {
+	return &graph.Op{
+		Name: name,
+		Kind: graph.OpEmbedding,
+		Axes: []graph.Axis{
+			{Name: "V", Size: vocab, Splittable: true},
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "S", Size: s, Splittable: true},
+			{Name: "D", Size: d, Splittable: true},
+		},
+		Tensors: []graph.Tensor{
+			{Name: "table", Kind: graph.Weight, Axes: []int{EmbV, EmbD}},
+			{Name: "out", Kind: graph.Output, Axes: []int{EmbB, EmbS, EmbD}},
+		},
+		Reductions: map[partition.Phase][]graph.Reduction{
+			partition.Forward:  {{Over: []int{EmbV}, Result: 1}},
+			partition.Gradient: {{Over: []int{EmbB, EmbS}, Result: 0}},
+		},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		FlopFactor:   0.01, // gather: memory-bound, negligible FLOPs
+		OutputTensor: 1,
+	}
+}
+
+// Stack is a physically-unrolled full model graph: embedding, L transformer
+// layers, final norm, LM head — for end-to-end simulation (the per-layer
+// optimizer keeps using the single-block graph plus stacking).
+type Stack struct {
+	Graph *graph.Graph
+	// Embedding, FinalNorm, Head are node indices.
+	Embedding, FinalNorm, Head int
+	// LayerNodes[l] lists the 12 node indices of layer l in the block
+	// order norm1..add2 (the anchor is the previous layer's tail).
+	LayerNodes [][]int
+	Layers     int
+}
+
+// BuildStack unrolls cfg into a full-model graph with `layers` transformer
+// layers (use cfg.Layers for the real depth; tests use fewer).
+func BuildStack(cfg Config, layers int) (*Stack, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("model: stack needs at least one layer")
+	}
+	// Build a template block to copy operator definitions from.
+	tmpl, err := BuildBlock(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &graph.Graph{Name: fmt.Sprintf("%s/stack%d", cfg.Name, layers)}
+	st := &Stack{Graph: g, Layers: layers}
+
+	st.Embedding = g.AddNode(NewEmbedding("embed", cfg.Vocab, cfg.Batch, cfg.SeqLen, cfg.Hidden))
+	// Embedding output axes in op coordinates: B=1, S=2, D=3.
+	embedOutMap := []int{EmbB, EmbS, EmbD}
+
+	prevTail := st.Embedding // feeds norm1 and residual add1 of layer 0
+	prevMap := embedOutMap
+	for l := 0; l < layers; l++ {
+		base := len(g.Nodes)
+		var nodes []int
+		// Copy nodes n1..n12 of the template (skip the anchor).
+		for i := NodeNorm1; i <= NodeAdd2; i++ {
+			cp := *tmpl.Nodes[i]
+			cp.Name = fmt.Sprintf("L%d/%s", l, tmpl.Nodes[i].Name)
+			nodes = append(nodes, g.AddNode(&cp))
+		}
+		st.LayerNodes = append(st.LayerNodes, nodes)
+		at := func(tmplIdx int) int { return base + tmplIdx - NodeNorm1 }
+
+		// Re-create the block's edges, remapping the anchor to prevTail.
+		for _, e := range tmpl.Edges {
+			src, srcMap := at(e.Src), e.AxisMap
+			if e.Src == NodeAnchor {
+				src = prevTail
+				srcMap = remapAxes(e.AxisMap, prevMap)
+			}
+			g.Connect(src, at(e.Dst), e.DstTensor, srcMap)
+		}
+		prevTail = at(NodeAdd2)
+		prevMap = []int{0, 1, 2}
+	}
+
+	st.FinalNorm = g.AddNode(newNorm("final_norm", cfg.Norm, cfg.Batch, cfg.SeqLen, cfg.Hidden))
+	g.Connect(prevTail, st.FinalNorm, 0, remapAxes([]int{0, 1, 2}, prevMap))
+	st.Head = g.AddNode(NewLinear("lm_head", cfg.Batch, cfg.SeqLen, cfg.Hidden, cfg.Vocab))
+	g.Connect(st.FinalNorm, st.Head, 0, []int{0, 1, 2})
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// remapAxes rewrites a template axis map (which indexed the anchor's B,S,D
+// axes 0,1,2) to the actual predecessor's axis indices.
+func remapAxes(m []int, prevMap []int) []int {
+	out := make([]int, len(m))
+	for i, v := range m {
+		if v == -1 {
+			out[i] = -1
+			continue
+		}
+		out[i] = prevMap[v]
+	}
+	return out
+}
+
+// StackSeqs assembles per-node strategies for the unrolled stack from a
+// per-layer 13-node strategy (anchor strategy is dropped), a strategy for
+// the embedding, and one for the final norm and head.
+func (st *Stack) StackSeqs(layerSeqs []partition.Seq, embed, finalNorm, head partition.Seq) ([]partition.Seq, error) {
+	if len(layerSeqs) != 13 {
+		return nil, fmt.Errorf("model: layer strategy must have 13 entries, got %d", len(layerSeqs))
+	}
+	out := make([]partition.Seq, len(st.Graph.Nodes))
+	out[st.Embedding] = embed
+	for _, nodes := range st.LayerNodes {
+		for i, n := range nodes {
+			out[n] = layerSeqs[NodeNorm1+i]
+		}
+	}
+	out[st.FinalNorm] = finalNorm
+	out[st.Head] = head
+	return out, nil
+}

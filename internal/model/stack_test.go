@@ -1,0 +1,97 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestBuildStackStructure(t *testing.T) {
+	cfg := OPT6B7()
+	st, err := BuildStack(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 embedding + 3×12 layer nodes + final norm + head.
+	if want := 1 + 3*12 + 2; len(st.Graph.Nodes) != want {
+		t.Fatalf("stack has %d nodes, want %d", len(st.Graph.Nodes), want)
+	}
+	if len(st.LayerNodes) != 3 {
+		t.Fatalf("LayerNodes = %d", len(st.LayerNodes))
+	}
+	if st.Graph.Nodes[st.Embedding].Kind.String() != "embedding" {
+		t.Fatal("node 0 is not the embedding")
+	}
+	if st.Graph.Nodes[st.Head].Name != "lm_head" {
+		t.Fatal("tail is not the LM head")
+	}
+	// Residual edges: layer 0's add1 must receive from the embedding;
+	// layer 1's add1 from layer 0's add2.
+	add1L0 := st.LayerNodes[0][NodeAdd1-NodeNorm1]
+	add1L1 := st.LayerNodes[1][NodeAdd1-NodeNorm1]
+	add2L0 := st.LayerNodes[0][NodeAdd2-NodeNorm1]
+	foundEmbed, foundPrev := false, false
+	for _, e := range st.Graph.InEdges(add1L0) {
+		if e.Src == st.Embedding {
+			foundEmbed = true
+		}
+	}
+	for _, e := range st.Graph.InEdges(add1L1) {
+		if e.Src == add2L0 {
+			foundPrev = true
+		}
+	}
+	if !foundEmbed || !foundPrev {
+		t.Fatalf("residual rewiring broken: embed=%v prev=%v", foundEmbed, foundPrev)
+	}
+}
+
+func TestBuildStackRejectsZeroLayers(t *testing.T) {
+	if _, err := BuildStack(OPT6B7(), 0); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}
+
+func TestEmbeddingOp(t *testing.T) {
+	op := NewEmbedding("embed", 50272, 8, 2048, 4096)
+	if op.WeightElems() != 50272*4096 {
+		t.Fatalf("table elems = %v", op.WeightElems())
+	}
+	if op.PrimeApplicable() {
+		t.Fatal("embedding cannot take Prime")
+	}
+	if len(op.Reductions[partition.Forward]) != 1 {
+		t.Fatal("vocab-parallel forward reduction missing")
+	}
+	if err := op.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackSeqs(t *testing.T) {
+	cfg := OPT6B7()
+	st, err := BuildStack(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerSeqs := make([]partition.Seq, 13)
+	for i := range layerSeqs {
+		layerSeqs[i] = partition.NewSeq(partition.Split(0))
+	}
+	embed := partition.NewSeq(partition.Split(EmbV))
+	norm := partition.NewSeq(partition.Split(0))
+	head := partition.NewSeq(partition.Split(LinK))
+	seqs, err := st.StackSeqs(layerSeqs, embed, norm, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != len(st.Graph.Nodes) {
+		t.Fatalf("got %d seqs", len(seqs))
+	}
+	if seqs[st.Embedding].Key() != embed.Key() || seqs[st.Head].Key() != head.Key() {
+		t.Fatal("boundary strategies misplaced")
+	}
+	if _, err := st.StackSeqs(layerSeqs[:5], embed, norm, head); err == nil {
+		t.Fatal("short layer strategy accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// Evaluate Algorithm 1's DSIs for P_{2×2} on the linear operator's axes
+// (B=0, M=1, N=2, K=3): device (r=0,c=1) is device id 01b = 1.
+func ExampleSeq_SliceIndices() {
+	seq := partition.NewSeq(partition.NewPrime(1, 1, 2, 3))
+	for t := 0; t < seq.Steps(); t++ {
+		dsi := seq.SliceIndices(partition.Forward, 4, 2, 1, t)
+		fmt.Printf("t=%d: I_M=%d I_N=%d I_K=%d\n", t, dsi[1], dsi[2], dsi[3])
+	}
+	// Output:
+	// t=0: I_M=0 I_N=1 I_K=1
+	// t=1: I_M=0 I_N=0 I_K=1
+}
+
+// Derive the paper's Table 1 Forward row: between temporal steps, each
+// device receives its next I block from its right neighbour.
+func ExampleSeq_StepTransfers() {
+	seq := partition.NewSeq(partition.NewPrime(1, 1, 2, 3))
+	for _, tr := range seq.StepTransfers(partition.Forward, []int{1, 2}, 4, 2, 0) {
+		fmt.Printf("device %d <- device %d\n", tr.To, tr.From)
+	}
+	// Output:
+	// device 0 <- device 1
+	// device 1 <- device 0
+	// device 2 <- device 3
+	// device 3 <- device 2
+}
+
+// Render a sequence in the paper's Fig. 9 notation.
+func ExampleSeq_Format() {
+	seq := partition.NewSeq(partition.Split(0), partition.NewPrime(1, 1, 2, 3))
+	fmt.Println(seq.Format([]string{"B", "M", "N", "K"}))
+	// Output:
+	// B,P2x2
+}

@@ -1,0 +1,120 @@
+package partition
+
+import (
+	"testing"
+)
+
+// decodeSeq turns fuzz bytes into a valid linear-operator sequence on a
+// machine with 2..4 bits; returns ok=false for undecodable inputs.
+func decodeSeq(data []byte) (Seq, int, bool) {
+	if len(data) < 2 {
+		return Seq{}, 0, false
+	}
+	nbits := 2 + int(data[0]%3)
+	var toks []Token
+	remaining := nbits
+	for _, b := range data[1:] {
+		if remaining == 0 {
+			break
+		}
+		switch b % 6 {
+		case 0, 1, 2, 3:
+			toks = append(toks, Split(int(b%4)))
+			remaining--
+		case 4:
+			if remaining >= 2 {
+				toks = append(toks, NewPrime(1, axM, axN, axK))
+				remaining -= 2
+			}
+		case 5:
+			if remaining >= 4 {
+				toks = append(toks, NewPrime(2, axM, axN, axK))
+				remaining -= 4
+			}
+		}
+	}
+	if len(toks) == 0 {
+		return Seq{}, 0, false
+	}
+	return NewSeq(toks...), nbits, true
+}
+
+// FuzzDSIInvariants checks, for arbitrary sequences, the three structural
+// invariants everything else relies on: holders partition the machine,
+// phase alignment holds (Feature 3), and temporal reduction coverage holds
+// (Feature 1).
+func FuzzDSIInvariants(f *testing.F) {
+	f.Add([]byte{0, 4, 0}) // P2x2
+	f.Add([]byte{1, 0, 4}) // Split(B) then prime
+	f.Add([]byte{2, 5})    // P4x4
+	f.Add([]byte{0, 1, 2}) // spatial only
+	f.Add([]byte{2, 4, 4}) // double prime
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, nbits, ok := decodeSeq(data)
+		if !ok {
+			return
+		}
+		if err := s.Validate(linDim, nbits); err != nil {
+			t.Fatalf("decoder produced invalid seq %v: %v", s, err)
+		}
+		tensors := [][]int{dimsI, dimsW, dimsO}
+		for _, ph := range Phases {
+			for _, dims := range tensors {
+				holders := s.Holders(ph, dims, linDim, nbits, 0)
+				total := 0
+				for _, hs := range holders {
+					total += len(hs)
+				}
+				if total != 1<<nbits {
+					t.Fatalf("seq %v: holders do not partition devices", s)
+				}
+			}
+		}
+		if !s.Aligned(Forward, Backward, dimsW, linDim, nbits) ||
+			!s.Aligned(Forward, Gradient, dimsI, linDim, nbits) ||
+			!s.Aligned(Backward, Gradient, dimsO, linDim, nbits) ||
+			!s.Aligned(Gradient, Forward, dimsW, linDim, nbits) {
+			t.Fatalf("seq %v: phase alignment broken", s)
+		}
+		if !s.CoversReduction(Forward, []int{axN}, linDim, nbits) ||
+			!s.CoversReduction(Backward, []int{axK}, linDim, nbits) ||
+			!s.CoversReduction(Gradient, []int{axB, axM}, linDim, nbits) {
+			t.Fatalf("seq %v: temporal reduction coverage broken", s)
+		}
+	})
+}
+
+// FuzzTransfersConserveBlocks: within-phase transfers must form a function
+// from receivers to same-group holders — every receiver gets exactly the
+// block its next step needs, and the sender held it.
+func FuzzTransfersConserveBlocks(f *testing.F) {
+	f.Add([]byte{0, 4}, uint8(0))
+	f.Add([]byte{2, 5}, uint8(1))
+	f.Add([]byte{1, 4, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, phRaw uint8) {
+		s, nbits, ok := decodeSeq(data)
+		if !ok || s.Steps() < 2 {
+			return
+		}
+		ph := Phases[int(phRaw)%3]
+		for _, dims := range [][]int{dimsI, dimsW, dimsO} {
+			for step := 0; step < s.Steps()-1; step++ {
+				holders := s.Holders(ph, dims, linDim, nbits, step)
+				holderOf := map[int]string{}
+				for key, hs := range holders {
+					for _, h := range hs {
+						holderOf[h] = key
+					}
+				}
+				for _, tr := range s.StepTransfers(ph, dims, linDim, nbits, step) {
+					need := tupleKey(TensorSlice(
+						s.SliceIndices(ph, linDim, nbits, tr.To, step+1), dims))
+					if holderOf[tr.From] != need {
+						t.Fatalf("seq %v %v step %d: device %d sent %q, receiver %d needs %q",
+							s, ph, step, tr.From, holderOf[tr.From], tr.To, need)
+					}
+				}
+			}
+		}
+	})
+}

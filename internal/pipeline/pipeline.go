@@ -1,0 +1,281 @@
+// Package pipeline composes tensor partitioning with pipeline and data
+// parallelism — the paper's 3D-parallelism evaluation (§6.4, Fig. 10).
+//
+// A (p, d, m) configuration splits the machine into p pipeline stages; each
+// stage runs d-way data parallelism over m-way tensor (model) parallel
+// groups. Following the paper's protocol, the batch dimension is NOT
+// partitioned inside the tensor-parallel search (d is controlled
+// externally); Megatron and PrimePar differ only in the model-parallel
+// strategy of size m.
+//
+// The schedule model is Megatron's 1F1B (PipeDream-Flush):
+//
+//	T = (nMicrobatches + p − 1) · (T_stage_microbatch + T_p2p) + T_dp_allreduce
+//
+// with per-microbatch stage time simulated by internal/sim on the stage's
+// tensor-parallel sub-cluster, point-to-point activation hand-off between
+// stages, and one gradient all-reduce across the d data-parallel replicas
+// per iteration.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// System selects the tensor-parallel strategy generator.
+type System int
+
+const (
+	Megatron System = iota
+	PrimePar
+)
+
+func (s System) String() string {
+	if s == Megatron {
+		return "Megatron-LM"
+	}
+	return "PrimePar"
+}
+
+// Config3D is one (p, d, m) point of the Fig. 10 sweep.
+type Config3D struct {
+	P, D, M int
+	// Microbatch is the per-replica micro-batch size (sequences).
+	Microbatch int
+	// GlobalBatch is the total sequences per training iteration.
+	GlobalBatch int
+}
+
+// Microbatches returns the 1F1B micro-batch count per replica.
+func (c Config3D) Microbatches() int {
+	return c.GlobalBatch / (c.D * c.Microbatch)
+}
+
+// Validate checks divisibility and machine fit.
+func (c Config3D) Validate(devices, layers int) error {
+	if c.P*c.D*c.M != devices {
+		return fmt.Errorf("pipeline: p·d·m = %d·%d·%d ≠ %d devices", c.P, c.D, c.M, devices)
+	}
+	for _, v := range []int{c.P, c.D, c.M} {
+		if v < 1 || v&(v-1) != 0 {
+			return fmt.Errorf("pipeline: (p,d,m)=(%d,%d,%d) must be powers of two", c.P, c.D, c.M)
+		}
+	}
+	if c.P > layers {
+		return fmt.Errorf("pipeline: %d stages exceed %d layers", c.P, layers)
+	}
+	if c.GlobalBatch%(c.D*c.Microbatch) != 0 || c.Microbatches() < 1 {
+		return fmt.Errorf("pipeline: global batch %d not divisible into %d replicas × microbatch %d",
+			c.GlobalBatch, c.D, c.Microbatch)
+	}
+	return nil
+}
+
+// String renders the configuration in the paper's (p,d,m) notation.
+func (c Config3D) String() string { return fmt.Sprintf("(%d,%d,%d)", c.P, c.D, c.M) }
+
+// AllConfigs enumerates every (p,d,m) with p·d·m = devices and p > 1 (the
+// paper's Fig. 10 sweep), ordered by p then d.
+func AllConfigs(devices, layers, globalBatch, microbatch int) []Config3D {
+	var out []Config3D
+	for p := 2; p <= devices; p *= 2 {
+		if p > layers {
+			break
+		}
+		for d := 1; d*p <= devices; d *= 2 {
+			m := devices / (p * d)
+			c := Config3D{P: p, D: d, M: m, Microbatch: microbatch, GlobalBatch: globalBatch}
+			if c.Validate(devices, layers) == nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Result summarises one simulated 3D configuration.
+type Result struct {
+	System        System
+	Config        Config3D
+	IterationTime float64
+	// Throughput in tokens/second for the global batch.
+	Throughput float64
+	// StageTime is one micro-batch through one stage (fwd+bwd+grad).
+	StageTime float64
+	// BubbleFraction is the pipeline idle share (p−1)/(nMB+p−1).
+	BubbleFraction float64
+	// PeakMemoryBytes is the worst per-device memory (stage weights plus
+	// in-flight micro-batch activations).
+	PeakMemoryBytes float64
+	// Seqs is the tensor-parallel strategy of one stage layer.
+	Seqs []partition.Seq
+}
+
+// stageCluster models the m tensor-parallel devices of one stage: they are
+// the innermost device-ID bits, so at most devicesPerNode of them share a
+// node.
+func stageCluster(full *device.Cluster, m int) *device.Cluster {
+	per := full.DevicesPerNode
+	if per > m {
+		per = m
+	}
+	return device.MustCluster(m, per, full.Profile)
+}
+
+// Evaluate simulates one (p,d,m) configuration of cfg on the full cluster
+// under the given system's tensor-parallel strategy.
+func Evaluate(cfg model.Config, full *device.Cluster, c3 Config3D, system System) (*Result, error) {
+	if err := c3.Validate(full.NumDevices, cfg.Layers); err != nil {
+		return nil, err
+	}
+	stageCfg := cfg.WithBatch(c3.Microbatch)
+	g, err := model.BuildBlock(stageCfg)
+	if err != nil {
+		return nil, err
+	}
+	layersPerStage := (cfg.Layers + c3.P - 1) / c3.P
+
+	sub := stageCluster(full, c3.M)
+	var seqs []partition.Seq
+	switch system {
+	case Megatron:
+		seqs, err = baseline.Megatron(g, sub.Bits(), 0)
+		if err != nil {
+			return nil, err
+		}
+	case PrimePar:
+		o := core.NewOptimizer(cost.NewModel(sub))
+		o.Opts.AllowBatchSplit = false // d is controlled externally (§6.4)
+		strat, err := o.Optimize(g, layersPerStage)
+		if err != nil {
+			return nil, err
+		}
+		seqs = strat.Seqs
+	default:
+		return nil, fmt.Errorf("pipeline: unknown system %d", system)
+	}
+
+	sm := sim.New(sub)
+	rep, err := sm.Run(g, seqs, layersPerStage)
+	if err != nil {
+		return nil, err
+	}
+
+	nMB := c3.Microbatches()
+	stageTime := rep.IterationTime
+
+	// Inter-stage activation hand-off per micro-batch (both directions;
+	// the boundary tensor [mb, S, D] is spread over the m devices).
+	p2p := 0.0
+	if c3.P > 1 {
+		eb := full.Profile.ElementBytes
+		bytesPerDevice := float64(c3.Microbatch) * float64(cfg.SeqLen) * float64(cfg.Hidden) * eb / float64(c3.M)
+		bw, lat := full.Profile.InterBW, full.Profile.InterLatency
+		if full.NumNodes() == 1 {
+			bw, lat = full.Profile.IntraBW, full.Profile.IntraLatency
+		}
+		p2p = 2 * (bytesPerDevice/bw + lat)
+	}
+
+	// Data-parallel gradient all-reduce, once per iteration: ring across
+	// the d replicas of this stage's weights. The d·m devices of a stage
+	// form one sub-cluster; the DP group indicator is its leading
+	// log2(d) bits, and the indicator machinery accounts for the m
+	// tensor-parallel ranks per node sharing the NIC concurrently —
+	// which is what makes data parallelism expensive for 100B+ models
+	// (the paper's §6.4 observation).
+	dpAR := 0.0
+	if c3.D > 1 {
+		eb := full.Profile.ElementBytes
+		wBytes := 0.0
+		for i, op := range g.Nodes {
+			for ti, t := range op.Tensors {
+				if t.Kind == graph.Weight {
+					wBytes += cost.BlockElems(op, seqs[i], ti) * eb
+				}
+			}
+		}
+		wBytes *= float64(layersPerStage)
+		stageAll := stageCluster(full, c3.D*c3.M)
+		var dpInd device.Indicator
+		for bit := 1; bit <= stageAll.Bits()-sub.Bits(); bit++ {
+			dpInd = append(dpInd, bit)
+		}
+		dpAR = stageAll.AllReduceTime(dpInd, wBytes)
+	}
+
+	// Event-driven 1F1B schedule: split the simulated stage time into its
+	// forward and backward+gradient parts (1:2 by FLOPs) and lay out the
+	// exact per-stage timeline with inter-stage hand-off latency.
+	fwd := stageTime / 3
+	bwd := stageTime - fwd
+	sched, err := Simulate1F1B(c3.P, nMB, fwd+p2p/2, bwd+p2p/2, 0)
+	if err != nil {
+		return nil, err
+	}
+	total := sched.Makespan + dpAR
+	tokens := float64(c3.GlobalBatch) * float64(cfg.SeqLen)
+
+	// Peak memory: weights resident once; activation stashes for up to p
+	// in-flight micro-batches (1F1B depth at stage 0).
+	inflight := c3.P
+	if nMB < inflight {
+		inflight = nMB
+	}
+	mem := rep.PeakMemoryBytes + float64(inflight-1)*stashOf(g, seqs, layersPerStage, full.Profile.ElementBytes)
+
+	return &Result{
+		System:          system,
+		Config:          c3,
+		IterationTime:   total,
+		Throughput:      tokens / total,
+		StageTime:       stageTime,
+		BubbleFraction:  sched.BubbleFraction,
+		PeakMemoryBytes: mem,
+		Seqs:            seqs,
+	}, nil
+}
+
+func stashOf(g *graph.Graph, seqs []partition.Seq, layers int, eb float64) float64 {
+	total := 0.0
+	for i, op := range g.Nodes {
+		for _, ti := range op.Stash {
+			total += cost.BlockElems(op, seqs[i], ti) * eb
+		}
+	}
+	return total * float64(layers)
+}
+
+// Best evaluates every configuration and returns the per-system optimum —
+// the numbers the paper reports as "highest throughput".
+func Best(cfg model.Config, full *device.Cluster, globalBatch, microbatch int, system System) (*Result, []*Result, error) {
+	configs := AllConfigs(full.NumDevices, cfg.Layers, globalBatch, microbatch)
+	if len(configs) == 0 {
+		return nil, nil, fmt.Errorf("pipeline: no feasible (p,d,m) configuration")
+	}
+	var best *Result
+	var all []*Result
+	for _, c3 := range configs {
+		r, err := Evaluate(cfg, full, c3, system)
+		if err != nil {
+			continue
+		}
+		all = append(all, r)
+		if best == nil || r.Throughput > best.Throughput {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("pipeline: all configurations failed")
+	}
+	return best, all, nil
+}

@@ -1,0 +1,174 @@
+// Event-driven 1F1B (PipeDream-Flush) schedule simulation: instead of the
+// closed-form (m+p−1)·T approximation, build the exact per-stage timeline of
+// forward and backward micro-batch executions with cross-stage dependencies
+// and per-hop transfer latency, and measure makespan and bubble directly.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// SchedOp is one executed micro-batch phase on a stage's timeline.
+type SchedOp struct {
+	Micro    int
+	Backward bool
+	Start    float64
+	End      float64
+}
+
+// Schedule is the simulated execution of a 1F1B pipeline.
+type Schedule struct {
+	Stages, Micros int
+	// Timeline[s] lists stage s's operations in execution order.
+	Timeline [][]SchedOp
+	// Makespan is the total wall-clock of the iteration (flush included).
+	Makespan float64
+	// BubbleFraction is the average stage idle share.
+	BubbleFraction float64
+}
+
+// Simulate1F1B runs p stages over m micro-batches with per-stage forward
+// time f, backward time b (backward includes the gradient phase) and
+// inter-stage hand-off latency c. The per-stage op order is the standard
+// 1F1B pattern: min(p−s, m) warm-up forwards, then alternating
+// backward/forward, then the cool-down backwards.
+func Simulate1F1B(p, m int, f, b, c float64) (*Schedule, error) {
+	if p < 1 || m < 1 {
+		return nil, fmt.Errorf("pipeline: need ≥1 stage and ≥1 micro-batch, got %d/%d", p, m)
+	}
+	if f < 0 || b < 0 || c < 0 {
+		return nil, fmt.Errorf("pipeline: negative durations")
+	}
+
+	// Build each stage's op order.
+	type opRef struct {
+		micro    int
+		backward bool
+	}
+	order := make([][]opRef, p)
+	for s := 0; s < p; s++ {
+		warm := p - s
+		if warm > m {
+			warm = m
+		}
+		var ops []opRef
+		for i := 0; i < warm; i++ {
+			ops = append(ops, opRef{micro: i})
+		}
+		nextFwd := warm
+		nextBwd := 0
+		for nextFwd < m {
+			ops = append(ops, opRef{micro: nextBwd, backward: true})
+			nextBwd++
+			ops = append(ops, opRef{micro: nextFwd})
+			nextFwd++
+		}
+		for nextBwd < m {
+			ops = append(ops, opRef{micro: nextBwd, backward: true})
+			nextBwd++
+		}
+		order[s] = ops
+	}
+
+	fwdDone := make([][]float64, p)
+	bwdDone := make([][]float64, p)
+	for s := 0; s < p; s++ {
+		fwdDone[s] = filled(m, math.Inf(1))
+		bwdDone[s] = filled(m, math.Inf(1))
+	}
+
+	// Event-driven relaxation: repeatedly execute, across stages, the
+	// next unexecuted op whose dependency is ready, choosing the one with
+	// the earliest feasible start. Each stage is a serial resource.
+	timeline := make([][]SchedOp, p)
+	next := make([]int, p) // next op index per stage
+	stageFree := make([]float64, p)
+	remaining := 0
+	for s := 0; s < p; s++ {
+		remaining += len(order[s])
+	}
+	for remaining > 0 {
+		bestStage := -1
+		bestStart := math.Inf(1)
+		for s := 0; s < p; s++ {
+			if next[s] >= len(order[s]) {
+				continue
+			}
+			op := order[s][next[s]]
+			ready := 0.0
+			if op.backward {
+				if s+1 < p {
+					ready = bwdDone[s+1][op.micro] + c
+				} else {
+					ready = fwdDone[s][op.micro] // last stage turns around locally
+				}
+			} else if s > 0 {
+				ready = fwdDone[s-1][op.micro] + c
+			}
+			if math.IsInf(ready, 1) {
+				continue // dependency not yet scheduled
+			}
+			start := math.Max(ready, stageFree[s])
+			if start < bestStart {
+				bestStart = start
+				bestStage = s
+			}
+		}
+		if bestStage == -1 {
+			return nil, fmt.Errorf("pipeline: schedule deadlocked (%d ops left)", remaining)
+		}
+		s := bestStage
+		op := order[s][next[s]]
+		dur := f
+		if op.backward {
+			dur = b
+		}
+		end := bestStart + dur
+		timeline[s] = append(timeline[s], SchedOp{Micro: op.micro, Backward: op.backward, Start: bestStart, End: end})
+		if op.backward {
+			bwdDone[s][op.micro] = end
+		} else {
+			fwdDone[s][op.micro] = end
+		}
+		stageFree[s] = end
+		next[s]++
+		remaining--
+	}
+
+	makespan := 0.0
+	busy := 0.0
+	for s := 0; s < p; s++ {
+		for _, op := range timeline[s] {
+			if op.End > makespan {
+				makespan = op.End
+			}
+			busy += op.End - op.Start
+		}
+	}
+	bubble := 0.0
+	if makespan > 0 {
+		bubble = 1 - busy/(float64(p)*makespan)
+	}
+	return &Schedule{
+		Stages:         p,
+		Micros:         m,
+		Timeline:       timeline,
+		Makespan:       makespan,
+		BubbleFraction: bubble,
+	}, nil
+}
+
+func filled(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// ClosedForm1F1B is the textbook makespan approximation
+// (m + p − 1) · (f + b) for c = 0 — used to validate the event simulation.
+func ClosedForm1F1B(p, m int, f, b float64) float64 {
+	return float64(m+p-1) * (f + b)
+}

@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulate1F1BValidation(t *testing.T) {
+	if _, err := Simulate1F1B(0, 4, 1, 2, 0); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	if _, err := Simulate1F1B(4, 0, 1, 2, 0); err == nil {
+		t.Fatal("zero microbatches accepted")
+	}
+	if _, err := Simulate1F1B(2, 2, -1, 2, 0); err == nil {
+		t.Fatal("negative durations accepted")
+	}
+}
+
+// Single stage, no pipeline: makespan = m(f+b), no bubble.
+func TestSingleStage(t *testing.T) {
+	s, err := Simulate1F1B(1, 8, 1, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-8*3) > 1e-12 {
+		t.Fatalf("makespan = %v, want 24", s.Makespan)
+	}
+	if s.BubbleFraction > 1e-12 {
+		t.Fatalf("bubble = %v, want 0", s.BubbleFraction)
+	}
+}
+
+// With zero transfer cost and uniform stages the event simulation matches
+// the textbook closed form (m + p − 1)(f + b).
+func TestMatchesClosedForm(t *testing.T) {
+	for _, tc := range []struct{ p, m int }{{2, 4}, {4, 8}, {4, 16}, {8, 32}} {
+		f, b := 1.0, 2.0
+		s, err := Simulate1F1B(tc.p, tc.m, f, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ClosedForm1F1B(tc.p, tc.m, f, b)
+		if math.Abs(s.Makespan-want) > 1e-9 {
+			t.Fatalf("p=%d m=%d: makespan %v, closed form %v", tc.p, tc.m, s.Makespan, want)
+		}
+	}
+}
+
+// Schedule sanity: per-stage ops never overlap; every dependency is
+// respected; all m forwards and backwards run on every stage.
+func TestScheduleConsistency(t *testing.T) {
+	s, err := Simulate1F1B(4, 8, 1.0, 1.7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdEnd := make([][]float64, s.Stages)
+	bwdEnd := make([][]float64, s.Stages)
+	for i := range fwdEnd {
+		fwdEnd[i] = make([]float64, s.Micros)
+		bwdEnd[i] = make([]float64, s.Micros)
+	}
+	for st, ops := range s.Timeline {
+		if len(ops) != 2*s.Micros {
+			t.Fatalf("stage %d ran %d ops, want %d", st, len(ops), 2*s.Micros)
+		}
+		last := 0.0
+		for _, op := range ops {
+			if op.Start < last-1e-12 {
+				t.Fatalf("stage %d ops overlap", st)
+			}
+			last = op.End
+			if op.Backward {
+				bwdEnd[st][op.Micro] = op.End
+			} else {
+				fwdEnd[st][op.Micro] = op.End
+			}
+		}
+	}
+	for st := 1; st < s.Stages; st++ {
+		for mb := 0; mb < s.Micros; mb++ {
+			if fwdEnd[st][mb]-1.0 < fwdEnd[st-1][mb]+0.1-1e-9 {
+				t.Fatalf("fwd dep violated at stage %d micro %d", st, mb)
+			}
+		}
+	}
+	for st := 0; st < s.Stages-1; st++ {
+		for mb := 0; mb < s.Micros; mb++ {
+			if bwdEnd[st][mb]-1.7 < bwdEnd[st+1][mb]+0.1-1e-9 {
+				t.Fatalf("bwd dep violated at stage %d micro %d", st, mb)
+			}
+		}
+	}
+}
+
+// Bubble shrinks as micro-batches grow (fixed p).
+func TestQuickBubbleMonotone(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := 2 + int(seed%4)
+		m1 := p + int(seed%8)
+		m2 := m1 * 2
+		a, err := Simulate1F1B(p, m1, 1, 2, 0.05)
+		if err != nil {
+			return false
+		}
+		b, err := Simulate1F1B(p, m2, 1, 2, 0.05)
+		if err != nil {
+			return false
+		}
+		return b.BubbleFraction <= a.BubbleFraction+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Transfer latency only ever lengthens the schedule.
+func TestTransferCostMonotone(t *testing.T) {
+	a, err := Simulate1F1B(4, 8, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate1F1B(4, 8, 1, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Makespan <= a.Makespan {
+		t.Fatalf("transfers should lengthen the schedule: %v vs %v", b.Makespan, a.Makespan)
+	}
+}

@@ -1,0 +1,232 @@
+// Package report renders experiment results as aligned text tables and
+// provides the normalisation/aggregation helpers the paper's figures use
+// (normalized throughput bars, geo-mean speedups).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// CSV renders the table as RFC-4180 CSV (header row first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Headers)
+	for _, row := range t.rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// WriteCSV saves the table under dir as <slug(title)>.csv.
+func (t *Table) WriteCSV(dir string) (string, error) {
+	name := slug(t.Title)
+	if name == "" {
+		name = "table"
+	}
+	path := filepath.Join(dir, name+".csv")
+	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// slug lowercases and strips a title to a safe file stem.
+func slug(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// Normalize scales values so that the maximum becomes 1 (the paper's
+// "normalized throughput" convention). A zero maximum yields zeros.
+func Normalize(values []float64) []float64 {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(values))
+	if max == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / max
+	}
+	return out
+}
+
+// NormalizeTo scales values by a reference (e.g. the baseline's value).
+func NormalizeTo(values []float64, ref float64) []float64 {
+	out := make([]float64, len(values))
+	if ref == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / ref
+	}
+	return out
+}
+
+// GeoMean computes the geometric mean of positive values.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(values)))
+}
+
+// Speedup returns new/old ratios elementwise.
+func Speedup(newVals, oldVals []float64) []float64 {
+	out := make([]float64, len(newVals))
+	for i := range newVals {
+		if oldVals[i] != 0 {
+			out[i] = newVals[i] / oldVals[i]
+		}
+	}
+	return out
+}
+
+// Bar renders a value in [0,1] as a text bar of the given width.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// Seconds formats a duration in engineering units.
+func Seconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+// Bytes formats a byte count in binary units.
+func Bytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.2f%s", b, units[i])
+}

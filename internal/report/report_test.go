@@ -1,0 +1,143 @@
+package report
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("demo", "model", "gpus", "speedup")
+	tb.AddRow("OPT-175B", 32, 1.68)
+	tb.AddRow("Llama2-7B", 4, 1.16)
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "OPT-175B") || !strings.Contains(s, "1.68") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	// Columns align: header and row share the column start offsets.
+	if strings.Index(lines[1], "gpus") != strings.Index(lines[1], "gpus") {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(1234567.0)
+	tb.AddRow(0.000012)
+	s := tb.String()
+	if !strings.Contains(s, "0") || !strings.Contains(s, "e+06") || !strings.Contains(s, "e-05") {
+		t.Fatalf("formatting wrong:\n%s", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 1})
+	want := []float64{0.5, 1, 0.25}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalize = %v", out)
+		}
+	}
+	if z := Normalize([]float64{0, 0}); z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero input should normalize to zeros")
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	out := NormalizeTo([]float64{3, 6}, 3)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("NormalizeTo = %v", out)
+	}
+	if z := NormalizeTo([]float64{3}, 0); z[0] != 0 {
+		t.Fatal("zero reference should yield zeros")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive values should yield 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := Speedup([]float64{3, 8}, []float64{2, 4})
+	if s[0] != 1.5 || s[1] != 2 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if z := Speedup([]float64{1}, []float64{0}); z[0] != 0 {
+		t.Fatal("division by zero should yield 0")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); strings.Count(got, "█") != 5 {
+		t.Fatalf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 4); strings.Count(got, "█") != 0 {
+		t.Fatalf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); strings.Count(got, "█") != 4 {
+		t.Fatalf("Bar(2) = %q", got)
+	}
+}
+
+func TestSecondsAndBytes(t *testing.T) {
+	if Seconds(0) != "0" || !strings.HasSuffix(Seconds(5e-7), "µs") ||
+		!strings.HasSuffix(Seconds(0.02), "ms") || !strings.HasSuffix(Seconds(3), "s") {
+		t.Fatal("Seconds formatting wrong")
+	}
+	if Bytes(512) != "512.00B" {
+		t.Fatalf("Bytes(512) = %q", Bytes(512))
+	}
+	if !strings.HasSuffix(Bytes(3e9), "GiB") {
+		t.Fatalf("Bytes(3e9) = %q", Bytes(3e9))
+	}
+}
+
+func TestCSVAndSlug(t *testing.T) {
+	tb := NewTable("Fig. 7 — Throughput", "model", "speedup")
+	tb.AddRow("OPT-175B", 1.47)
+	csvText := tb.CSV()
+	if !strings.HasPrefix(csvText, "model,speedup\n") {
+		t.Fatalf("CSV header wrong:\n%s", csvText)
+	}
+	if !strings.Contains(csvText, "OPT-175B,1.47") {
+		t.Fatalf("CSV row wrong:\n%s", csvText)
+	}
+	dir := t.TempDir()
+	path, err := tb.WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "fig-7-throughput.csv") {
+		t.Fatalf("slug path = %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != csvText {
+		t.Fatal("file contents differ from CSV()")
+	}
+	if slug("  ---  ") != "" {
+		t.Fatalf("degenerate slug = %q", slug("  ---  "))
+	}
+}

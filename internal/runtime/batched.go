@@ -1,0 +1,374 @@
+// Batched (4-axis) SPMD executor: the full linear operator of the paper's
+// Eq. 1 with an EXPLICIT batch axis, O[B,M,K] = I[B,M,N]·W[N,K], under any
+// partition sequence over (B, M, N, K) — including splits of B and M to
+// different device bits, which the 3-axis engine (batch folded into M)
+// cannot express. This executes the Gradient phase's reduction over BOTH
+// B and M (dW = Σ_b I_bᵀ·dO_b, the data-parallel gradient) numerically.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Axis indices of the batched linear operator (match internal/model's
+// LinB/LinM/LinN/LinK).
+const (
+	BAxB = 0
+	BAxM = 1
+	BAxN = 2
+	BAxK = 3
+)
+
+var (
+	bDimsI = []int{BAxB, BAxM, BAxN}
+	bDimsW = []int{BAxN, BAxK}
+	bDimsO = []int{BAxB, BAxM, BAxK}
+	bAxes  = 4
+)
+
+// Batch is a 3-D block: one matrix per local batch element.
+type Batch []*tensor.Tensor
+
+// Clone deep-copies the batch.
+func (b Batch) Clone() Batch {
+	out := make(Batch, len(b))
+	for i, m := range b {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// Elems counts the total elements of the batch block.
+func (b Batch) Elems() int64 {
+	n := int64(0)
+	for _, m := range b {
+		n += int64(m.Size())
+	}
+	return n
+}
+
+// BatchedEngine executes partitioned training of the 4-axis linear.
+type BatchedEngine struct {
+	Seq        partition.Seq
+	NBits      int
+	B, M, N, K int
+}
+
+// NewBatchedEngine validates sizes and bit usage.
+func NewBatchedEngine(seq partition.Seq, nbits, b, m, n, k int) (*BatchedEngine, error) {
+	if err := seq.Validate(bAxes, nbits); err != nil {
+		return nil, err
+	}
+	if seq.Bits() != nbits {
+		return nil, fmt.Errorf("runtime: sequence consumes %d of %d device bits", seq.Bits(), nbits)
+	}
+	e := &BatchedEngine{Seq: seq, NBits: nbits, B: b, M: m, N: n, K: k}
+	for ax, size := range map[int]int{BAxB: b, BAxM: m, BAxN: n, BAxK: k} {
+		if s := seq.NumSlices(ax); size%s != 0 {
+			return nil, fmt.Errorf("runtime: axis %d size %d not divisible by %d slices", ax, size, s)
+		}
+	}
+	return e, nil
+}
+
+func (e *BatchedEngine) devices() int { return 1 << e.NBits }
+
+func (e *BatchedEngine) axisSize(ax int) int {
+	switch ax {
+	case BAxB:
+		return e.B
+	case BAxM:
+		return e.M
+	case BAxN:
+		return e.N
+	}
+	return e.K
+}
+
+// sliceRange returns the element range of axis ax addressed by DSI value v.
+func (e *BatchedEngine) sliceRange(ax, v int) (int, int) {
+	per := e.axisSize(ax) / e.Seq.NumSlices(ax)
+	return v * per, (v + 1) * per
+}
+
+// batchBlockOf slices a full batched tensor (list of B matrices, each
+// rows×cols over rowAx×colAx) into the device's block at (ph, step).
+func (e *BatchedEngine) batchBlockOf(full []*tensor.Tensor, rowAx, colAx int, ph partition.Phase, dev, step int) Batch {
+	dsi := e.Seq.SliceIndices(ph, bAxes, e.NBits, dev, step)
+	b0, b1 := e.sliceRange(BAxB, dsi[BAxB])
+	r0, r1 := e.sliceRange(rowAx, dsi[rowAx])
+	c0, c1 := e.sliceRange(colAx, dsi[colAx])
+	out := make(Batch, 0, b1-b0)
+	for bi := b0; bi < b1; bi++ {
+		out = append(out, full[bi].Block(r0, r1, c0, c1))
+	}
+	return out
+}
+
+// matBlockOf slices a 2-D tensor (e.g. W) into the device's block.
+func (e *BatchedEngine) matBlockOf(full *tensor.Tensor, rowAx, colAx int, ph partition.Phase, dev, step int) *tensor.Tensor {
+	dsi := e.Seq.SliceIndices(ph, bAxes, e.NBits, dev, step)
+	r0, r1 := e.sliceRange(rowAx, dsi[rowAx])
+	c0, c1 := e.sliceRange(colAx, dsi[colAx])
+	return full.Block(r0, r1, c0, c1)
+}
+
+// batched message/link plumbing (mirrors the 2-D engine's, with Batch
+// payloads).
+type bMsg struct{ data Batch }
+
+type bLink struct {
+	ch    chan bMsg
+	moved *int64
+}
+
+type bSchedule struct {
+	outgoing [][][]*bLink
+	incoming [][][]*bLink
+}
+
+func (e *BatchedEngine) buildBSchedule(boundaries int, moved *int64, cross func(t int) []partition.Transfer) *bSchedule {
+	n := e.devices()
+	s := &bSchedule{
+		outgoing: make([][][]*bLink, boundaries),
+		incoming: make([][][]*bLink, boundaries),
+	}
+	for t := 0; t < boundaries; t++ {
+		s.outgoing[t] = make([][]*bLink, n)
+		s.incoming[t] = make([][]*bLink, n)
+		for _, tr := range cross(t) {
+			l := &bLink{ch: make(chan bMsg, 1), moved: moved}
+			s.outgoing[t][tr.From] = append(s.outgoing[t][tr.From], l)
+			s.incoming[t][tr.To] = append(s.incoming[t][tr.To], l)
+		}
+	}
+	return s
+}
+
+func (e *BatchedEngine) stepBSchedule(ph partition.Phase, dims []int, moved *int64) *bSchedule {
+	return e.buildBSchedule(e.Seq.Steps()-1, moved, func(t int) []partition.Transfer {
+		return e.Seq.StepTransfers(ph, dims, bAxes, e.NBits, t)
+	})
+}
+
+func (e *BatchedEngine) transitionBSchedule(from, to partition.Phase, dims []int, moved *int64) *bSchedule {
+	return e.buildBSchedule(1, moved, func(int) []partition.Transfer {
+		return e.Seq.PhaseTransitionTransfers(from, to, dims, bAxes, e.NBits)
+	})
+}
+
+func bExchange(s *bSchedule, t, dev int, blk Batch) Batch {
+	if t >= len(s.outgoing) {
+		return blk
+	}
+	for _, l := range s.outgoing[t][dev] {
+		if l.moved != nil {
+			atomic.AddInt64(l.moved, blk.Elems())
+		}
+		l.ch <- bMsg{data: blk.Clone()}
+	}
+	for _, l := range s.incoming[t][dev] {
+		blk = (<-l.ch).data
+	}
+	return blk
+}
+
+// BatchedResult carries the assembled outputs of one batched iteration.
+type BatchedResult struct {
+	O, DI []*tensor.Tensor // per batch element
+	DW    *tensor.Tensor
+	Comm  *CommStats
+}
+
+// Train runs Forward, Backward and Gradient of the batched linear under the
+// engine's partition sequence and assembles full results.
+func (e *BatchedEngine) Train(I []*tensor.Tensor, W *tensor.Tensor, dO []*tensor.Tensor) (*BatchedResult, error) {
+	if len(I) != e.B || len(dO) != e.B {
+		return nil, fmt.Errorf("runtime: batch arity %d/%d, want %d", len(I), len(dO), e.B)
+	}
+	if W.Dim(0) != e.N || W.Dim(1) != e.K {
+		return nil, fmt.Errorf("runtime: W is %v, want [%d %d]", W.Shape(), e.N, e.K)
+	}
+	n := e.devices()
+	steps := e.Seq.Steps()
+	stats := &CommStats{}
+
+	// W circulates as a 2-D block; I, dO and dW-as-batch... dW is 2-D.
+	fwdI := e.stepBSchedule(partition.Forward, bDimsI, &stats.Forward)
+	bwdO := e.stepBSchedule(partition.Backward, bDimsO, &stats.Backward)
+	grdI := e.stepBSchedule(partition.Gradient, bDimsI, &stats.Gradient)
+	grdO := e.stepBSchedule(partition.Gradient, bDimsO, &stats.Gradient)
+
+	// 2-D circulations reuse the flat engine's plumbing via a shim engine
+	// sharing the sequence (W has no batch axis).
+	fwdW := e.buildSchedule2(partition.Forward, bDimsW, &stats.Forward)
+	bwdW := e.buildSchedule2(partition.Backward, bDimsW, &stats.Backward)
+	bwdWBack := e.transitionSchedule2(partition.Backward, partition.Forward, bDimsW, &stats.Backward)
+	grdW := e.buildSchedule2(partition.Gradient, bDimsW, &stats.Gradient)
+
+	grdGroups := e.Seq.Holders(partition.Gradient, bDimsW, bAxes, e.NBits, steps-1)
+	var groups [][]int
+	for _, hs := range grdGroups {
+		groups = append(groups, hs)
+	}
+	grdLinks := makeGroupLinks(groups, n)
+
+	type devOut struct {
+		o, di Batch
+		dw    *tensor.Tensor
+	}
+	outs := make([]devOut, n)
+	var wg sync.WaitGroup
+	for dev := 0; dev < n; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			iBlk := e.batchBlockOf(I, BAxM, BAxN, partition.Forward, dev, 0)
+			wBlk := e.matBlockOf(W, BAxN, BAxK, partition.Forward, dev, 0)
+
+			// ---- Forward ----
+			oAcc := make(Batch, len(iBlk))
+			for bi := range oAcc {
+				oAcc[bi] = tensor.New(iBlk[bi].Dim(0), wBlk.Dim(1))
+			}
+			for t := 0; t < steps; t++ {
+				for bi := range iBlk {
+					oAcc[bi].AddInPlace(tensor.MatMul(iBlk[bi], wBlk))
+				}
+				iBlk = bExchange(fwdI, t, dev, iBlk)
+				wBlk = exchange(fwdW, t, dev, wBlk)
+			}
+			stashI := iBlk
+
+			// ---- Backward ----
+			dOBlk := e.batchBlockOf(dO, BAxM, BAxK, partition.Backward, dev, 0)
+			diAcc := make(Batch, len(dOBlk))
+			for bi := range diAcc {
+				diAcc[bi] = tensor.New(dOBlk[bi].Dim(0), wBlk.Dim(0))
+			}
+			for t := 0; t < steps; t++ {
+				for bi := range dOBlk {
+					diAcc[bi].AddInPlace(tensor.MatMulTransB(dOBlk[bi], wBlk))
+				}
+				dOBlk = bExchange(bwdO, t, dev, dOBlk)
+				wBlk = exchange(bwdW, t, dev, wBlk)
+			}
+			wBlk = exchange(bwdWBack, 0, dev, wBlk)
+
+			// ---- Gradient ----
+			iBlk = stashI
+			dwAcc := tensor.New(iBlk[0].Dim(1), dOBlk[0].Dim(1))
+			for t := 0; t < steps; t++ {
+				for bi := range iBlk {
+					dwAcc.AddInPlace(tensor.MatMulTransA(iBlk[bi], dOBlk[bi]))
+				}
+				dwAcc = exchange(grdW, t, dev, dwAcc)
+				iBlk = bExchange(grdI, t, dev, iBlk)
+				dOBlk = bExchange(grdO, t, dev, dOBlk)
+			}
+			dwAcc = allReduce(grdLinks, dev, dwAcc, &stats.AllReduce)
+
+			outs[dev] = devOut{o: oAcc, di: diAcc, dw: dwAcc}
+		}(dev)
+	}
+	wg.Wait()
+
+	res := &BatchedResult{
+		O:    newBatchFull(e.B, e.M, e.K),
+		DI:   newBatchFull(e.B, e.M, e.N),
+		DW:   tensor.New(e.N, e.K),
+		Comm: stats,
+	}
+	e.assembleBatch(res.O, bDimsO, BAxM, BAxK, partition.Forward, func(d int) Batch { return outs[d].o })
+	e.assembleBatch(res.DI, bDimsI, BAxM, BAxN, partition.Backward, func(d int) Batch { return outs[d].di })
+	// dW: replicas identical post-all-reduce; place by last Gradient DSI.
+	last := steps - 1
+	for dev := 0; dev < n; dev++ {
+		dsi := e.Seq.SliceIndices(partition.Gradient, bAxes, e.NBits, dev, last)
+		r0, _ := e.sliceRange(BAxN, dsi[BAxN])
+		c0, _ := e.sliceRange(BAxK, dsi[BAxK])
+		res.DW.SetBlock(r0, c0, outs[dev].dw)
+	}
+	return res, nil
+}
+
+func newBatchFull(b, rows, cols int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, b)
+	for i := range out {
+		out[i] = tensor.New(rows, cols)
+	}
+	return out
+}
+
+// assembleBatch sums each device's per-batch-element partial blocks into the
+// full batched tensor (devices sharing an output tuple differ in a reduced
+// axis slice and thus hold partial sums; replicas cannot arise because the
+// engine requires all bits consumed and every bit splits some axis).
+func (e *BatchedEngine) assembleBatch(dst []*tensor.Tensor, dims []int, rowAx, colAx int, ph partition.Phase, blk func(dev int) Batch) {
+	last := e.Seq.Steps() - 1
+	for dev := 0; dev < e.devices(); dev++ {
+		dsi := e.Seq.SliceIndices(ph, bAxes, e.NBits, dev, last)
+		b0, _ := e.sliceRange(BAxB, dsi[BAxB])
+		r0, _ := e.sliceRange(rowAx, dsi[rowAx])
+		c0, _ := e.sliceRange(colAx, dsi[colAx])
+		for bi, m := range blk(dev) {
+			dst[b0+bi].AddBlock(r0, c0, m)
+		}
+	}
+}
+
+// buildSchedule2 / transitionSchedule2 adapt the flat (2-D) scheduling
+// machinery to the 4-axis DSI space for tensors without a batch axis.
+func (e *BatchedEngine) buildSchedule2(ph partition.Phase, dims []int, moved *int64) *schedule {
+	n := e.devices()
+	boundaries := e.Seq.Steps() - 1
+	s := &schedule{
+		outgoing: make([][][]*link, boundaries),
+		incoming: make([][][]*link, boundaries),
+	}
+	for t := 0; t < boundaries; t++ {
+		s.outgoing[t] = make([][]*link, n)
+		s.incoming[t] = make([][]*link, n)
+		for _, tr := range e.Seq.StepTransfers(ph, dims, bAxes, e.NBits, t) {
+			l := &link{ch: make(chan msg, 1), moved: moved}
+			s.outgoing[t][tr.From] = append(s.outgoing[t][tr.From], l)
+			s.incoming[t][tr.To] = append(s.incoming[t][tr.To], l)
+		}
+	}
+	return s
+}
+
+func (e *BatchedEngine) transitionSchedule2(from, to partition.Phase, dims []int, moved *int64) *schedule {
+	n := e.devices()
+	s := &schedule{
+		outgoing: make([][][]*link, 1),
+		incoming: make([][][]*link, 1),
+	}
+	s.outgoing[0] = make([][]*link, n)
+	s.incoming[0] = make([][]*link, n)
+	for _, tr := range e.Seq.PhaseTransitionTransfers(from, to, dims, bAxes, e.NBits) {
+		l := &link{ch: make(chan msg, 1), moved: moved}
+		s.outgoing[0][tr.From] = append(s.outgoing[0][tr.From], l)
+		s.incoming[0][tr.To] = append(s.incoming[0][tr.To], l)
+	}
+	return s
+}
+
+// SerialBatched is the unpartitioned reference: O_b = I_b·W, dI_b = dO_b·Wᵀ,
+// dW = Σ_b I_bᵀ·dO_b.
+func SerialBatched(I []*tensor.Tensor, W *tensor.Tensor, dO []*tensor.Tensor) (o, di []*tensor.Tensor, dw *tensor.Tensor) {
+	o = make([]*tensor.Tensor, len(I))
+	di = make([]*tensor.Tensor, len(I))
+	dw = tensor.New(W.Dim(0), W.Dim(1))
+	for b := range I {
+		o[b] = tensor.MatMul(I[b], W)
+		di[b] = tensor.MatMulTransB(dO[b], W)
+		dw.AddInPlace(tensor.MatMulTransA(I[b], dO[b]))
+	}
+	return o, di, dw
+}

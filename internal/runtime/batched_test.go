@@ -1,0 +1,160 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+func batchedFixture(rng *rand.Rand, b, m, n, k int) ([]*tensor.Tensor, *tensor.Tensor, []*tensor.Tensor) {
+	I := make([]*tensor.Tensor, b)
+	dO := make([]*tensor.Tensor, b)
+	for i := 0; i < b; i++ {
+		I[i] = tensor.New(m, n).FillRandom(rng)
+		dO[i] = tensor.New(m, k).FillRandom(rng)
+	}
+	W := tensor.New(n, k).FillRandom(rng)
+	return I, W, dO
+}
+
+func batchedCompare(t *testing.T, seq partition.Seq, nbits, b, m, n, k int, seed int64) *BatchedResult {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	I, W, dO := batchedFixture(rng, b, m, n, k)
+	e, err := NewBatchedEngine(seq, nbits, b, m, n, k)
+	if err != nil {
+		t.Fatalf("NewBatchedEngine(%v): %v", seq, err)
+	}
+	got, err := e.Train(I, W, dO)
+	if err != nil {
+		t.Fatalf("Train(%v): %v", seq, err)
+	}
+	o, di, dw := SerialBatched(I, W, dO)
+	for bi := range o {
+		if d := tensor.MaxAbsDiff(got.O[bi], o[bi]); d > tol {
+			t.Fatalf("seq %v: O[%d] differs by %g", seq, bi, d)
+		}
+		if d := tensor.MaxAbsDiff(got.DI[bi], di[bi]); d > tol {
+			t.Fatalf("seq %v: dI[%d] differs by %g", seq, bi, d)
+		}
+	}
+	if d := tensor.MaxAbsDiff(got.DW, dw); d > tol {
+		t.Fatalf("seq %v: dW differs by %g", seq, d)
+	}
+	return got
+}
+
+// Pure data parallelism with a REAL batch axis: the gradient reduction over
+// B is a genuine cross-device all-reduce.
+func TestBatchedDataParallel(t *testing.T) {
+	seq := partition.NewSeq(partition.Split(BAxB), partition.Split(BAxB))
+	res := batchedCompare(t, seq, 2, 4, 6, 8, 6, 1)
+	if res.Comm.AllReduce == 0 {
+		t.Fatal("data parallelism must all-reduce dW")
+	}
+	if res.Comm.Forward != 0 || res.Comm.Backward != 0 || res.Comm.Gradient != 0 {
+		t.Fatalf("pure DP should move nothing between steps: %+v", res.Comm)
+	}
+}
+
+// Batch split composed with the spatial-temporal primitive — the "B,P2x2"
+// strategies the optimizer emits (Fig. 9's fc1.𝒫 at 8 GPUs).
+func TestBatchedDPPlusPrime(t *testing.T) {
+	seq := partition.NewSeq(partition.Split(BAxB), partition.NewPrime(1, BAxM, BAxN, BAxK))
+	res := batchedCompare(t, seq, 3, 4, 8, 8, 8, 2)
+	if res.Comm.AllReduce == 0 {
+		t.Fatal("the batch split must still all-reduce dW across DP groups")
+	}
+	if res.Comm.Forward == 0 {
+		t.Fatal("the prime must circulate blocks")
+	}
+}
+
+// Splitting B and M to different bits — inexpressible in the 3-axis engine.
+func TestBatchedSeparateBAndMSplits(t *testing.T) {
+	cases := []partition.Seq{
+		partition.NewSeq(partition.Split(BAxB), partition.Split(BAxM)),
+		partition.NewSeq(partition.Split(BAxM), partition.Split(BAxB), partition.Split(BAxN)),
+		partition.NewSeq(partition.Split(BAxB), partition.Split(BAxK), partition.Split(BAxN)),
+	}
+	for i, seq := range cases {
+		batchedCompare(t, seq, seq.Bits(), 4, 8, 8, 8, int64(3+i))
+	}
+}
+
+func TestBatchedPurePrime(t *testing.T) {
+	seq := partition.NewSeq(partition.NewPrime(1, BAxM, BAxN, BAxK))
+	res := batchedCompare(t, seq, 2, 3, 8, 8, 8, 7)
+	if res.Comm.AllReduce != 0 {
+		t.Fatal("pure prime must be collective-free even with a batch axis")
+	}
+}
+
+func TestBatchedEngineValidation(t *testing.T) {
+	prime := partition.NewSeq(partition.NewPrime(1, BAxM, BAxN, BAxK))
+	if _, err := NewBatchedEngine(prime, 2, 4, 7, 8, 8); err == nil {
+		t.Fatal("non-divisible M accepted")
+	}
+	if _, err := NewBatchedEngine(partition.NewSeq(partition.Split(BAxB)), 2, 4, 8, 8, 8); err == nil {
+		t.Fatal("partial bit usage accepted")
+	}
+	e, err := NewBatchedEngine(prime, 2, 4, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	I, W, dO := batchedFixture(rng, 4, 8, 8, 8)
+	if _, err := e.Train(I[:2], W, dO); err == nil {
+		t.Fatal("wrong batch arity accepted")
+	}
+	if _, err := e.Train(I, tensor.New(4, 4), dO); err == nil {
+		t.Fatal("wrong W shape accepted")
+	}
+}
+
+// Property: any sequence over all four axes preserves batched training
+// semantics.
+func TestQuickBatchedAnySequence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nbits := 2 + rng.Intn(2)
+		var toks []partition.Token
+		remaining := nbits
+		for remaining > 0 {
+			if remaining >= 2 && rng.Intn(3) == 0 {
+				toks = append(toks, partition.NewPrime(1, BAxM, BAxN, BAxK))
+				remaining -= 2
+				continue
+			}
+			toks = append(toks, partition.Split(rng.Intn(4)))
+			remaining--
+		}
+		seq := partition.NewSeq(toks...)
+		b := seq.NumSlices(BAxB) * (1 + rng.Intn(2))
+		m := seq.NumSlices(BAxM) * 2
+		n := seq.NumSlices(BAxN) * 2
+		k := seq.NumSlices(BAxK) * 2
+		I, W, dO := batchedFixture(rng, b, m, n, k)
+		e, err := NewBatchedEngine(seq, nbits, b, m, n, k)
+		if err != nil {
+			return false
+		}
+		got, err := e.Train(I, W, dO)
+		if err != nil {
+			return false
+		}
+		o, di, dw := SerialBatched(I, W, dO)
+		for bi := range o {
+			if tensor.MaxAbsDiff(got.O[bi], o[bi]) > tol || tensor.MaxAbsDiff(got.DI[bi], di[bi]) > tol {
+				return false
+			}
+		}
+		return tensor.MaxAbsDiff(got.DW, dw) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

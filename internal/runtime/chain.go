@@ -1,0 +1,182 @@
+// Chained operators: the numeric realisation of the paper's inter-operator
+// redistribution (Eqs. 8–9). Reshard moves per-device 2-D blocks from a
+// producer's output distribution to a consumer's input distribution using
+// ONLY the DSI interval algebra — summing spatial partial sums, deduplicating
+// replicas — and TrainChain runs a fully-partitioned two-layer MLP training
+// step verified against serial math for ANY pair of partition sequences.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Interval is a half-open 2-D block [R0,R1) × [C0,C1) of a full tensor.
+type Interval struct {
+	R0, R1, C0, C1 int
+}
+
+// Distribution describes which block of a 2-D tensor each device holds at a
+// given (phase, step), plus the full-DSI key that distinguishes genuine
+// replicas (same data) from spatial partial sums (same block coordinates,
+// different reduced slices).
+type Distribution struct {
+	Rows, Cols int
+	Intervals  []Interval
+	// ContentKey[dev] is equal for devices holding IDENTICAL data
+	// (replicas) and distinct for partial-sum peers.
+	ContentKey []string
+}
+
+// Distribution computes the holder map of a tensor spanning dims at the
+// given phase and step (negative steps count from the end).
+func (e *Engine) Distribution(ph partition.Phase, dims []int, step int) *Distribution {
+	n := e.devices()
+	sizes := map[int]int{AxM: e.M, AxN: e.N, AxK: e.K}
+	d := &Distribution{
+		Rows:       sizes[dims[0]],
+		Cols:       sizes[dims[1]],
+		Intervals:  make([]Interval, n),
+		ContentKey: make([]string, n),
+	}
+	for dev := 0; dev < n; dev++ {
+		dsi := e.Seq.SliceIndices(ph, numAxs, e.NBits, dev, step)
+		r0, r1, c0, c1 := e.blockBounds(dsi, dims)
+		d.Intervals[dev] = Interval{R0: r0, R1: r1, C0: c0, C1: c1}
+		// The full DSI tuple keys content: replicas (differing only in
+		// bits touching no axis) share it; partial-sum peers (differing
+		// in a reduced axis slice) do not.
+		d.ContentKey[dev] = fmt.Sprint(dsi)
+	}
+	return d
+}
+
+// Reshard converts per-device blocks from distribution src to distribution
+// dst of the same full tensor: every destination block is stitched from the
+// overlapping pieces of one representative per distinct content key, with
+// partial sums accumulated. It panics if the distributions disagree on the
+// tensor shape.
+func Reshard(src, dst *Distribution, blocks []*tensor.Tensor) []*tensor.Tensor {
+	if src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic(fmt.Sprintf("runtime: reshard shape mismatch %dx%d vs %dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	// One representative device per content key.
+	reps := make([]int, 0, len(blocks))
+	seen := map[string]bool{}
+	for dev, key := range src.ContentKey {
+		if !seen[key] {
+			seen[key] = true
+			reps = append(reps, dev)
+		}
+	}
+	out := make([]*tensor.Tensor, len(dst.Intervals))
+	for dev, need := range dst.Intervals {
+		blk := tensor.New(need.R1-need.R0, need.C1-need.C0)
+		for _, sdev := range reps {
+			have := src.Intervals[sdev]
+			r0, r1 := maxInt(need.R0, have.R0), minInt(need.R1, have.R1)
+			c0, c1 := maxInt(need.C0, have.C0), minInt(need.C1, have.C1)
+			if r0 >= r1 || c0 >= c1 {
+				continue
+			}
+			piece := blocks[sdev].Block(r0-have.R0, r1-have.R0, c0-have.C0, c1-have.C0)
+			blk.AddBlock(r0-need.R0, c0-need.C0, piece)
+		}
+		out[dev] = blk
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ChainResult carries the verified outputs of a two-operator chain.
+type ChainResult struct {
+	O2       *tensor.Tensor // final forward output
+	DI1      *tensor.Tensor // gradient w.r.t. the chain input
+	DW1, DW2 *tensor.Tensor // weight gradients
+}
+
+// TrainChain runs one training step of O2 = (I·W1)·W2 with each linear
+// partitioned by its own engine and the hand-off between them performed by
+// block-level Reshard (never materialising a full activation):
+//
+//	forward:  I --e1--> O1 partials --reshard--> I2 --e2--> O2
+//	backward: dO2 --e2--> dI2 partials --reshard--> dO1 --e1--> dI1
+//
+// Both engines also produce weight gradients and apply local SGD updates.
+func TrainChain(e1, e2 *Engine, I, W1, W2, dO2 *tensor.Tensor, lr float64) (*ChainResult, error) {
+	if e1.NBits != e2.NBits {
+		return nil, fmt.Errorf("runtime: chained engines span different machines (%d vs %d bits)", e1.NBits, e2.NBits)
+	}
+	if e1.M != e2.M || e1.K != e2.N {
+		return nil, fmt.Errorf("runtime: chain shape mismatch: e1 is %dx%dx%d, e2 is %dx%dx%d",
+			e1.M, e1.N, e1.K, e2.M, e2.N, e2.K)
+	}
+
+	zeroDO1 := make([]*tensor.Tensor, e1.devices())
+	d1 := e1.Distribution(partition.Backward, dimsO, 0)
+	for dev := range zeroDO1 {
+		iv := d1.Intervals[dev]
+		zeroDO1[dev] = tensor.New(iv.R1-iv.R0, iv.C1-iv.C0)
+	}
+
+	// Forward through e1 (gradient pass wasted but numerically harmless;
+	// lr=0 keeps weights intact).
+	fwd1, err := e1.TrainDistributed(e1.SliceInput(I, dimsI, partition.Forward), W1, zeroDO1, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hand-off: e1's output (Forward end) → e2's input (Forward start).
+	i2 := Reshard(
+		e1.Distribution(partition.Forward, dimsO, -1),
+		e2.Distribution(partition.Forward, dimsI, 0),
+		fwd1.DeviceO)
+
+	// Full step through e2.
+	r2, err := e2.TrainDistributed(i2, W2, e2.SliceInput(dO2, dimsO, partition.Backward), lr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gradient hand-off: e2's dInput (Backward end) → e1's dOutput
+	// (Backward start).
+	dO1 := Reshard(
+		e2.Distribution(partition.Backward, dimsI, -1),
+		e1.Distribution(partition.Backward, dimsO, 0),
+		r2.DeviceDI)
+
+	// Full step through e1 with the true upstream gradient.
+	r1, err := e1.TrainDistributed(e1.SliceInput(I, dimsI, partition.Forward), W1, dO1, lr)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ChainResult{O2: r2.O, DI1: r1.DI, DW1: r1.DW, DW2: r2.DW}, nil
+}
+
+// SerialChain is the unpartitioned reference of TrainChain.
+func SerialChain(I, W1, W2, dO2 *tensor.Tensor) (o2, di1, dw1, dw2 *tensor.Tensor) {
+	o1 := tensor.MatMul(I, W1)
+	o2 = tensor.MatMul(o1, W2)
+	dO1 := tensor.MatMulTransB(dO2, W2)
+	dw2 = tensor.MatMulTransA(o1, dO2)
+	di1 = tensor.MatMulTransB(dO1, W1)
+	dw1 = tensor.MatMulTransA(I, dO1)
+	return o2, di1, dw1, dw2
+}

@@ -1,0 +1,439 @@
+// Package runtime is a functional SPMD executor that runs PrimePar-
+// partitioned training of the linear operator on REAL matrices, with one
+// goroutine per device and channels as interconnect links. It exists to
+// prove, numerically, that the spatial-temporal partition preserves the
+// exact mathematical semantics of unpartitioned training (the paper's
+// "rigorously preserves the mathematical semantics", §6):
+//
+//   - Forward:  O  = I·W        accumulated over 2^k temporal steps,
+//   - Backward: dI = dO·Wᵀ      likewise,
+//   - Gradient: dW = Iᵀ·dO      likewise, including the dW redistribution
+//     at step 2^k−1 and the weight-alignment property that lets devices
+//     apply SGD updates locally (Feature 3).
+//
+// The communication schedule is not hard-coded: every transfer is derived
+// from the DSI algebra (partition.StepTransfers /
+// PhaseTransitionTransfers), so a passing end-to-end test certifies
+// Algorithm 1, Eqs. 4–6 and Table 1 all at once.
+//
+// The executor works on the 3-axis linear operator O[M,K] = I[M,N]·W[N,K]
+// (batch folded into M) under ANY partition sequence over those axes —
+// splits, primes, and mixtures.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Axis indices of the runtime's linear operator.
+const (
+	AxM = 0
+	AxN = 1
+	AxK = 2
+)
+
+var (
+	dimsI  = []int{AxM, AxN}
+	dimsW  = []int{AxN, AxK}
+	dimsO  = []int{AxM, AxK}
+	numAxs = 3
+)
+
+// Engine executes partitioned training steps of one linear operator.
+type Engine struct {
+	Seq   partition.Seq
+	NBits int
+	// M, N, K are the full operator dimensions; each must be divisible by
+	// its slice count.
+	M, N, K int
+}
+
+// NewEngine validates the configuration and returns an executor.
+func NewEngine(seq partition.Seq, nbits, m, n, k int) (*Engine, error) {
+	if err := seq.Validate(numAxs, nbits); err != nil {
+		return nil, err
+	}
+	if seq.Bits() != nbits {
+		return nil, fmt.Errorf("runtime: sequence consumes %d of %d device bits; unused bits would replicate whole sub-operators and break result assembly", seq.Bits(), nbits)
+	}
+	e := &Engine{Seq: seq, NBits: nbits, M: m, N: n, K: k}
+	for ax, size := range map[int]int{AxM: m, AxN: n, AxK: k} {
+		s := seq.NumSlices(ax)
+		if size%s != 0 {
+			return nil, fmt.Errorf("runtime: axis %d size %d not divisible by %d slices", ax, size, s)
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) devices() int { return 1 << e.NBits }
+
+// sliceSizes returns the per-slice lengths of each axis.
+func (e *Engine) sliceSizes() (sm, sn, sk int) {
+	return e.M / e.Seq.NumSlices(AxM), e.N / e.Seq.NumSlices(AxN), e.K / e.Seq.NumSlices(AxK)
+}
+
+// blockOf extracts the (tensor-specific) block of t addressed by the DSI
+// tuple for the given phase/device/step.
+func (e *Engine) blockOf(t *tensor.Tensor, dims []int, ph partition.Phase, dev, step int) *tensor.Tensor {
+	dsi := e.Seq.SliceIndices(ph, numAxs, e.NBits, dev, step)
+	r0, r1, c0, c1 := e.blockBounds(dsi, dims)
+	return t.Block(r0, r1, c0, c1)
+}
+
+func (e *Engine) blockBounds(dsi []int, dims []int) (r0, r1, c0, c1 int) {
+	sizes := map[int]int{AxM: e.M, AxN: e.N, AxK: e.K}
+	rAx, cAx := dims[0], dims[1]
+	sr := sizes[rAx] / e.Seq.NumSlices(rAx)
+	sc := sizes[cAx] / e.Seq.NumSlices(cAx)
+	return dsi[rAx] * sr, (dsi[rAx] + 1) * sr, dsi[cAx] * sc, (dsi[cAx] + 1) * sc
+}
+
+// Result carries the assembled outputs of one partitioned training
+// iteration and the per-device artifacts needed for deeper assertions.
+type Result struct {
+	// O, DI, DW are the assembled (summed where spatially partial)
+	// forward output, input gradient and weight gradient.
+	O, DI, DW *tensor.Tensor
+	// DeviceW holds each device's updated weight block after the local
+	// SGD step (used to verify alignment across iterations).
+	DeviceW []*tensor.Tensor
+	// DeviceO and DeviceDI hold each device's raw output accumulators at
+	// the end of Forward/Backward — PARTIAL sums when a reduced axis is
+	// split spatially. They feed Reshard for chained operators.
+	DeviceO  []*tensor.Tensor
+	DeviceDI []*tensor.Tensor
+	// Comm tallies the elements actually moved over channels.
+	Comm *CommStats
+}
+
+// CommStats tallies the elements actually moved over channels during one
+// training iteration, per phase — measured ground truth for the cost
+// model's ring-communication predictions.
+type CommStats struct {
+	// Circulation[ph] counts elements moved by within-phase ring steps
+	// and phase-transition redistributions attributed to phase ph.
+	Forward, Backward, Gradient int64
+	// AllReduce counts elements exchanged by the gradient all-reduce.
+	AllReduce int64
+}
+
+// Total sums all components.
+func (c *CommStats) Total() int64 {
+	return c.Forward + c.Backward + c.Gradient + c.AllReduce
+}
+
+// msg is one block in flight.
+type msg struct {
+	data *tensor.Tensor
+}
+
+// link is a dedicated one-shot channel per (boundary, tensor, receiver).
+type link struct {
+	ch    chan msg
+	moved *int64 // phase counter, incremented by element count on send
+}
+
+// schedule precomputes every transfer channel of one phase: transfers[t] is
+// the set of links crossing the boundary between step t and t+1.
+type schedule struct {
+	// outgoing[t][dev] and incoming[t][dev] list the links device dev
+	// sends on / receives from at boundary t.
+	outgoing [][][]*link
+	incoming [][][]*link
+}
+
+func (e *Engine) buildSchedule(dims []int, boundaries int, moved *int64, cross func(t int) []partition.Transfer) *schedule {
+	n := e.devices()
+	s := &schedule{
+		outgoing: make([][][]*link, boundaries),
+		incoming: make([][][]*link, boundaries),
+	}
+	for t := 0; t < boundaries; t++ {
+		s.outgoing[t] = make([][]*link, n)
+		s.incoming[t] = make([][]*link, n)
+		for _, tr := range cross(t) {
+			l := &link{ch: make(chan msg, 1), moved: moved}
+			s.outgoing[t][tr.From] = append(s.outgoing[t][tr.From], l)
+			s.incoming[t][tr.To] = append(s.incoming[t][tr.To], l)
+		}
+	}
+	return s
+}
+
+// stepSchedules derives the within-phase circulation of a tensor.
+func (e *Engine) stepSchedule(ph partition.Phase, dims []int, moved *int64) *schedule {
+	steps := e.Seq.Steps()
+	return e.buildSchedule(dims, steps-1, moved, func(t int) []partition.Transfer {
+		return e.Seq.StepTransfers(ph, dims, numAxs, e.NBits, t)
+	})
+}
+
+// transitionSchedule derives a cross-phase redistribution (e.g. W at the end
+// of Backward back to the Forward-start distribution).
+func (e *Engine) transitionSchedule(from, to partition.Phase, dims []int, moved *int64) *schedule {
+	return e.buildSchedule(dims, 1, moved, func(int) []partition.Transfer {
+		return e.Seq.PhaseTransitionTransfers(from, to, dims, numAxs, e.NBits)
+	})
+}
+
+// exchange sends blk on every outgoing link of boundary t and then replaces
+// it with the received block if any link is incoming (send-before-receive
+// with buffered channels keeps the dataflow deadlock-free).
+func exchange(s *schedule, t, dev int, blk *tensor.Tensor) *tensor.Tensor {
+	if t >= len(s.outgoing) {
+		return blk
+	}
+	for _, l := range s.outgoing[t][dev] {
+		if l.moved != nil {
+			atomic.AddInt64(l.moved, int64(blk.Size()))
+		}
+		l.ch <- msg{data: blk.Clone()}
+	}
+	for _, l := range s.incoming[t][dev] {
+		blk = (<-l.ch).data
+	}
+	return blk
+}
+
+// SliceInput distributes a full tensor into per-device blocks following the
+// Forward t=0 (for I, W) or Backward t=0 (for dO) distribution.
+func (e *Engine) SliceInput(t *tensor.Tensor, dims []int, ph partition.Phase) []*tensor.Tensor {
+	blocks := make([]*tensor.Tensor, e.devices())
+	for dev := range blocks {
+		blocks[dev] = e.blockOf(t, dims, ph, dev, 0)
+	}
+	return blocks
+}
+
+// Train runs one full training iteration (Forward, Backward, Gradient) of
+// the partitioned operator, applies a local SGD update with learning rate
+// lr, and returns assembled results.
+func (e *Engine) Train(I, W, dO *tensor.Tensor, lr float64) (*Result, error) {
+	if I.Dim(0) != e.M || I.Dim(1) != e.N {
+		return nil, fmt.Errorf("runtime: I is %v, want [%d %d]", I.Shape(), e.M, e.N)
+	}
+	if dO.Dim(0) != e.M || dO.Dim(1) != e.K {
+		return nil, fmt.Errorf("runtime: dO is %v, want [%d %d]", dO.Shape(), e.M, e.K)
+	}
+	return e.TrainDistributed(
+		e.SliceInput(I, dimsI, partition.Forward),
+		W,
+		e.SliceInput(dO, dimsO, partition.Backward),
+		lr)
+}
+
+// TrainDistributed is Train with the input and output-gradient already
+// distributed as per-device blocks (I per the Forward t=0 distribution, dO
+// per the Backward t=0 distribution) — the form chained operators use after
+// a Reshard.
+func (e *Engine) TrainDistributed(iBlocks []*tensor.Tensor, W *tensor.Tensor, dOBlocks []*tensor.Tensor, lr float64) (*Result, error) {
+	if W.Dim(0) != e.N || W.Dim(1) != e.K {
+		return nil, fmt.Errorf("runtime: W is %v, want [%d %d]", W.Shape(), e.N, e.K)
+	}
+	n := e.devices()
+	if len(iBlocks) != n || len(dOBlocks) != n {
+		return nil, fmt.Errorf("runtime: got %d/%d blocks for %d devices", len(iBlocks), len(dOBlocks), n)
+	}
+	steps := e.Seq.Steps()
+
+	// Communication plans, all derived from the DSI algebra, each wired to
+	// its phase's element counter.
+	stats := &CommStats{}
+	fwdI := e.stepSchedule(partition.Forward, dimsI, &stats.Forward)
+	fwdW := e.stepSchedule(partition.Forward, dimsW, &stats.Forward)
+	bwdO := e.stepSchedule(partition.Backward, dimsO, &stats.Backward)
+	bwdW := e.stepSchedule(partition.Backward, dimsW, &stats.Backward)
+	bwdWBack := e.transitionSchedule(partition.Backward, partition.Forward, dimsW, &stats.Backward)
+	grdI := e.stepSchedule(partition.Gradient, dimsI, &stats.Gradient)
+	grdO := e.stepSchedule(partition.Gradient, dimsO, &stats.Gradient)
+	grdW := e.stepSchedule(partition.Gradient, dimsW, &stats.Gradient) // the dW redistribution at t = 2^k−2
+
+	// Gradient all-reduce groups: devices sharing the final dW tuple but
+	// holding different slices of the spatially-split reduced axis (M)
+	// must sum their partials — conventional data/row parallelism.
+	grdGroups := e.reduceGroups(partition.Gradient, dimsW)
+	grdLinks := makeGroupLinks(grdGroups, n)
+
+	type devOut struct {
+		o, di, dw *tensor.Tensor
+		w         *tensor.Tensor
+	}
+	outs := make([]devOut, n)
+	var wg sync.WaitGroup
+	for dev := 0; dev < n; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			// Initial blocks per the Forward t=0 distribution.
+			iBlk := iBlocks[dev].Clone()
+			wBlk := e.blockOf(W, dimsW, partition.Forward, dev, 0)
+
+			// ---- Forward ----
+			oAcc := tensor.New(iBlk.Dim(0), wBlk.Dim(1))
+			for t := 0; t < steps; t++ {
+				oAcc.AddInPlace(tensor.MatMul(iBlk, wBlk))
+				iBlk = exchange(fwdI, t, dev, iBlk)
+				wBlk = exchange(fwdW, t, dev, wBlk)
+			}
+			stashI := iBlk // Feature 3: F-end I == G-start I
+
+			// ---- Backward ----
+			// dO arrives distributed per the Backward t=0 DSI; W is
+			// already aligned (F-end == B-start).
+			dOBlk := dOBlocks[dev].Clone()
+			diAcc := tensor.New(dOBlk.Dim(0), wBlk.Dim(0))
+			for t := 0; t < steps; t++ {
+				diAcc.AddInPlace(tensor.MatMulTransB(dOBlk, wBlk))
+				dOBlk = exchange(bwdO, t, dev, dOBlk)
+				wBlk = exchange(bwdW, t, dev, wBlk)
+			}
+			// Last Backward step: W redistribution back to the
+			// Forward-start distribution (Table 1, t = 2^k−1 row).
+			wBlk = exchange(bwdWBack, 0, dev, wBlk)
+
+			// ---- Gradient ----
+			iBlk = stashI
+			dwAcc := tensor.New(iBlk.Dim(1), dOBlk.Dim(1))
+			for t := 0; t < steps; t++ {
+				dwAcc.AddInPlace(tensor.MatMulTransA(iBlk, dOBlk))
+				// The accumulated dW itself migrates at t = 2^k−2
+				// (redistribution); derived generically.
+				dwAcc = exchange(grdW, t, dev, dwAcc)
+				iBlk = exchange(grdI, t, dev, iBlk)
+				dOBlk = exchange(grdO, t, dev, dOBlk)
+			}
+
+			// Sum partial dW across the spatial reduction group (the
+			// data/row-parallel gradient all-reduce), then update W
+			// locally — possible because dW's final distribution equals
+			// W's Forward-start distribution (Feature 3).
+			dwAcc = allReduce(grdLinks, dev, dwAcc, &stats.AllReduce)
+			wNew := wBlk.Clone()
+			wNew.AddInPlace(dwAcc.Clone().Scale(-lr))
+
+			outs[dev] = devOut{o: oAcc, di: diAcc, dw: dwAcc, w: wNew}
+		}(dev)
+	}
+	wg.Wait()
+
+	// Assemble: place each device's result block; devices holding the same
+	// output tuple are either partial sums (spatial reduction) — handled
+	// by the all-reduce for dW and by summation for O/dI — or replicas.
+	res := &Result{
+		O:        tensor.New(e.M, e.K),
+		DI:       tensor.New(e.M, e.N),
+		DW:       tensor.New(e.N, e.K),
+		DeviceW:  make([]*tensor.Tensor, n),
+		DeviceO:  make([]*tensor.Tensor, n),
+		DeviceDI: make([]*tensor.Tensor, n),
+	}
+	e.assemble(res.O, dimsO, partition.Forward, func(dev int) *tensor.Tensor { return outs[dev].o }, true)
+	e.assemble(res.DI, dimsI, partition.Backward, func(dev int) *tensor.Tensor { return outs[dev].di }, true)
+	e.assemble(res.DW, dimsW, partition.Gradient, func(dev int) *tensor.Tensor { return outs[dev].dw }, false)
+	for dev := 0; dev < n; dev++ {
+		res.DeviceW[dev] = outs[dev].w
+		res.DeviceO[dev] = outs[dev].o
+		res.DeviceDI[dev] = outs[dev].di
+	}
+	res.Comm = stats
+	return res, nil
+}
+
+// assemble writes device blocks into the full tensor. Devices sharing an
+// output tuple are partial sums when sum=true (Forward/Backward outputs
+// before reduction); after the gradient all-reduce (sum=false) replicas are
+// identical, so later writes simply overwrite equal data.
+func (e *Engine) assemble(dst *tensor.Tensor, dims []int, ph partition.Phase, blk func(dev int) *tensor.Tensor, sum bool) {
+	last := e.Seq.Steps() - 1
+	for dev := 0; dev < e.devices(); dev++ {
+		dsi := e.Seq.SliceIndices(ph, numAxs, e.NBits, dev, last)
+		r0, _, c0, _ := e.blockBounds(dsi, dims)
+		if sum {
+			dst.AddBlock(r0, c0, blk(dev))
+		} else {
+			dst.SetBlock(r0, c0, blk(dev))
+		}
+	}
+}
+
+// reduceGroups partitions devices into groups sharing the same final output
+// tuple of phase ph (their results are partial sums to combine).
+func (e *Engine) reduceGroups(ph partition.Phase, dims []int) [][]int {
+	holders := e.Seq.Holders(ph, dims, numAxs, e.NBits, e.Seq.Steps()-1)
+	groups := make([][]int, 0, len(holders))
+	for _, hs := range holders {
+		groups = append(groups, hs)
+	}
+	return groups
+}
+
+// groupLinks is an all-gather mesh: one buffered channel per (sender →
+// receiver) pair within each group.
+type groupLinks struct {
+	peers map[int][]int
+	chans map[[2]int]chan msg
+}
+
+func makeGroupLinks(groups [][]int, n int) *groupLinks {
+	gl := &groupLinks{peers: make(map[int][]int), chans: make(map[[2]int]chan msg)}
+	for _, g := range groups {
+		for _, a := range g {
+			for _, b := range g {
+				if a == b {
+					continue
+				}
+				gl.peers[a] = append(gl.peers[a], b)
+				gl.chans[[2]int{a, b}] = make(chan msg, 1)
+			}
+		}
+	}
+	return gl
+}
+
+// allReduce sums blk across the device's reduction group (all-gather form).
+func allReduce(gl *groupLinks, dev int, blk *tensor.Tensor, moved *int64) *tensor.Tensor {
+	peers := gl.peers[dev]
+	if len(peers) == 0 {
+		return blk
+	}
+	for _, p := range peers {
+		atomic.AddInt64(moved, int64(blk.Size()))
+		gl.chans[[2]int{dev, p}] <- msg{data: blk.Clone()}
+	}
+	sum := blk.Clone()
+	for _, p := range peers {
+		sum.AddInPlace((<-gl.chans[[2]int{p, dev}]).data)
+	}
+	return sum
+}
+
+// AssembleWeights reconstructs the full weight matrix from per-device
+// blocks laid out in the Forward-start distribution (the distribution
+// DeviceW blocks are in after Train's local update — Feature 3). Replicated
+// blocks are identical post-all-reduce, so overwrites are benign.
+func (e *Engine) AssembleWeights(deviceW []*tensor.Tensor) *tensor.Tensor {
+	full := tensor.New(e.N, e.K)
+	for dev := 0; dev < e.devices(); dev++ {
+		dsi := e.Seq.SliceIndices(partition.Forward, numAxs, e.NBits, dev, 0)
+		r0, _, c0, _ := e.blockBounds(dsi, dimsW)
+		full.SetBlock(r0, c0, deviceW[dev])
+	}
+	return full
+}
+
+// Serial computes the reference results of one unpartitioned training
+// iteration: O = I·W, dI = dO·Wᵀ, dW = Iᵀ·dO, W' = W − lr·dW.
+func Serial(I, W, dO *tensor.Tensor, lr float64) (o, di, dw, wNew *tensor.Tensor) {
+	o = tensor.MatMul(I, W)
+	di = tensor.MatMulTransB(dO, W)
+	dw = tensor.MatMulTransA(I, dO)
+	wNew = W.Clone()
+	wNew.AddInPlace(dw.Clone().Scale(-lr))
+	return o, di, dw, wNew
+}

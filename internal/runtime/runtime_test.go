@@ -1,0 +1,295 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+const tol = 1e-9
+
+// trainAndCompare runs one partitioned iteration and checks every result
+// against the serial reference.
+func trainAndCompare(t *testing.T, seq partition.Seq, nbits, m, n, k int, seed int64) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	I := tensor.New(m, n).FillRandom(rng)
+	W := tensor.New(n, k).FillRandom(rng)
+	dO := tensor.New(m, k).FillRandom(rng)
+	lr := 0.01
+
+	e, err := NewEngine(seq, nbits, m, n, k)
+	if err != nil {
+		t.Fatalf("NewEngine(%v): %v", seq, err)
+	}
+	got, err := e.Train(I, W, dO, lr)
+	if err != nil {
+		t.Fatalf("Train(%v): %v", seq, err)
+	}
+	o, di, dw, wNew := Serial(I, W, dO, lr)
+	if d := tensor.MaxAbsDiff(got.O, o); d > tol {
+		t.Fatalf("seq %v: forward output differs by %g", seq, d)
+	}
+	if d := tensor.MaxAbsDiff(got.DI, di); d > tol {
+		t.Fatalf("seq %v: input gradient differs by %g", seq, d)
+	}
+	if d := tensor.MaxAbsDiff(got.DW, dw); d > tol {
+		t.Fatalf("seq %v: weight gradient differs by %g", seq, d)
+	}
+	if d := tensor.MaxAbsDiff(e.AssembleWeights(got.DeviceW), wNew); d > tol {
+		t.Fatalf("seq %v: updated weights differ by %g", seq, d)
+	}
+	return e
+}
+
+// The paper's Fig. 4 scenario: P_{2×2} on 4 devices, full training step.
+func TestPrime2x2TrainingStep(t *testing.T) {
+	seq := partition.NewSeq(partition.NewPrime(1, AxM, AxN, AxK))
+	trainAndCompare(t, seq, 2, 8, 8, 8, 1)
+}
+
+// P_{4×4} on 16 devices.
+func TestPrime4x4TrainingStep(t *testing.T) {
+	seq := partition.NewSeq(partition.NewPrime(2, AxM, AxN, AxK))
+	trainAndCompare(t, seq, 4, 8, 8, 8, 2)
+}
+
+// Conventional partitions still work through the same machinery.
+func TestSpatialPartitions(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  partition.Seq
+	}{
+		{"row-parallel", partition.NewSeq(partition.Split(AxN), partition.Split(AxN))},
+		{"column-parallel", partition.NewSeq(partition.Split(AxK), partition.Split(AxK))},
+		{"batch-like", partition.NewSeq(partition.Split(AxM), partition.Split(AxM))},
+		{"mixed-MN", partition.NewSeq(partition.Split(AxM), partition.Split(AxN))},
+		{"mixed-NK", partition.NewSeq(partition.Split(AxN), partition.Split(AxK))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			trainAndCompare(t, c.seq, 2, 8, 8, 8, 3)
+		})
+	}
+}
+
+// Spatial splits composed around the novel primitive (the sequences the
+// optimizer actually emits, e.g. Fig. 9's fc2.𝒫 = N,B,P2x2).
+func TestMixedSpatialTemporalSequences(t *testing.T) {
+	cases := []struct {
+		name  string
+		seq   partition.Seq
+		nbits int
+	}{
+		{"M-then-prime", partition.NewSeq(partition.Split(AxM), partition.NewPrime(1, AxM, AxN, AxK)), 3},
+		{"N-then-prime", partition.NewSeq(partition.Split(AxN), partition.NewPrime(1, AxM, AxN, AxK)), 3},
+		{"K-then-prime", partition.NewSeq(partition.Split(AxK), partition.NewPrime(1, AxM, AxN, AxK)), 3},
+		{"prime-then-M", partition.NewSeq(partition.NewPrime(1, AxM, AxN, AxK), partition.Split(AxM)), 3},
+		{"NM-prime", partition.NewSeq(partition.Split(AxN), partition.Split(AxM), partition.NewPrime(1, AxM, AxN, AxK)), 4},
+		{"double-prime", partition.NewSeq(partition.NewPrime(1, AxM, AxN, AxK), partition.NewPrime(1, AxM, AxN, AxK)), 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			trainAndCompare(t, c.seq, c.nbits, 8, 8, 8, 4)
+		})
+	}
+}
+
+// Two consecutive iterations: the locally-updated weights must be exactly
+// where the next Forward expects them (Feature 3 end-to-end).
+func TestTwoIterationsWeightAlignment(t *testing.T) {
+	seq := partition.NewSeq(partition.NewPrime(1, AxM, AxN, AxK))
+	m, n, k := 8, 8, 8
+	rng := rand.New(rand.NewSource(7))
+	I := tensor.New(m, n).FillRandom(rng)
+	W := tensor.New(n, k).FillRandom(rng)
+	dO := tensor.New(m, k).FillRandom(rng)
+	dO2 := tensor.New(m, k).FillRandom(rng)
+	lr := 0.05
+
+	e, err := NewEngine(seq, 2, m, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Train(I, W, dO, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := e.AssembleWeights(r1.DeviceW)
+	r2, err := e.Train(I, w1, dO2, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, dw1, wSerial1 := Serial(I, W, dO, lr)
+	_ = dw1
+	o2, _, _, wSerial2 := Serial(I, wSerial1, dO2, lr)
+	if d := tensor.MaxAbsDiff(w1, wSerial1); d > tol {
+		t.Fatalf("weights after iteration 1 differ by %g", d)
+	}
+	if d := tensor.MaxAbsDiff(r2.O, o2); d > tol {
+		t.Fatalf("iteration 2 forward differs by %g", d)
+	}
+	if d := tensor.MaxAbsDiff(e.AssembleWeights(r2.DeviceW), wSerial2); d > tol {
+		t.Fatalf("weights after iteration 2 differ by %g", d)
+	}
+}
+
+// Property: ANY valid sequence over the three axes preserves training
+// semantics — the strongest statement of the paper's §3.3 features.
+func TestQuickAnySequencePreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nbits := 2 + rng.Intn(3)
+		var toks []partition.Token
+		remaining := nbits
+		for remaining > 0 {
+			if remaining >= 2 && rng.Intn(3) == 0 {
+				toks = append(toks, partition.NewPrime(1, AxM, AxN, AxK))
+				remaining -= 2
+				continue
+			}
+			toks = append(toks, partition.Split(rng.Intn(3)))
+			remaining--
+		}
+		seq := partition.NewSeq(toks...)
+		// Sizes: multiples of the slice counts.
+		m := seq.NumSlices(AxM) * (1 + rng.Intn(2))
+		n := seq.NumSlices(AxN) * (1 + rng.Intn(2))
+		k := seq.NumSlices(AxK) * (1 + rng.Intn(2))
+
+		I := tensor.New(m, n).FillRandom(rng)
+		W := tensor.New(n, k).FillRandom(rng)
+		dO := tensor.New(m, k).FillRandom(rng)
+
+		e, err := NewEngine(seq, nbits, m, n, k)
+		if err != nil {
+			return false
+		}
+		got, err := e.Train(I, W, dO, 0.01)
+		if err != nil {
+			return false
+		}
+		o, di, dw, _ := Serial(I, W, dO, 0.01)
+		return tensor.MaxAbsDiff(got.O, o) < tol &&
+			tensor.MaxAbsDiff(got.DI, di) < tol &&
+			tensor.MaxAbsDiff(got.DW, dw) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	prime := partition.NewSeq(partition.NewPrime(1, AxM, AxN, AxK))
+	if _, err := NewEngine(prime, 2, 7, 8, 8); err == nil {
+		t.Fatal("non-divisible M accepted")
+	}
+	if _, err := NewEngine(partition.NewSeq(partition.Split(AxM)), 2, 8, 8, 8); err == nil {
+		t.Fatal("partial bit consumption accepted")
+	}
+	e, err := NewEngine(prime, 2, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.New(4, 4)
+	good := tensor.New(8, 8)
+	if _, err := e.Train(bad, good, good, 0.1); err == nil {
+		t.Fatal("wrong I shape accepted")
+	}
+	if _, err := e.Train(good, bad, good, 0.1); err == nil {
+		t.Fatal("wrong W shape accepted")
+	}
+	if _, err := e.Train(good, good, bad, 0.1); err == nil {
+		t.Fatal("wrong dO shape accepted")
+	}
+}
+
+// Larger matrices: numerical stability and non-square shapes.
+func TestNonSquareShapes(t *testing.T) {
+	seq := partition.NewSeq(partition.NewPrime(1, AxM, AxN, AxK), partition.Split(AxK))
+	trainAndCompare(t, seq, 3, 12, 10, 16, 11)
+}
+
+// The elements actually moved over channels must equal the cost model's
+// analytic ring-volume prediction: for pure P_{2^k×2^k}, each within-phase
+// boundary moves every device's block of each circulating tensor, plus the
+// W redistribution at the end of Backward and dW at the end of Gradient.
+func TestCommStatsMatchAnalyticRingVolume(t *testing.T) {
+	for k := 1; k <= 2; k++ {
+		seq := partition.NewSeq(partition.NewPrime(k, AxM, AxN, AxK))
+		side := 1 << k
+		devices := side * side
+		m, n, kk := 8, 8, 8
+		e, err := NewEngine(seq, 2*k, m, n, kk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		res, err := e.Train(
+			tensor.New(m, n).FillRandom(rng),
+			tensor.New(n, kk).FillRandom(rng),
+			tensor.New(m, kk).FillRandom(rng), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iBlk := int64(m / side * n / side)
+		wBlk := int64(n / side * kk / side)
+		oBlk := int64(m / side * kk / side)
+		steps := int64(side)
+		d := int64(devices)
+		// Forward: I and W move at each of steps−1 boundaries.
+		wantF := (steps - 1) * d * (iBlk + wBlk)
+		// Backward: dO and W at steps−1 boundaries, plus the W
+		// redistribution back to the Forward-start layout.
+		wantB := (steps-1)*d*(oBlk+wBlk) + d*wBlk
+		// Gradient: I and dO at steps−1 boundaries, plus the dW
+		// redistribution at the δ boundary.
+		wantG := (steps-1)*d*(iBlk+oBlk) + d*wBlk
+		if res.Comm.Forward != wantF {
+			t.Fatalf("k=%d: forward moved %d elements, want %d", k, res.Comm.Forward, wantF)
+		}
+		if res.Comm.Backward != wantB {
+			t.Fatalf("k=%d: backward moved %d elements, want %d", k, res.Comm.Backward, wantB)
+		}
+		if res.Comm.Gradient != wantG {
+			t.Fatalf("k=%d: gradient moved %d elements, want %d", k, res.Comm.Gradient, wantG)
+		}
+		// Feature 1: a pure prime needs NO all-reduce at all.
+		if res.Comm.AllReduce != 0 {
+			t.Fatalf("k=%d: prime incurred all-reduce of %d elements", k, res.Comm.AllReduce)
+		}
+		if res.Comm.Total() != wantF+wantB+wantG {
+			t.Fatalf("k=%d: total mismatch", k)
+		}
+	}
+}
+
+// Conventional row-parallel partitioning moves nothing between steps but
+// pays the gradient all-reduce — the exact inverse of the prime's profile.
+func TestCommStatsRowParallelProfile(t *testing.T) {
+	seq := partition.NewSeq(partition.Split(AxM), partition.Split(AxM))
+	e, err := NewEngine(seq, 2, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	res, err := e.Train(
+		tensor.New(8, 8).FillRandom(rng),
+		tensor.New(8, 8).FillRandom(rng),
+		tensor.New(8, 8).FillRandom(rng), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Forward != 0 || res.Comm.Backward != 0 || res.Comm.Gradient != 0 {
+		t.Fatalf("spatial M-split should move nothing between steps: %+v", res.Comm)
+	}
+	// dW partials summed across 4 devices: all-gather mesh of 4×3 sends
+	// of the full 8×8 dW block.
+	if want := int64(4 * 3 * 8 * 8); res.Comm.AllReduce != want {
+		t.Fatalf("all-reduce moved %d elements, want %d", res.Comm.AllReduce, want)
+	}
+}

@@ -1,0 +1,510 @@
+// Package sim is the discrete-event training simulator standing in for the
+// paper's 32×V100 testbed (see DESIGN.md §1). It executes one training
+// iteration of a partitioned model on a per-device timeline with two
+// streams — computation and communication — reproducing the behaviours the
+// paper measures:
+//
+//   - ring point-to-point transfers of P_{2^k×2^k} run on the communication
+//     stream concurrently with the previous step's kernel (double
+//     buffering); compute stalls only when a transfer is late;
+//   - all-reduce collectives are blocking barriers;
+//   - inter-operator redistribution blocks the consumer;
+//   - peak per-device memory is tracked over the whole iteration.
+//
+// Because execution is SPMD over homogeneous devices, a single device's
+// timeline is the system timeline (the paper makes the same argument when
+// profiling one GPU, §6.2/§6.3).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Simulator configures the simulated execution.
+type Simulator struct {
+	Cluster *device.Cluster
+	// Overlap enables ring/compute overlap (ablation: disable).
+	Overlap bool
+	// ParamBytesPerElement: training-state bytes per weight element, in
+	// units of ElementBytes (see cost.Model).
+	ParamBytesPerElement float64
+	// ZeRO1 shards optimizer state across each weight's replica group and
+	// charges the per-iteration parameter all-gather (ZeRO stage 1).
+	ZeRO1 bool
+	// Recompute enables full activation recomputation (gradient
+	// checkpointing): only each layer's boundary activation is stashed;
+	// the backward pass re-runs the layer's forward phases first. Trades
+	// ~1/3 extra compute for O(layers) less activation memory (the
+	// related-work technique of Korthikanti et al.).
+	Recompute bool
+	// RecordSegments keeps per-kernel timeline segments (Fig. 9).
+	RecordSegments bool
+}
+
+// New returns a simulator with the paper's defaults.
+func New(c *device.Cluster) *Simulator {
+	return &Simulator{Cluster: c, Overlap: true, ParamBytesPerElement: 8}
+}
+
+// Stream identifies which hardware stream a segment ran on.
+type Stream int
+
+const (
+	ComputeStream Stream = iota
+	CommStream
+)
+
+// Segment is one kernel/transfer on the timeline (for Fig. 9 renderings).
+type Segment struct {
+	Name   string
+	Phase  partition.Phase
+	Kind   string // "compute", "ring", "allreduce", "redistribute"
+	Stream Stream
+	Start  float64
+	End    float64
+}
+
+// Report summarises one simulated training iteration.
+type Report struct {
+	// IterationTime is the wall-clock of forward+backward+gradient for
+	// all layers, in seconds.
+	IterationTime float64
+	// Compute is the total busy time of the compute stream.
+	Compute float64
+	// Collective is the total (blocking) all-reduce time.
+	Collective float64
+	// RingTotal and RingExposed are the total ring-communication time and
+	// the part not hidden behind computation.
+	RingTotal   float64
+	RingExposed float64
+	// Redistribution is the total inter-operator resharding time.
+	Redistribution float64
+	// PeakMemoryBytes is the per-device peak memory.
+	PeakMemoryBytes float64
+	// Segments is the kernel timeline (only when RecordSegments).
+	Segments []Segment
+	// PerOp attributes busy time to operators by name (summed across
+	// layers): compute, all-reduce and ring seconds.
+	PerOp map[string]*OpBreakdown
+}
+
+// OpBreakdown is one operator's attributed time.
+type OpBreakdown struct {
+	Compute    float64
+	Collective float64
+	Ring       float64
+}
+
+// Throughput converts the iteration latency into tokens/second.
+func (r *Report) Throughput(tokensPerIteration float64) float64 {
+	if r.IterationTime <= 0 {
+		return 0
+	}
+	return tokensPerIteration / r.IterationTime
+}
+
+// CollectiveShare is the fraction of iteration time spent in all-reduce
+// (paper Fig. 2a).
+func (r *Report) CollectiveShare() float64 {
+	if r.IterationTime <= 0 {
+		return 0
+	}
+	return r.Collective / r.IterationTime
+}
+
+// state is the running timeline of the simulated device.
+type state struct {
+	sim      *Simulator
+	computeT float64 // compute stream clock
+	commT    float64 // communication stream clock
+	rep      *Report
+
+	curMem  float64
+	peakMem float64
+}
+
+func (st *state) alloc(bytes float64) {
+	st.curMem += bytes
+	if st.curMem > st.peakMem {
+		st.peakMem = st.curMem
+	}
+}
+
+func (st *state) free(bytes float64) { st.curMem -= bytes }
+
+// attribute tallies busy time to an operator's breakdown entry.
+func (st *state) attribute(name, kind string, dur float64) {
+	if st.rep.PerOp == nil {
+		st.rep.PerOp = map[string]*OpBreakdown{}
+	}
+	ob := st.rep.PerOp[name]
+	if ob == nil {
+		ob = &OpBreakdown{}
+		st.rep.PerOp[name] = ob
+	}
+	switch kind {
+	case "compute":
+		ob.Compute += dur
+	case "allreduce":
+		ob.Collective += dur
+	case "ring":
+		ob.Ring += dur
+	}
+}
+
+func (st *state) record(name string, ph partition.Phase, kind string, stream Stream, start, end float64) {
+	if !st.sim.RecordSegments || end <= start {
+		return
+	}
+	st.rep.Segments = append(st.rep.Segments, Segment{
+		Name: name, Phase: ph, Kind: kind, Stream: stream, Start: start, End: end,
+	})
+}
+
+// barrier synchronises both streams (entering a blocking collective).
+func (st *state) barrier() float64 {
+	if st.commT > st.computeT {
+		st.computeT = st.commT
+	} else {
+		st.commT = st.computeT
+	}
+	return st.computeT
+}
+
+// runPhase executes one phase of one operator: `steps` kernels with ring
+// transfers for the next step overlapping each kernel, then any all-reduce.
+func (st *state) runPhase(op *graph.Op, seq partition.Seq, ph partition.Phase) {
+	cl := st.sim.Cluster
+	if !cost.PhaseApplicable(op, ph) {
+		return
+	}
+	steps := seq.Steps()
+	slices := cost.SliceProduct(op, seq)
+	perStepFlops := op.Flops() / slices
+	eb := cl.Profile.ElementBytes
+	perStepBytes := 0.0
+	for ti := range op.Tensors {
+		perStepBytes += cost.BlockElems(op, seq, ti) * eb
+	}
+	computeStep := cl.ComputeTime(perStepFlops, perStepBytes)
+
+	// Ring transfer volume per step (all Prime tokens).
+	ringStep := 0.0
+	primeBits := seq.PrimeBitPositions()
+	pi := 0
+	for _, tok := range seq.Tokens {
+		if tok.Kind != partition.Prime {
+			continue
+		}
+		vAxis := cost.VaryingAxis(tok, ph)
+		bytes := 0.0
+		for ti, t := range op.Tensors {
+			for _, ax := range t.Axes {
+				if ax == vAxis {
+					bytes += cost.BlockElems(op, seq, ti) * eb
+					break
+				}
+			}
+		}
+		ringStep += cl.RingStepTime(device.Indicator(primeBits[pi]), bytes)
+		pi++
+	}
+
+	dataReady := 0.0 // first step's data is already resident (Feature 3)
+	for t := 0; t < steps; t++ {
+		start := st.computeT
+		if dataReady > start {
+			start = dataReady
+		}
+		if !st.sim.Overlap && st.commT > start {
+			start = st.commT
+		}
+		end := start + computeStep
+		st.record(op.Name, ph, "compute", ComputeStream, start, end)
+		st.rep.Compute += computeStep
+		st.attribute(op.Name, "compute", computeStep)
+		st.computeT = end
+
+		if ringStep > 0 && t < steps-1 {
+			// Transfer the NEXT step's blocks while this kernel runs —
+			// or, with overlap disabled, only after it finishes.
+			rs := st.commT
+			issue := start
+			if !st.sim.Overlap {
+				issue = end
+			}
+			if issue > rs {
+				rs = issue
+			}
+			re := rs + ringStep
+			st.record(op.Name, ph, "ring", CommStream, rs, re)
+			st.rep.RingTotal += ringStep
+			st.attribute(op.Name, "ring", ringStep)
+			st.commT = re
+			dataReady = re
+		}
+	}
+	// Trailing redistribution transfers (W at the end of Backward, dW at
+	// the end of Gradient — Table 1's last-step rows) overlap the final
+	// kernel; model them as one more ring step on the comm stream.
+	if ringStep > 0 && (ph == partition.Backward || ph == partition.Gradient) {
+		rs := st.commT
+		re := rs + ringStep
+		st.record(op.Name, ph, "ring", CommStream, rs, re)
+		st.rep.RingTotal += ringStep
+		st.attribute(op.Name, "ring", ringStep)
+		st.commT = re
+	}
+
+	// All-reduce for spatially-split reduced axes: a blocking collective.
+	for _, red := range op.Reductions[ph] {
+		bits := seq.SplitBitsFor(red.Over)
+		if len(bits) == 0 {
+			continue
+		}
+		bytes := cost.BlockElems(op, seq, red.Result) * eb
+		ar := cl.AllReduceTime(device.Indicator(bits), bytes)
+		if ar <= 0 {
+			continue
+		}
+		start := st.barrier()
+		end := start + ar
+		st.record(op.Name, ph, "allreduce", CommStream, start, end)
+		st.rep.Collective += ar
+		st.attribute(op.Name, "allreduce", ar)
+		st.computeT, st.commT = end, end
+	}
+}
+
+// redistribute inserts a blocking inter-operator resharding transfer whose
+// intra-node and inter-node shares flow concurrently.
+func (st *state) redistribute(name string, ph partition.Phase, intraBytes, interBytes float64) {
+	if intraBytes <= 0 && interBytes <= 0 {
+		return
+	}
+	cl := st.sim.Cluster
+	n := float64(cl.NumDevices)
+	var ti, te float64
+	if intraBytes > 0 {
+		ti = intraBytes/n/cl.Profile.IntraBW + cl.Profile.IntraLatency
+	}
+	if interBytes > 0 {
+		te = interBytes/n/cl.Profile.InterBW + cl.Profile.InterLatency
+	}
+	lat := ti
+	if te > lat {
+		lat = te
+	}
+	start := st.barrier()
+	end := start + lat
+	st.record(name, ph, "redistribute", CommStream, start, end)
+	st.rep.Redistribution += lat
+	st.computeT, st.commT = end, end
+}
+
+// Run simulates one training iteration of `layers` stacked copies of the
+// layer graph g under the per-node partition strategies seqs.
+func (s *Simulator) Run(g *graph.Graph, seqs []partition.Seq, layers int) (*Report, error) {
+	if len(seqs) != len(g.Nodes) {
+		return nil, fmt.Errorf("sim: %d sequences for %d nodes", len(seqs), len(g.Nodes))
+	}
+	if layers < 1 {
+		return nil, fmt.Errorf("sim: layers must be ≥ 1")
+	}
+	nbits := s.Cluster.Bits()
+	for i, seq := range seqs {
+		if err := seq.Validate(len(g.Nodes[i].Axes), nbits); err != nil {
+			return nil, fmt.Errorf("sim: node %d: %w", i, err)
+		}
+	}
+
+	rep := &Report{}
+	st := &state{sim: s, rep: rep}
+	eb := s.Cluster.Profile.ElementBytes
+
+	// Edge plans and per-edge locality-split traffic.
+	costModel := cost.NewModel(s.Cluster)
+	type edgeTraffic struct {
+		e *graph.Edge
+		t cost.Traffic
+	}
+	traffic := make([]edgeTraffic, len(g.Edges))
+	for i, e := range g.Edges {
+		plan := costModel.PlanEdge(g, e)
+		src := costModel.OutputIface(g.Nodes[e.Src], seqs[e.Src])
+		dst := costModel.InputIface(g.Nodes[e.Dst], seqs[e.Dst])
+		traffic[i] = edgeTraffic{e: e, t: plan.Measure(src, dst)}
+	}
+
+	// Resident weights (with gradient and optimizer state) for all layers.
+	for i, op := range g.Nodes {
+		w := 0.0
+		for ti, t := range op.Tensors {
+			if t.Kind != graph.Weight {
+				continue
+			}
+			mult := s.ParamBytesPerElement
+			if s.ZeRO1 {
+				repl := cost.WeightReplication(op, seqs[i], ti, nbits)
+				mult = (s.ParamBytesPerElement - cost.OptimizerStateShare) + cost.OptimizerStateShare/repl
+			}
+			w += cost.BlockElems(op, seqs[i], ti) * mult
+		}
+		st.alloc(w * eb * float64(layers))
+	}
+
+	// Double buffers for Prime-partitioned operators (held for the whole
+	// iteration).
+	for i, op := range g.Nodes {
+		st.alloc(doubleBufferBytes(op, seqs[i], eb))
+	}
+
+	// Boundary activation kept per layer under recomputation: the layer's
+	// input block (the first node's input ≈ its stash).
+	boundaryBytes := 0.0
+	if s.Recompute && len(g.Nodes) > 0 {
+		boundaryBytes = stashBytes(g.Nodes[0], seqs[0], eb)
+		if boundaryBytes == 0 && len(g.Nodes) > 1 {
+			boundaryBytes = stashBytes(g.Nodes[1], seqs[1], eb)
+		}
+	}
+
+	// ---- Forward pass ----
+	for layer := 0; layer < layers; layer++ {
+		for i, op := range g.Nodes {
+			for _, tr := range traffic {
+				if tr.e.Dst == i {
+					st.redistribute(op.Name, partition.Forward, tr.t.FwdIntra, tr.t.FwdInter)
+				}
+			}
+			// Working output block, alive within the layer.
+			outBytes := cost.BlockElems(op, seqs[i], op.OutputTensor) * eb
+			st.alloc(outBytes)
+			if s.Recompute {
+				// Activations are dropped; only the layer boundary stays.
+				if i == 0 {
+					st.alloc(boundaryBytes)
+				}
+			} else {
+				st.alloc(stashBytes(op, seqs[i], eb))
+			}
+			st.runPhase(op, seqs[i], partition.Forward)
+			st.free(outBytes)
+		}
+	}
+
+	// ---- Backward + Gradient passes (reverse layer and op order) ----
+	for layer := layers - 1; layer >= 0; layer-- {
+		if s.Recompute {
+			// Re-run the layer's forward phases to rebuild activations
+			// (which now live only for this layer's backward).
+			for i, op := range g.Nodes {
+				st.alloc(stashBytes(op, seqs[i], eb))
+				st.runPhase(op, seqs[i], partition.Forward)
+			}
+		}
+		for i := len(g.Nodes) - 1; i >= 0; i-- {
+			op := g.Nodes[i]
+			// Gradients arriving from consumers.
+			for _, tr := range traffic {
+				if tr.e.Src == i {
+					st.redistribute(op.Name, partition.Backward, tr.t.BwdIntra, tr.t.BwdInter)
+				}
+			}
+			st.runPhase(op, seqs[i], partition.Backward)
+			st.runPhase(op, seqs[i], partition.Gradient)
+			st.free(stashBytes(op, seqs[i], eb))
+		}
+		if s.Recompute {
+			st.free(boundaryBytes)
+		}
+	}
+
+	// ZeRO-1 optimizer step: each replica group all-gathers the freshly
+	// updated parameters of its weight shards (once per iteration).
+	if s.ZeRO1 {
+		for i, op := range g.Nodes {
+			for ti, t := range op.Tensors {
+				if t.Kind != graph.Weight {
+					continue
+				}
+				bits := seqs[i].ReplicaBits(t.Axes, nbits)
+				if len(bits) == 0 {
+					continue
+				}
+				bytes := cost.BlockElems(op, seqs[i], ti) * eb * float64(layers)
+				ag := s.Cluster.AllGatherTime(device.Indicator(bits), bytes)
+				start := st.barrier()
+				st.record(op.Name, partition.Gradient, "allreduce", CommStream, start, start+ag)
+				st.rep.Collective += ag
+				st.computeT, st.commT = start+ag, start+ag
+			}
+		}
+	}
+
+	end := st.barrier()
+	rep.IterationTime = end
+	rep.RingExposed = ringExposed(rep)
+	rep.PeakMemoryBytes = st.peakMem
+	return rep, nil
+}
+
+// ringExposed computes ring time not hidden behind compute, from totals:
+// iteration = compute + collective + redistribution + exposed ring (+ idle≈0).
+func ringExposed(r *Report) float64 {
+	exp := r.IterationTime - r.Compute - r.Collective - r.Redistribution
+	if exp < 0 {
+		return 0
+	}
+	if exp > r.RingTotal {
+		return r.RingTotal
+	}
+	return exp
+}
+
+func stashBytes(op *graph.Op, seq partition.Seq, eb float64) float64 {
+	b := 0.0
+	for _, ti := range op.Stash {
+		b += cost.BlockElems(op, seq, ti) * eb
+	}
+	return b
+}
+
+func doubleBufferBytes(op *graph.Op, seq partition.Seq, eb float64) float64 {
+	worst := 0.0
+	primeToks := false
+	for _, tok := range seq.Tokens {
+		if tok.Kind == partition.Prime {
+			primeToks = true
+		}
+	}
+	if !primeToks {
+		return 0
+	}
+	for _, ph := range partition.Phases {
+		phaseBytes := 0.0
+		for _, tok := range seq.Tokens {
+			if tok.Kind != partition.Prime {
+				continue
+			}
+			vAxis := cost.VaryingAxis(tok, ph)
+			for ti, t := range op.Tensors {
+				for _, ax := range t.Axes {
+					if ax == vAxis {
+						phaseBytes += cost.BlockElems(op, seq, ti) * eb
+						break
+					}
+				}
+			}
+		}
+		if phaseBytes > worst {
+			worst = phaseBytes
+		}
+	}
+	return worst
+}

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func mlpGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func blockGraph(t *testing.T, cfg model.Config) *graph.Graph {
+	t.Helper()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func megatronSeqs(t *testing.T, g *graph.Graph, nbits, dBits int) []partition.Seq {
+	t.Helper()
+	seqs, err := baseline.Megatron(g, nbits, dBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	g := mlpGraph(t)
+	s := New(device.MustCluster(4, 4, device.V100Profile()))
+	if _, err := s.Run(g, nil, 1); err == nil {
+		t.Fatal("nil seqs accepted")
+	}
+	seqs := megatronSeqs(t, g, 2, 0)
+	if _, err := s.Run(g, seqs, 0); err == nil {
+		t.Fatal("layers=0 accepted")
+	}
+	if _, err := s.Run(g, seqs[:2], 1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestMegatronMLPTimeline(t *testing.T) {
+	g := mlpGraph(t)
+	s := New(device.MustCluster(8, 4, device.V100Profile()))
+	s.RecordSegments = true
+	seqs := megatronSeqs(t, g, 3, 0) // pure tensor parallelism
+	rep, err := s.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IterationTime <= 0 || rep.Compute <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	// Megatron row/column parallel MLP: all-reduce present, no ring.
+	if rep.Collective <= 0 {
+		t.Fatal("Megatron MLP must show collective communication")
+	}
+	if rep.RingTotal != 0 {
+		t.Fatalf("Megatron must not show ring traffic, got %v", rep.RingTotal)
+	}
+	// Timeline accounting: iteration ≥ compute + collective (+redist).
+	if rep.IterationTime < rep.Compute+rep.Collective-1e-12 {
+		t.Fatalf("iteration %v shorter than compute %v + collective %v",
+			rep.IterationTime, rep.Compute, rep.Collective)
+	}
+	// Segments are time-ordered per stream and end after they start.
+	lastEnd := map[Stream]float64{}
+	for _, seg := range rep.Segments {
+		if seg.End <= seg.Start {
+			t.Fatalf("segment %+v has non-positive duration", seg)
+		}
+		if seg.Start < lastEnd[seg.Stream]-1e-12 {
+			t.Fatalf("segment %+v overlaps previous on its stream", seg)
+		}
+		lastEnd[seg.Stream] = seg.End
+	}
+}
+
+// The headline behaviour (paper Fig. 9): a Prime strategy on the MLP hides
+// its ring traffic under compute and pays no collective.
+func TestPrimeStrategyOverlapsCommunication(t *testing.T) {
+	g := mlpGraph(t)
+	s := New(device.MustCluster(4, 4, device.V100Profile()))
+	prime := partition.NewSeq(partition.NewPrime(1, model.LinM, model.LinN, model.LinK))
+	seqs := []partition.Seq{
+		partition.NewSeq(partition.Split(1), partition.Split(1)), // anchor: split S
+		prime, // fc1
+		partition.NewSeq(partition.Split(1), partition.Split(2)), // act: S × F
+		prime, // fc2
+	}
+	rep, err := s.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Collective != 0 {
+		t.Fatalf("Prime MLP should be collective-free, got %v", rep.Collective)
+	}
+	if rep.RingTotal <= 0 {
+		t.Fatal("Prime MLP must show ring traffic")
+	}
+	if rep.RingExposed > 1e-9 {
+		t.Fatalf("ring should be fully hidden for this compute-heavy MLP, exposed %v", rep.RingExposed)
+	}
+}
+
+func TestOverlapAblationSlowsIteration(t *testing.T) {
+	g := mlpGraph(t)
+	cl := device.MustCluster(4, 4, device.V100Profile())
+	prime := partition.NewSeq(partition.NewPrime(1, model.LinM, model.LinN, model.LinK))
+	seqs := []partition.Seq{
+		partition.NewSeq(partition.Split(1), partition.Split(1)),
+		prime,
+		partition.NewSeq(partition.Split(1), partition.Split(2)),
+		prime,
+	}
+	s := New(cl)
+	with, err := s.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(cl)
+	s2.Overlap = false
+	without, err := s2.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.IterationTime <= with.IterationTime {
+		t.Fatalf("disabling overlap must slow the iteration: %v vs %v",
+			without.IterationTime, with.IterationTime)
+	}
+}
+
+// Layers scale latency and stash memory roughly linearly.
+func TestLayerScaling(t *testing.T) {
+	g := blockGraph(t, model.OPT6B7())
+	s := New(device.MustCluster(8, 4, device.V100Profile()))
+	seqs := megatronSeqs(t, g, 3, 1)
+	r1, err := s.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s.Run(g, seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := r4.IterationTime / r1.IterationTime; ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4-layer latency ratio = %v, want ≈ 4", ratio)
+	}
+	if r4.PeakMemoryBytes <= r1.PeakMemoryBytes {
+		t.Fatal("more layers must use more memory")
+	}
+}
+
+// Fig. 2(a): on 16 GPUs, Megatron's all-reduce is a significant share of
+// training latency for big models.
+func TestCollectiveShareSignificantForMegatron(t *testing.T) {
+	g := blockGraph(t, model.Llama2_70B())
+	cl := device.MustCluster(16, 4, device.V100Profile())
+	s := New(cl)
+	m := cost.NewModel(cl)
+	best, err := baseline.BestMegatron(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(g, best.Seqs, model.Llama2_70B().Layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := rep.CollectiveShare()
+	if share < 0.05 || share > 0.9 {
+		t.Fatalf("Megatron collective share = %.2f, expected a significant fraction", share)
+	}
+}
+
+// The simulator and the cost model must agree on what they both claim to
+// measure (the cost model IS the paper's regression of the real system —
+// here the simulator plays the real system).
+func TestCostModelTracksSimulator(t *testing.T) {
+	g := mlpGraph(t)
+	cl := device.MustCluster(8, 4, device.V100Profile())
+	s := New(cl)
+	m := cost.NewModel(cl)
+	for d := 0; d <= 2; d++ {
+		seqs := megatronSeqs(t, g, 3, d)
+		rep, err := s.Run(g, seqs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := m.Overall(g, seqs)
+		if rel := math.Abs(predicted-rep.IterationTime) / rep.IterationTime; rel > 0.25 {
+			t.Fatalf("d=%d: cost model %v vs simulator %v (rel err %.0f%%)",
+				d, predicted, rep.IterationTime, rel*100)
+		}
+	}
+}
+
+// Memory: the simulator's peak must exceed the resident weights and grow
+// with replication (data parallelism replicates weights).
+func TestPeakMemoryReflectsReplication(t *testing.T) {
+	g := blockGraph(t, model.OPT6B7())
+	cl := device.MustCluster(8, 4, device.V100Profile())
+	s := New(cl)
+	dp, err := s.Run(g, megatronSeqs(t, g, 3, 3), 4) // pure data parallel
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := s.Run(g, megatronSeqs(t, g, 3, 0), 4) // pure tensor parallel
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.PeakMemoryBytes <= tp.PeakMemoryBytes {
+		t.Fatalf("data parallelism (%v) should use more memory than tensor parallelism (%v)",
+			dp.PeakMemoryBytes, tp.PeakMemoryBytes)
+	}
+}
+
+func TestThroughputAndShares(t *testing.T) {
+	r := &Report{IterationTime: 2, Collective: 0.5}
+	if got := r.Throughput(1000); got != 500 {
+		t.Fatalf("Throughput = %v, want 500", got)
+	}
+	if got := r.CollectiveShare(); got != 0.25 {
+		t.Fatalf("CollectiveShare = %v, want 0.25", got)
+	}
+	zero := &Report{}
+	if zero.Throughput(10) != 0 || zero.CollectiveShare() != 0 {
+		t.Fatal("zero-time report should yield zero rates")
+	}
+}
+
+// Exposed ring can never exceed ring total nor go negative.
+func TestRingExposedBounds(t *testing.T) {
+	g := mlpGraph(t)
+	cl := device.MustCluster(4, 4, device.V100Profile())
+	s := New(cl)
+	prime := partition.NewSeq(partition.NewPrime(1, model.LinM, model.LinN, model.LinK))
+	seqs := []partition.Seq{
+		partition.NewSeq(partition.Split(0), partition.Split(1)),
+		prime,
+		partition.NewSeq(partition.Split(0), partition.Split(1)),
+		prime,
+	}
+	rep, err := s.Run(g, seqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RingExposed < 0 || rep.RingExposed > rep.RingTotal+1e-12 {
+		t.Fatalf("exposed ring %v outside [0, %v]", rep.RingExposed, rep.RingTotal)
+	}
+}
+
+// ZeRO-1 shards optimizer state across the data-parallel group: memory
+// drops, a parameter all-gather appears.
+func TestZeRO1ShardsOptimizerState(t *testing.T) {
+	g := blockGraph(t, model.OPT6B7())
+	cl := device.MustCluster(8, 4, device.V100Profile())
+	seqs := megatronSeqs(t, g, 3, 3) // pure data parallel: everything replicated
+	plain := New(cl)
+	base, err := plain.Run(g, seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := New(cl)
+	z.ZeRO1 = true
+	zrep, err := z.Run(g, seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zrep.PeakMemoryBytes >= base.PeakMemoryBytes {
+		t.Fatalf("ZeRO-1 did not reduce memory: %v vs %v", zrep.PeakMemoryBytes, base.PeakMemoryBytes)
+	}
+	if zrep.Collective <= base.Collective {
+		t.Fatal("ZeRO-1 must add the parameter all-gather")
+	}
+	// Under 8-way DP the optimizer share shrinks ~8x: total weight state
+	// drops from 8 units to 2 + 6/8 = 2.75 units.
+	ratio := zrep.PeakMemoryBytes / base.PeakMemoryBytes
+	if ratio > 0.75 {
+		t.Fatalf("ZeRO-1 memory ratio %v too weak for 8-way DP", ratio)
+	}
+}
+
+// Activation recomputation trades compute for activation memory.
+func TestRecomputeTradesComputeForMemory(t *testing.T) {
+	g := blockGraph(t, model.Llama2_70B())
+	cl := device.MustCluster(8, 4, device.V100Profile())
+	seqs := megatronSeqs(t, g, 3, 0)
+	base, err := New(cl).Run(g, seqs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := New(cl)
+	rc.Recompute = true
+	rep, err := rc.Run(g, seqs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakMemoryBytes >= base.PeakMemoryBytes {
+		t.Fatalf("recompute did not reduce memory: %v vs %v",
+			rep.PeakMemoryBytes, base.PeakMemoryBytes)
+	}
+	if rep.Compute <= base.Compute*1.2 {
+		t.Fatalf("recompute should add ≈1/3 compute: %v vs %v", rep.Compute, base.Compute)
+	}
+	if rep.IterationTime <= base.IterationTime {
+		t.Fatal("recompute cannot be faster")
+	}
+}
+
+// Per-op attribution: the sum of operator breakdowns equals the report's
+// aggregate counters, and the expensive linears dominate.
+func TestPerOpBreakdown(t *testing.T) {
+	g := blockGraph(t, model.OPT175B())
+	cl := device.MustCluster(8, 4, device.V100Profile())
+	s := New(cl)
+	seqs := megatronSeqs(t, g, 3, 1)
+	rep, err := s.Run(g, seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerOp) == 0 {
+		t.Fatal("no per-op breakdown")
+	}
+	var comp, coll, ring float64
+	for _, ob := range rep.PerOp {
+		comp += ob.Compute
+		coll += ob.Collective
+		ring += ob.Ring
+	}
+	if math.Abs(comp-rep.Compute) > 1e-9 || math.Abs(coll-rep.Collective) > 1e-9 ||
+		math.Abs(ring-rep.RingTotal) > 1e-9 {
+		t.Fatalf("breakdown does not sum to aggregates: %v/%v, %v/%v, %v/%v",
+			comp, rep.Compute, coll, rep.Collective, ring, rep.RingTotal)
+	}
+	if rep.PerOp["fc1"].Compute <= rep.PerOp["norm1"].Compute {
+		t.Fatal("fc1 should dominate norm1 in compute")
+	}
+	// Row-parallel fc2 carries the forward all-reduce.
+	if rep.PerOp["fc2"].Collective <= 0 {
+		t.Fatal("fc2 should show collective time under Megatron")
+	}
+}

@@ -1,0 +1,368 @@
+// Package tensor implements a small dense float64 tensor library.
+//
+// It is the numeric substrate for the SPMD runtime (internal/runtime), which
+// verifies that PrimePar's spatial-temporal partitioning preserves the exact
+// mathematical semantics of unpartitioned training. The package favors
+// clarity over performance: matrices are row-major float64 slices and all
+// operations are straightforward loops.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major tensor of float64 values.
+type Tensor struct {
+	shape  []int
+	stride []int
+	data   []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is non-positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	t := &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: make([]int, len(shape)),
+		data:   make([]float64, n),
+	}
+	t.computeStrides()
+	return t
+}
+
+// FromData wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); it panics if the length does not match the shape.
+func FromData(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	t := &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: make([]int, len(shape)),
+		data:   data,
+	}
+	t.computeStrides()
+	return t
+}
+
+func (t *Tensor) computeStrides() {
+	acc := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		t.stride[i] = acc
+		acc *= t.shape[i]
+	}
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off += x * t.stride[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Fill sets every element to v and returns t.
+func (t *Tensor) Fill(v float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// FillRandom fills t with uniform values in [-1, 1) drawn from rng,
+// and returns t. A deterministic rng makes tests reproducible.
+func (t *Tensor) FillRandom(rng *rand.Rand) *Tensor {
+	for i := range t.data {
+		t.data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// Reshape returns a view of t with a new shape of the same total size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v", t.shape, len(t.data), shape))
+	}
+	return FromData(t.data, shape...)
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Tensor, tol float64) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum elementwise absolute difference between a
+// and b. It panics if shapes differ.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic("tensor: MaxAbsDiff on tensors of different sizes")
+	}
+	max := 0.0
+	for i := range a.data {
+		d := math.Abs(a.data[i] - b.data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Add returns a new tensor a+b. It panics if shapes differ.
+func Add(a, b *Tensor) *Tensor {
+	c := a.Clone()
+	c.AddInPlace(b)
+	return c
+}
+
+// AddInPlace adds b into t elementwise and returns t.
+func (t *Tensor) AddInPlace(b *Tensor) *Tensor {
+	if len(t.data) != len(b.data) {
+		panic("tensor: AddInPlace on tensors of different sizes")
+	}
+	for i := range t.data {
+		t.data[i] += b.data[i]
+	}
+	return t
+}
+
+// Scale multiplies every element by s and returns t.
+func (t *Tensor) Scale(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// MatMul returns a·b for 2-D tensors a (m×n) and b (n×k).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, n := a.shape[0], a.shape[1]
+	n2, k := b.shape[0], b.shape[1]
+	if n != n2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %d vs %d", n, n2))
+	}
+	out := New(m, k)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*k : (i+1)*k]
+		for p := 0; p < n; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*k : (p+1)*k]
+			for j := 0; j < k; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for 2-D tensors a (m×n) and b (k×n).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 tensors")
+	}
+	m, n := a.shape[0], a.shape[1]
+	k, n2 := b.shape[0], b.shape[1]
+	if n != n2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims mismatch %d vs %d", n, n2))
+	}
+	out := New(m, k)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			brow := b.data[j*n : (j+1)*n]
+			s := 0.0
+			for p := 0; p < n; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b for 2-D tensors a (n×m) and b (n×k).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 tensors")
+	}
+	n, m := a.shape[0], a.shape[1]
+	n2, k := b.shape[0], b.shape[1]
+	if n != n2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims mismatch %d vs %d", n, n2))
+	}
+	out := New(m, k)
+	for p := 0; p < n; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*k : (p+1)*k]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*k : (i+1)*k]
+			for j := 0; j < k; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func (t *Tensor) Transpose() *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Block extracts the sub-matrix rows [r0,r1) × cols [c0,c1) of a 2-D tensor.
+func (t *Tensor) Block(r0, r1, c0, c1 int) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Block requires a rank-2 tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	if r0 < 0 || r1 > m || c0 < 0 || c1 > n || r0 >= r1 || c0 >= c1 {
+		panic(fmt.Sprintf("tensor: Block [%d:%d, %d:%d] out of range for %dx%d", r0, r1, c0, c1, m, n))
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.data[(i-r0)*(c1-c0):(i-r0+1)*(c1-c0)], t.data[i*n+c0:i*n+c1])
+	}
+	return out
+}
+
+// SetBlock writes block b into t at rows [r0,...) × cols [c0,...).
+func (t *Tensor) SetBlock(r0, c0 int, b *Tensor) {
+	if t.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: SetBlock requires rank-2 tensors")
+	}
+	bm, bn := b.shape[0], b.shape[1]
+	m, n := t.shape[0], t.shape[1]
+	if r0+bm > m || c0+bn > n || r0 < 0 || c0 < 0 {
+		panic(fmt.Sprintf("tensor: SetBlock at (%d,%d) of %dx%d into %dx%d out of range", r0, c0, bm, bn, m, n))
+	}
+	for i := 0; i < bm; i++ {
+		copy(t.data[(r0+i)*n+c0:(r0+i)*n+c0+bn], b.data[i*bn:(i+1)*bn])
+	}
+}
+
+// AddBlock accumulates block b into t at rows [r0,...) × cols [c0,...).
+func (t *Tensor) AddBlock(r0, c0 int, b *Tensor) {
+	if t.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: AddBlock requires rank-2 tensors")
+	}
+	bm, bn := b.shape[0], b.shape[1]
+	n := t.shape[1]
+	for i := 0; i < bm; i++ {
+		row := t.data[(r0+i)*n+c0 : (r0+i)*n+c0+bn]
+		brow := b.data[i*bn : (i+1)*bn]
+		for j := range row {
+			row[j] += brow[j]
+		}
+	}
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if t.Rank() == 2 && t.shape[0] <= 8 && t.shape[1] <= 8 {
+		s := ""
+		for i := 0; i < t.shape[0]; i++ {
+			s += fmt.Sprintf("%v\n", t.data[i*t.shape[1]:(i+1)*t.shape[1]])
+		}
+		return s
+	}
+	return fmt.Sprintf("Tensor(shape=%v, size=%d)", t.shape, len(t.data))
+}

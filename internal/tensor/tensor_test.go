@@ -1,0 +1,292 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	a := New(3, 4)
+	if a.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", a.Size())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if a.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	a := New(2, 3, 4)
+	a.Set(7.5, 1, 2, 3)
+	if got := a.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Row-major layout: offset = 1*12 + 2*4 + 3 = 23.
+	if a.Data()[23] != 7.5 {
+		t.Fatalf("data[23] = %v, want 7.5", a.Data()[23])
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	a.At(2, 0)
+}
+
+func TestFromDataLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromData with wrong length did not panic")
+		}
+	}()
+	FromData([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2).Fill(1)
+	b := a.Clone()
+	b.Set(9, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6).Fill(3)
+	b := a.Reshape(3, 4)
+	b.Set(11, 0, 0)
+	if a.At(0, 0) != 11 {
+		t.Fatal("Reshape should be a view over the same data")
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 4 {
+		t.Fatalf("Reshape shape = %v", b.Shape())
+	}
+}
+
+func TestReshapePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Reshape did not panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromData([]float64{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := FromData([]float64{19, 22, 43, 50}, 2, 2)
+	if !Equal(c, want, 0) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulInnerMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched MatMul did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulTransBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(3, 5).FillRandom(rng)
+	b := New(4, 5).FillRandom(rng)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, b.Transpose())
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("MatMulTransB differs from MatMul(a, bᵀ) by %g", MaxAbsDiff(got, want))
+	}
+}
+
+func TestMatMulTransAMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(5, 3).FillRandom(rng)
+	b := New(5, 4).FillRandom(rng)
+	got := MatMulTransA(a, b)
+	want := MatMul(a.Transpose(), b)
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("MatMulTransA differs from MatMul(aᵀ, b) by %g", MaxAbsDiff(got, want))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(4, 7).FillRandom(rng)
+	if !Equal(a.Transpose().Transpose(), a, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestBlockSetBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(6, 8).FillRandom(rng)
+	blk := a.Block(2, 5, 3, 7)
+	if blk.Dim(0) != 3 || blk.Dim(1) != 4 {
+		t.Fatalf("Block shape = %v", blk.Shape())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if blk.At(i, j) != a.At(2+i, 3+j) {
+				t.Fatalf("block (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	b := New(6, 8)
+	b.SetBlock(2, 3, blk)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if b.At(2+i, 3+j) != blk.At(i, j) {
+				t.Fatalf("SetBlock (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestBlockOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Block did not panic")
+		}
+	}()
+	New(3, 3).Block(0, 4, 0, 2)
+}
+
+func TestAddBlockAccumulates(t *testing.T) {
+	a := New(4, 4).Fill(1)
+	blk := New(2, 2).Fill(2)
+	a.AddBlock(1, 1, blk)
+	if a.At(1, 1) != 3 || a.At(2, 2) != 3 || a.At(0, 0) != 1 {
+		t.Fatalf("AddBlock result wrong: %v", a)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := FromData([]float64{1, 2}, 2)
+	b := FromData([]float64{3, 4}, 2)
+	c := Add(a, b)
+	if c.At(0) != 4 || c.At(1) != 6 {
+		t.Fatalf("Add = %v", c)
+	}
+	c.Scale(0.5)
+	if c.At(0) != 2 || c.At(1) != 3 {
+		t.Fatalf("Scale = %v", c)
+	}
+	// Operands untouched.
+	if a.At(0) != 1 || b.At(0) != 3 {
+		t.Fatal("Add mutated its operands")
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	if a.Sum() != 10 {
+		t.Fatalf("Sum = %v, want 10", a.Sum())
+	}
+}
+
+func TestEqualToleranceAndShape(t *testing.T) {
+	a := FromData([]float64{1, 2}, 2)
+	b := FromData([]float64{1.0000001, 2}, 2)
+	if !Equal(a, b, 1e-6) {
+		t.Fatal("Equal should accept within tolerance")
+	}
+	if Equal(a, b, 1e-9) {
+		t.Fatal("Equal should reject beyond tolerance")
+	}
+	c := FromData([]float64{1, 2}, 1, 2)
+	if Equal(a, c, 1) {
+		t.Fatal("Equal should reject different shapes")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestQuickMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(m, n).FillRandom(rng)
+		b := New(n, k).FillRandom(rng)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over block-row decomposition:
+// A·B == Σ_i A[:,i-slice]·B[i-slice,:] — the algebraic fact behind
+// PrimePar's temporal summation of partial products.
+func TestQuickMatMulBlockDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slices := 1 + rng.Intn(4)
+		per := 1 + rng.Intn(4)
+		m, n, k := 1+rng.Intn(5), slices*per, 1+rng.Intn(5)
+		a := New(m, n).FillRandom(rng)
+		b := New(n, k).FillRandom(rng)
+		want := MatMul(a, b)
+		got := New(m, k)
+		for s := 0; s < slices; s++ {
+			ab := a.Block(0, m, s*per, (s+1)*per)
+			bb := b.Block(s*per, (s+1)*per, 0, k)
+			got.AddInPlace(MatMul(ab, bb))
+		}
+		return MaxAbsDiff(got, want) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Block/SetBlock reassembly is lossless for any 2-D grid split.
+func TestQuickBlockReassembly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gr, gc := 1+rng.Intn(4), 1+rng.Intn(4)
+		br, bc := 1+rng.Intn(4), 1+rng.Intn(4)
+		a := New(gr*br, gc*bc).FillRandom(rng)
+		out := New(gr*br, gc*bc)
+		for i := 0; i < gr; i++ {
+			for j := 0; j < gc; j++ {
+				out.SetBlock(i*br, j*bc, a.Block(i*br, (i+1)*br, j*bc, (j+1)*bc))
+			}
+		}
+		return Equal(a, out, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromData([]float64{1, 5}, 2)
+	b := FromData([]float64{2, 3}, 2)
+	if d := MaxAbsDiff(a, b); math.Abs(d-2) > 1e-15 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", d)
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace renders simulated execution timelines: as Chrome
+// trace-event JSON (loadable in chrome://tracing / Perfetto) and as ASCII
+// art — the reproduction of the kernel-execution timelines in the right
+// half of the paper's Fig. 9.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// chromeEvent is one complete ("X") event of the Chrome trace format.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON envelope.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON converts timeline segments into Chrome trace-event JSON. The
+// compute stream appears as tid 0, the communication stream as tid 1.
+func ChromeJSON(segments []sim.Segment) ([]byte, error) {
+	f := chromeFile{DisplayUnit: "ms"}
+	for _, s := range segments {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name:  fmt.Sprintf("%s[%s] %s", s.Name, s.Phase, s.Kind),
+			Cat:   s.Kind,
+			Phase: "X",
+			TS:    s.Start * 1e6,
+			Dur:   (s.End - s.Start) * 1e6,
+			PID:   0,
+			TID:   int(s.Stream),
+			Args:  map[string]string{"op": s.Name, "phase": s.Phase.String()},
+		})
+	}
+	return json.MarshalIndent(f, "", " ")
+}
+
+// glyphs by segment kind for the ASCII rendering.
+func glyph(kind string) byte {
+	switch kind {
+	case "compute":
+		return '#'
+	case "ring":
+		return '~'
+	case "allreduce":
+		return 'A'
+	case "redistribute":
+		return 'R'
+	}
+	return '?'
+}
+
+// ASCII renders the two streams as proportional text lanes of the given
+// width, with a legend. Empty input yields an empty string.
+func ASCII(segments []sim.Segment, width int) string {
+	if len(segments) == 0 || width < 10 {
+		return ""
+	}
+	end := 0.0
+	for _, s := range segments {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if end <= 0 {
+		return ""
+	}
+	lanes := map[sim.Stream][]byte{
+		sim.ComputeStream: emptyLane(width),
+		sim.CommStream:    emptyLane(width),
+	}
+	for _, s := range segments {
+		lane := lanes[s.Stream]
+		a := int(s.Start / end * float64(width))
+		b := int(s.End / end * float64(width))
+		if b == a {
+			b = a + 1 // visible even when sub-pixel
+		}
+		if b > width {
+			b = width
+		}
+		g := glyph(s.Kind)
+		for i := a; i < b; i++ {
+			lane[i] = g
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compute │%s│\n", lanes[sim.ComputeStream])
+	fmt.Fprintf(&sb, "comm    │%s│\n", lanes[sim.CommStream])
+	fmt.Fprintf(&sb, "          0%sT=%s\n", strings.Repeat(" ", width-10), fmtSeconds(end))
+	sb.WriteString("          # compute   ~ ring p2p   A all-reduce   R resharding\n")
+	return sb.String()
+}
+
+func emptyLane(width int) []byte {
+	lane := make([]byte, width)
+	for i := range lane {
+		lane[i] = ' '
+	}
+	return lane
+}
+
+func fmtSeconds(s float64) string {
+	if s < 1e-3 {
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+	if s < 1 {
+		return fmt.Sprintf("%.1fms", s*1e3)
+	}
+	return fmt.Sprintf("%.2fs", s)
+}
+
+// Summary tallies per-kind busy time from segments.
+func Summary(segments []sim.Segment) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range segments {
+		out[s.Kind] += s.End - s.Start
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+func sampleSegments(t *testing.T) []sim.Segment {
+	t.Helper()
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := device.MustCluster(4, 4, device.V100Profile())
+	s := sim.New(cl)
+	s.RecordSegments = true
+	prime := partition.NewSeq(partition.NewPrime(1, model.LinM, model.LinN, model.LinK))
+	seqs := []partition.Seq{
+		partition.NewSeq(partition.Split(1), partition.Split(1)),
+		prime,
+		partition.NewSeq(partition.Split(1), partition.Split(2)),
+		prime,
+	}
+	rep, err := s.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Segments) == 0 {
+		t.Fatal("no segments recorded")
+	}
+	return rep.Segments
+}
+
+func TestChromeJSONWellFormed(t *testing.T) {
+	segs := sampleSegments(t)
+	data, err := ChromeJSON(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != len(segs) {
+		t.Fatalf("%d events for %d segments", len(decoded.TraceEvents), len(segs))
+	}
+	for _, e := range decoded.TraceEvents {
+		if e.Phase != "X" || e.Dur <= 0 || e.TS < 0 {
+			t.Fatalf("malformed event %+v", e)
+		}
+		if e.TID != 0 && e.TID != 1 {
+			t.Fatalf("unexpected tid %d", e.TID)
+		}
+	}
+	if decoded.DisplayUnit != "ms" {
+		t.Fatalf("display unit %q", decoded.DisplayUnit)
+	}
+}
+
+func TestASCIITimeline(t *testing.T) {
+	segs := sampleSegments(t)
+	out := ASCII(segs, 80)
+	if !strings.Contains(out, "compute │") || !strings.Contains(out, "comm    │") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no compute glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "~") {
+		t.Fatalf("no ring glyphs (prime MLP must show ring traffic):\n%s", out)
+	}
+	// A Megatron timeline shows all-reduce glyphs instead.
+	g, err := model.BuildMLP(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := device.MustCluster(4, 4, device.V100Profile())
+	s := sim.New(cl)
+	s.RecordSegments = true
+	seqs, err := baseline.Megatron(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(g, seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mega := ASCII(rep.Segments, 80)
+	if !strings.Contains(mega, "A") {
+		t.Fatalf("Megatron timeline lacks all-reduce glyphs:\n%s", mega)
+	}
+}
+
+func TestASCIIEdgeCases(t *testing.T) {
+	if ASCII(nil, 80) != "" {
+		t.Fatal("empty segments should render empty")
+	}
+	if ASCII(sampleSegments(t), 5) != "" {
+		t.Fatal("absurd width should render empty")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	segs := sampleSegments(t)
+	sum := Summary(segs)
+	if sum["compute"] <= 0 {
+		t.Fatal("no compute time tallied")
+	}
+	if sum["ring"] <= 0 {
+		t.Fatal("no ring time tallied")
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += s.End - s.Start
+	}
+	got := 0.0
+	for _, v := range sum {
+		got += v
+	}
+	if diff := got - total; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("summary total %v != segment total %v", got, total)
+	}
+}

@@ -1,0 +1,165 @@
+// Package workload generates synthetic training workloads — distributions
+// of sequence lengths, bucketed batching, padding accounting — so the
+// benchmark harness can sweep realistic input shapes rather than a single
+// fixed (batch, seqlen) point. Real LLM training corpora have long-tailed
+// length distributions; padding waste interacts with the parallel strategy
+// because throughput is measured in REAL tokens.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a sequence-length distribution.
+type Dist interface {
+	// Sample draws n lengths deterministically from seed.
+	Sample(n int, seed int64) []int
+	// Name labels the distribution in reports.
+	Name() string
+}
+
+// Uniform draws lengths uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max int
+}
+
+func (u Uniform) Name() string { return fmt.Sprintf("uniform[%d,%d]", u.Min, u.Max) }
+
+func (u Uniform) Sample(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = u.Min + rng.Intn(u.Max-u.Min+1)
+	}
+	return out
+}
+
+// LongTail draws lengths from a truncated power-law: most sequences short,
+// a heavy tail up to Max (the shape real corpora show).
+type LongTail struct {
+	Min, Max int
+	// Alpha > 0 controls tail heaviness (larger = shorter sequences).
+	Alpha float64
+}
+
+func (l LongTail) Name() string { return fmt.Sprintf("longtail[%d,%d,α=%.1f]", l.Min, l.Max, l.Alpha) }
+
+func (l LongTail) Sample(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	a := l.Alpha
+	if a <= 0 {
+		a = 1
+	}
+	for i := range out {
+		// Inverse-CDF sampling of p(x) ∝ x^(−a) on [Min, Max].
+		u := rng.Float64()
+		lo, hi := float64(l.Min), float64(l.Max)
+		var x float64
+		if math.Abs(a-1) < 1e-9 {
+			x = lo * math.Pow(hi/lo, u)
+		} else {
+			x = math.Pow(math.Pow(lo, 1-a)+u*(math.Pow(hi, 1-a)-math.Pow(lo, 1-a)), 1/(1-a))
+		}
+		out[i] = int(x)
+	}
+	return out
+}
+
+// Fixed always returns the same length.
+type Fixed struct{ Len int }
+
+func (f Fixed) Name() string { return fmt.Sprintf("fixed[%d]", f.Len) }
+func (f Fixed) Sample(n int, _ int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = f.Len
+	}
+	return out
+}
+
+// Batching describes how sampled lengths become padded training batches.
+type Batching struct {
+	// Buckets are ascending padded lengths; each sequence pads up to the
+	// smallest bucket that fits. An empty slice means "pad to max".
+	Buckets []int
+}
+
+// PadToMax pads every sequence to the longest sampled length.
+var PadToMax = Batching{}
+
+// NewBuckets builds k geometric buckets between min and max lengths.
+func NewBuckets(min, max, k int) Batching {
+	if k < 1 {
+		return PadToMax
+	}
+	buckets := make([]int, k)
+	ratio := math.Pow(float64(max)/float64(min), 1/float64(k))
+	v := float64(min)
+	for i := 0; i < k; i++ {
+		v *= ratio
+		buckets[i] = int(math.Ceil(v))
+	}
+	buckets[k-1] = max
+	return Batching{Buckets: buckets}
+}
+
+// Stats summarises the padding behaviour of a batching policy on a sample.
+type Stats struct {
+	RealTokens   int
+	PaddedTokens int
+	// Utilization = real / padded ∈ (0, 1].
+	Utilization float64
+	// BucketCounts[i] is the number of sequences landing in bucket i
+	// (a single entry for PadToMax).
+	BucketCounts []int
+}
+
+// Apply pads the sampled lengths under the policy and reports utilisation.
+func (b Batching) Apply(lengths []int) (Stats, error) {
+	if len(lengths) == 0 {
+		return Stats{}, fmt.Errorf("workload: empty sample")
+	}
+	max := 0
+	real := 0
+	for _, l := range lengths {
+		if l <= 0 {
+			return Stats{}, fmt.Errorf("workload: non-positive length %d", l)
+		}
+		real += l
+		if l > max {
+			max = l
+		}
+	}
+	buckets := b.Buckets
+	if len(buckets) == 0 {
+		buckets = []int{max}
+	}
+	sorted := append([]int(nil), buckets...)
+	sort.Ints(sorted)
+	if sorted[len(sorted)-1] < max {
+		return Stats{}, fmt.Errorf("workload: largest bucket %d smaller than max length %d", sorted[len(sorted)-1], max)
+	}
+	counts := make([]int, len(sorted))
+	padded := 0
+	for _, l := range lengths {
+		idx := sort.SearchInts(sorted, l)
+		padded += sorted[idx]
+		counts[idx]++
+	}
+	return Stats{
+		RealTokens:   real,
+		PaddedTokens: padded,
+		Utilization:  float64(real) / float64(padded),
+		BucketCounts: counts,
+	}, nil
+}
+
+// EffectiveThroughput converts a padded-token training rate into a real-
+// token rate under the batching policy's utilisation.
+func EffectiveThroughput(paddedTokensPerSec float64, s Stats) float64 {
+	return paddedTokensPerSec * s.Utilization
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformSample(t *testing.T) {
+	u := Uniform{Min: 100, Max: 200}
+	ls := u.Sample(1000, 7)
+	if len(ls) != 1000 {
+		t.Fatalf("got %d samples", len(ls))
+	}
+	for _, l := range ls {
+		if l < 100 || l > 200 {
+			t.Fatalf("sample %d out of range", l)
+		}
+	}
+	// Deterministic per seed.
+	again := u.Sample(1000, 7)
+	for i := range ls {
+		if ls[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	if u.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestLongTailShape(t *testing.T) {
+	d := LongTail{Min: 64, Max: 4096, Alpha: 1.5}
+	ls := d.Sample(5000, 3)
+	short, long := 0, 0
+	for _, l := range ls {
+		if l < 64 || l > 4096 {
+			t.Fatalf("sample %d out of range", l)
+		}
+		if l < 512 {
+			short++
+		}
+		if l > 2048 {
+			long++
+		}
+	}
+	if short <= long {
+		t.Fatalf("long-tail should skew short: %d short vs %d long", short, long)
+	}
+	// Alpha=1 branch.
+	d1 := LongTail{Min: 64, Max: 4096, Alpha: 1}
+	for _, l := range d1.Sample(100, 4) {
+		if l < 64 || l > 4096 {
+			t.Fatalf("alpha=1 sample %d out of range", l)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed{Len: 2048}
+	for _, l := range f.Sample(5, 0) {
+		if l != 2048 {
+			t.Fatal("fixed distribution varied")
+		}
+	}
+}
+
+func TestPadToMax(t *testing.T) {
+	s, err := PadToMax.Apply([]int{100, 200, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RealTokens != 700 || s.PaddedTokens != 3*400 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Utilization-700.0/1200) > 1e-12 {
+		t.Fatalf("utilization = %v", s.Utilization)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	b := Batching{Buckets: []int{128, 256, 512}}
+	s, err := b.Apply([]int{100, 129, 500, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PaddedTokens != 128+256+512+512 {
+		t.Fatalf("padded = %d", s.PaddedTokens)
+	}
+	if s.BucketCounts[0] != 1 || s.BucketCounts[1] != 1 || s.BucketCounts[2] != 2 {
+		t.Fatalf("bucket counts = %v", s.BucketCounts)
+	}
+	// Overflowing the largest bucket is an error.
+	if _, err := b.Apply([]int{600}); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if _, err := b.Apply(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := b.Apply([]int{0}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestNewBuckets(t *testing.T) {
+	b := NewBuckets(128, 4096, 4)
+	if len(b.Buckets) != 4 || b.Buckets[3] != 4096 {
+		t.Fatalf("buckets = %v", b.Buckets)
+	}
+	for i := 1; i < len(b.Buckets); i++ {
+		if b.Buckets[i] <= b.Buckets[i-1] {
+			t.Fatalf("buckets not increasing: %v", b.Buckets)
+		}
+	}
+	if got := NewBuckets(1, 10, 0); len(got.Buckets) != 0 {
+		t.Fatal("k=0 should fall back to pad-to-max")
+	}
+}
+
+// More buckets never hurt utilisation (on the same sample).
+func TestQuickBucketsImproveUtilization(t *testing.T) {
+	f := func(seed int64) bool {
+		d := LongTail{Min: 64, Max: 4096, Alpha: 1.3}
+		ls := d.Sample(512, seed)
+		base, err := PadToMax.Apply(ls)
+		if err != nil {
+			return false
+		}
+		bucketed, err := NewBuckets(64, 4096, 6).Apply(ls)
+		if err != nil {
+			return false
+		}
+		return bucketed.Utilization >= base.Utilization-1e-12 &&
+			bucketed.Utilization <= 1 && base.Utilization > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveThroughput(t *testing.T) {
+	s := Stats{Utilization: 0.5}
+	if got := EffectiveThroughput(1000, s); got != 500 {
+		t.Fatalf("EffectiveThroughput = %v", got)
+	}
+}

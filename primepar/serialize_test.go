@@ -1,0 +1,82 @@
+package primepar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPlanSaveLoadRoundTrip(t *testing.T) {
+	cluster, err := NewCluster(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Search(OPT175B(), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := plan.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Model.Name != plan.Model.Name || loaded.Cluster.NumDevices != 8 {
+		t.Fatalf("round-trip lost identity: %+v", loaded.Model)
+	}
+	if len(loaded.Seqs) != len(plan.Seqs) {
+		t.Fatalf("round-trip lost strategies")
+	}
+	for i := range plan.Seqs {
+		if loaded.Seqs[i].Key() != plan.Seqs[i].Key() {
+			t.Fatalf("node %d strategy changed: %v vs %v", i, loaded.Seqs[i], plan.Seqs[i])
+		}
+	}
+	if loaded.PredictedCost != plan.PredictedCost {
+		t.Fatal("round-trip lost predicted cost")
+	}
+	// The loaded plan must simulate identically.
+	a, err := plan.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IterationTime != b.IterationTime {
+		t.Fatalf("loaded plan simulates differently: %v vs %v", a.IterationTime, b.IterationTime)
+	}
+}
+
+func TestLoadPlanRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Wrong version.
+	v := filepath.Join(dir, "v.json")
+	if err := os.WriteFile(v, []byte(`{"format_version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(v); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Unknown model.
+	m := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(m, []byte(`{"format_version":1,"model":"GPT-9","devices":4,"devices_per_node":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(m); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
