@@ -175,7 +175,9 @@ func BenchmarkFig10(b *testing.B) {
 	}
 }
 
-// BenchmarkTable2 regenerates the optimization-time table.
+// BenchmarkTable2 regenerates the optimization-time table. Beyond the wall
+// times it reports what the search-performance layer did: cache hit counts
+// and the edge-matrix cells actually evaluated at the 32-GPU scale.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, table, err := experiments.Table2(experiments.DefaultSetup())
@@ -187,6 +189,9 @@ func BenchmarkTable2(b *testing.B) {
 			for _, r := range rows {
 				if r.Scale == 32 {
 					b.ReportMetric(float64(r.Time.Milliseconds()), "ms@32/"+r.Model)
+					b.ReportMetric(float64(r.Stats.NodeCacheHits), "node-hits@32/"+r.Model)
+					b.ReportMetric(float64(r.Stats.EdgeCacheHits), "edge-hits@32/"+r.Model)
+					b.ReportMetric(float64(r.Stats.EdgeCellsEvaluated)/1e6, "Mcells@32/"+r.Model)
 				}
 			}
 		}
@@ -299,6 +304,23 @@ func benchmarkSearch(b *testing.B, devices int) {
 func BenchmarkSearch8(b *testing.B)  { benchmarkSearch(b, 8) }
 func BenchmarkSearch16(b *testing.B) { benchmarkSearch(b, 16) }
 func BenchmarkSearch32(b *testing.B) { benchmarkSearch(b, 32) }
+
+// BenchmarkSearch16Uncached measures the SerialUncached reference mode the
+// equivalence tests compare against — the ratio to BenchmarkSearch16 is the
+// speedup of the memo caches + table evaluator + worker pool.
+func BenchmarkSearch16Uncached(b *testing.B) {
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		o := core.NewOptimizer(cost.NewModel(device.MustCluster(16, 4, device.V100Profile())))
+		o.Opts = o.Opts.SerialUncached()
+		if _, err := o.Optimize(g, 96); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkSimIteration measures one simulated 96-layer training iteration.
 func BenchmarkSimIteration(b *testing.B) {

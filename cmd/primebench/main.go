@@ -24,8 +24,9 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig2a, fig2b, fig4, table1, fig7, fig8, fig9, fig10, table2, ablations, sweeps, all)")
-		quick = flag.Bool("quick", false, "reduced sweep (2 models, scales 4–8) for smoke runs")
+		exp      = flag.String("exp", "all", "experiment id (fig2a, fig2b, fig4, table1, fig7, fig8, fig9, fig10, table2, ablations, sweeps, all)")
+		quick    = flag.Bool("quick", false, "reduced sweep (2 models, scales 4–8) for smoke runs")
+		benchOut = flag.String("bench-out", "BENCH_table2.json", "where -exp table2 writes its JSON artifact")
 	)
 	flag.Parse()
 
@@ -85,9 +86,11 @@ func main() {
 		fmt.Println(table)
 	}
 	if run("table2") {
-		_, table, err := experiments.Table2(setup)
+		rows, table, err := experiments.Table2(setup)
 		check(err)
 		fmt.Println(table)
+		check(experiments.WriteTable2JSON(*benchOut, rows))
+		fmt.Printf("wrote %s (search stats + before/after timings)\n\n", *benchOut)
 	}
 	if run("ablations") {
 		cfg := model.OPT175B()

@@ -6,9 +6,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
@@ -51,43 +50,8 @@ type Strategy struct {
 	Layers int
 	// SpaceSizes records |P| per node for reporting.
 	SpaceSizes []int
-}
-
-func (o *Optimizer) workers() int {
-	if o.Opts.Parallelism > 0 {
-		return o.Opts.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// parallelRows runs f(i) for i in [0, n) across the worker pool.
-func (o *Optimizer) parallelRows(n int, f func(i int)) {
-	w := o.workers()
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			for i := s; i < e; i++ {
-				f(i)
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	// Stats instruments the search that produced this strategy.
+	Stats SearchStats
 }
 
 // evalNode enumerates and evaluates the candidate space of node i.
@@ -107,25 +71,6 @@ func (o *Optimizer) evalNode(op *graph.Op) *nodeCands {
 		nc.in[i] = o.Cost.InputIface(op, seqs[i])
 	})
 	return nc
-}
-
-// edgeKey identifies structurally identical edges so their (P1×P2) cost
-// matrices are computed once (the two QKV→QKᵀ edges, the two residual
-// hand-offs, ...). Two edges share a matrix when both endpoint operators
-// have identical axis structure (sizes, splittability, prime roles), the
-// tensors and axis map coincide, and the candidate spaces therefore
-// enumerate identically.
-func edgeKey(g *graph.Graph, e *graph.Edge) string {
-	src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
-	opSig := func(op *graph.Op) string {
-		s := fmt.Sprintf("P%d,%d,%d|", op.PrimeM, op.PrimeN, op.PrimeK)
-		for _, a := range op.Axes {
-			s += fmt.Sprintf("%d:%v;", a.Size, a.Splittable)
-		}
-		return s
-	}
-	return fmt.Sprintf("%s>%s:%v:%v:%v", opSig(src), opSig(dst),
-		e.AxisMap, dst.Tensors[e.DstTensor].Axes, src.Tensors[src.OutputTensor].Axes)
 }
 
 // table is an optimal-substructure matrix C_{a,b}(p_a, p_b) with the
@@ -353,34 +298,103 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	if err := g.CheckSegmentAssumptions(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	stats := SearchStats{Workers: o.workers()}
 
-	// Evaluate all candidate spaces.
+	// Evaluate candidate spaces, memoized by full op signature: nodes with
+	// identical structure (repeated linears, mirrored norms/residuals)
+	// share one evaluation; unique signatures evaluate across the worker
+	// pool.
+	tNodes := time.Now()
+	in := &sigInterner{}
+	slotOf := make([]int, len(g.Nodes)) // node index -> unique slot
+	var slotNode []int                  // slot -> representative node index
+	if o.Opts.DisableCache {
+		for i := range g.Nodes {
+			slotOf[i] = i
+			slotNode = append(slotNode, i)
+		}
+	} else {
+		bySig := make(map[int32]int)
+		for i, op := range g.Nodes {
+			id := in.fullID(op)
+			s, ok := bySig[id]
+			if !ok {
+				s = len(slotNode)
+				bySig[id] = s
+				slotNode = append(slotNode, i)
+			}
+			slotOf[i] = s
+		}
+	}
+	slotCands := make([]*nodeCands, len(slotNode))
+	runTasks(stats.Workers, len(slotNode), func(s int) {
+		slotCands[s] = o.evalNode(g.Nodes[slotNode[s]])
+	})
 	cands := make([]*nodeCands, len(g.Nodes))
 	for i, op := range g.Nodes {
-		cands[i] = o.evalNode(op)
+		cands[i] = slotCands[slotOf[i]]
 		if len(cands[i].seqs) == 0 {
 			return nil, fmt.Errorf("core: node %d (%s) has an empty partition space", i, op.Name)
 		}
 	}
+	stats.NodeEvals = len(slotNode)
+	stats.NodeCacheHits = len(g.Nodes) - len(slotNode)
+	for _, nc := range slotCands {
+		stats.CandidatesEvaluated += len(nc.seqs)
+	}
+	stats.NodeEvalTime = time.Since(tNodes)
+
 	if o.Opts.Beam > 0 {
+		// pruneBeam REPLACES per-node nodeCands (never mutates them), so
+		// signature-shared evaluations stay intact; equal signatures keep
+		// equal pruned sets (identical totals give identical cheapestK).
 		o.pruneBeam(g, cands)
 	}
 
-	// Edge cost matrices (grouped; deduplicated by structural key).
+	// Edge cost matrices (grouped; cached by exact structural key and
+	// built across the worker pool).
+	tEdges := time.Now()
 	edgeMats := make(map[*graph.Edge]*edgeMat)
-	byKey := make(map[string]*edgeMat)
-	for _, e := range g.Edges {
-		k := edgeKey(g, e)
-		if m, ok := byKey[k]; ok {
-			edgeMats[e] = m
-			continue
+	var uniqEdges []*graph.Edge
+	matIdx := make([]int, len(g.Edges))
+	if o.Opts.DisableCache {
+		uniqEdges = g.Edges
+		for i := range g.Edges {
+			matIdx[i] = i
 		}
-		m := o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
-		byKey[k] = m
-		edgeMats[e] = m
+	} else {
+		byKey := make(map[edgeMatKey]int)
+		for i, e := range g.Edges {
+			k := edgeKeyOf(in, g, e, o.Opts.Beam > 0)
+			s, ok := byKey[k]
+			if !ok {
+				s = len(uniqEdges)
+				byKey[k] = s
+				uniqEdges = append(uniqEdges, e)
+			}
+			matIdx[i] = s
+		}
 	}
+	mats := make([]*edgeMat, len(uniqEdges))
+	runTasks(stats.Workers, len(uniqEdges), func(s int) {
+		e := uniqEdges[s]
+		mats[s] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
+	})
+	for i, e := range g.Edges {
+		edgeMats[e] = mats[matIdx[i]]
+	}
+	stats.EdgeMatsBuilt = len(uniqEdges)
+	stats.EdgeCacheHits = len(g.Edges) - len(uniqEdges)
+	for _, m := range mats {
+		if len(m.vals) > 0 {
+			stats.EdgeCellsEvaluated += int64(len(m.vals)) * int64(len(m.vals[0]))
+		}
+	}
+	stats.EdgeMatTime = time.Since(tEdges)
 
 	// Per-segment DP, then left-to-right merging with cross edges.
+	tDP := time.Now()
 	cuts := g.SegmentCuts()
 	if len(cuts) < 2 {
 		return nil, fmt.Errorf("core: graph needs at least two nodes")
@@ -398,17 +412,30 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 
 	layerTable := acc
 	layerCost := matrixMin(layerTable.cost)
+	stats.DPTime = time.Since(tDP)
 
 	// Stack layers: binary decomposition with Eq. 14 merging. The layer
 	// boundary appears as the zero-cost anchor in the next layer, so no
 	// subtraction is needed — but the boundary STATE must be shared, which
-	// requires the anchor's candidate space to equal the tail node's.
+	// requires the anchor's candidate space to be INDEX-IDENTICAL to the
+	// tail node's. Interned sequence identities make the check exact rather
+	// than length-only (a same-size space with different or reordered
+	// sequences would silently stack wrong costs).
 	if layers > 1 {
-		if len(cands[0].seqs) != len(cands[len(g.Nodes)-1].seqs) {
+		head, tail := cands[0], cands[len(g.Nodes)-1]
+		if len(head.seqs) != len(tail.seqs) {
 			return nil, fmt.Errorf("core: layer head and tail spaces differ (%d vs %d); cannot stack",
-				len(cands[0].seqs), len(cands[len(g.Nodes)-1].seqs))
+				len(head.seqs), len(tail.seqs))
+		}
+		var seqIDs partition.Interner
+		for i := range head.seqs {
+			if seqIDs.ID(head.seqs[i]) != seqIDs.ID(tail.seqs[i]) {
+				return nil, fmt.Errorf("core: layer head and tail spaces disagree at candidate %d (%v vs %v); cannot stack",
+					i, head.seqs[i], tail.seqs[i])
+			}
 		}
 	}
+	tStack := time.Now()
 	zeroMid := make([]float64, len(cands[0].seqs)) // anchor costs nothing
 	full := layerTable
 	remaining := layers - 1
@@ -423,6 +450,7 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 		}
 	}
 	totalCost := matrixMin(full.cost)
+	stats.StackTime = time.Since(tStack)
 
 	// Reconstruct the representative (leftmost) layer's assignment.
 	ia, ib := matrixArgMin(full.cost)
@@ -447,6 +475,8 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 		strat.Intra[i] = cands[i].intra[assign[i]]
 		strat.SpaceSizes[i] = len(cands[i].seqs)
 	}
+	stats.TotalTime = time.Since(start)
+	strat.Stats = stats
 	return strat, nil
 }
 

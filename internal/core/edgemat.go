@@ -63,17 +63,42 @@ func ifaceGroups(ifaces []*cost.Iface, axes []int) (ids []int32, reps []int32) {
 	return ids, reps
 }
 
-// buildEdgeMat computes the grouped cost matrix for edge e.
+// buildEdgeMat computes the grouped cost matrix for edge e. The cell loop
+// normally runs through a cost.EdgeCalc — per-axis overlap tables make each
+// cell a handful of table-row products instead of a full device sweep, with
+// bit-identical results — and falls back to direct EdgePlan.Measure calls in
+// reference mode (Options.DisableCache) or if the tables would be too large.
 func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCands) *edgeMat {
 	plan := o.Cost.PlanEdge(g, e)
 	rows, rowReps := ifaceGroups(src.out, plan.SrcRelevantAxes())
 	cols, colReps := ifaceGroups(dst.in, plan.DstRelevantAxes())
 	m := &edgeMat{rows: rows, cols: cols, vals: make([][]float64, len(rowReps))}
+
+	var calc *cost.EdgeCalc
+	if !o.Opts.DisableCache {
+		srcIfs := make([]*cost.Iface, len(rowReps))
+		for r, ri := range rowReps {
+			srcIfs[r] = src.out[ri]
+		}
+		dstIfs := make([]*cost.Iface, len(colReps))
+		for c, ci := range colReps {
+			dstIfs[c] = dst.in[ci]
+		}
+		calc = plan.NewCalc(srcIfs, dstIfs)
+	}
+
 	o.parallelRows(len(rowReps), func(r int) {
 		row := make([]float64, len(colReps))
-		srcIface := src.out[rowReps[r]]
-		for c, cj := range colReps {
-			row[c] = o.Cost.RedistributeDetail(plan.Measure(srcIface, dst.in[cj]))
+		if calc != nil {
+			cov := make([]float64, calc.CovLen())
+			for c := range colReps {
+				row[c] = o.Cost.RedistributeDetail(calc.MeasureCell(r, c, cov))
+			}
+		} else {
+			srcIface := src.out[rowReps[r]]
+			for c, cj := range colReps {
+				row[c] = o.Cost.RedistributeDetail(plan.Measure(srcIface, dst.in[cj]))
+			}
 		}
 		m.vals[r] = row
 	})

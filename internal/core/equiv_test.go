@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// equivScales returns the device scales the equivalence matrix runs at.
+// Scales 4 and 8 always run; 16 is skipped under -short; 32 costs a full
+// uncached 32-device search per model (~40 s each) and only runs when
+// PRIMEPAR_EQUIV_FULL=1.
+func equivScales(t *testing.T) []int {
+	t.Helper()
+	scales := []int{4, 8}
+	if !testing.Short() {
+		scales = append(scales, 16)
+	}
+	if os.Getenv("PRIMEPAR_EQUIV_FULL") == "1" {
+		scales = append(scales, 32)
+	}
+	return scales
+}
+
+func sameStrategy(t *testing.T, label string, a, b *Strategy) {
+	t.Helper()
+	if a.TotalCost != b.TotalCost || a.LayerCost != b.LayerCost {
+		t.Fatalf("%s: costs differ: total %v vs %v, layer %v vs %v",
+			label, a.TotalCost, b.TotalCost, a.LayerCost, b.LayerCost)
+	}
+	if len(a.Seqs) != len(b.Seqs) {
+		t.Fatalf("%s: strategy lengths differ: %d vs %d", label, len(a.Seqs), len(b.Seqs))
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i].Key() != b.Seqs[i].Key() {
+			t.Fatalf("%s: node %d assignment differs: %v vs %v", label, i, a.Seqs[i], b.Seqs[i])
+		}
+		if a.Intra[i] != b.Intra[i] {
+			t.Fatalf("%s: node %d intra cost differs: %+v vs %+v", label, i, a.Intra[i], b.Intra[i])
+		}
+	}
+}
+
+// TestSearchEquivalenceSerialUncached runs the production search (signature
+// memo + edge cache + table-driven edge evaluator + worker pool) against the
+// SerialUncached reference on all six paper models and asserts BIT-IDENTICAL
+// strategies and costs — the caches and the fast evaluator must be invisible.
+func TestSearchEquivalenceSerialUncached(t *testing.T) {
+	for _, cfg := range model.All() {
+		g, err := model.BuildBlock(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scale := range equivScales(t) {
+			m := cost.NewModel(device.MustCluster(scale, 4, device.V100Profile()))
+			m.Alpha = 1e-12
+			fast := NewOptimizer(m)
+			fast.Opts.Parallelism = 4
+			got, err := fast.Optimize(g, cfg.Layers)
+			if err != nil {
+				t.Fatalf("%s@%d fast: %v", cfg.Name, scale, err)
+			}
+			ref := NewOptimizer(m)
+			ref.Opts = ref.Opts.SerialUncached()
+			want, err := ref.Optimize(g, cfg.Layers)
+			if err != nil {
+				t.Fatalf("%s@%d reference: %v", cfg.Name, scale, err)
+			}
+			sameStrategy(t, cfg.Name, got, want)
+
+			// The production run must actually have used the caches the
+			// reference bypassed: the block repeats norms and residuals
+			// and duplicates residual/attention edges.
+			if got.Stats.NodeCacheHits == 0 {
+				t.Errorf("%s@%d: no node-cache hits on a block with repeated ops", cfg.Name, scale)
+			}
+			if got.Stats.EdgeCacheHits == 0 {
+				t.Errorf("%s@%d: no edge-cache hits on a block with duplicate edges", cfg.Name, scale)
+			}
+			if want.Stats.NodeCacheHits != 0 || want.Stats.EdgeCacheHits != 0 {
+				t.Errorf("%s@%d: reference mode reported cache hits", cfg.Name, scale)
+			}
+		}
+	}
+}
+
+// TestSearchDeterminismAcrossWorkers pins scheduling-independence: one
+// worker vs many must produce identical strategies, costs and work counts
+// (all parallel writes land in disjoint slots).
+func TestSearchDeterminismAcrossWorkers(t *testing.T) {
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	serial := NewOptimizer(m)
+	serial.Opts.Parallelism = 1
+	a, err := serial.Optimize(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := NewOptimizer(m)
+		par.Opts.Parallelism = workers
+		b, err := par.Optimize(g, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameStrategy(t, "workers", a, b)
+		if a.Stats.NodeEvals != b.Stats.NodeEvals ||
+			a.Stats.EdgeMatsBuilt != b.Stats.EdgeMatsBuilt ||
+			a.Stats.EdgeCellsEvaluated != b.Stats.EdgeCellsEvaluated {
+			t.Fatalf("workers=%d: work counts differ: %+v vs %+v", workers, a.Stats, b.Stats)
+		}
+	}
+}
+
+// TestWorkersEnvOverride covers the PRIMEPAR_WORKERS resolution order:
+// Opts.Parallelism wins, then the environment, then GOMAXPROCS.
+func TestWorkersEnvOverride(t *testing.T) {
+	o := optimizerFor(t, 4, 4)
+	t.Setenv(WorkersEnv, "3")
+	if got := o.workers(); got != 3 {
+		t.Fatalf("workers() = %d with %s=3, want 3", got, WorkersEnv)
+	}
+	o.Opts.Parallelism = 2
+	if got := o.workers(); got != 2 {
+		t.Fatalf("workers() = %d, Opts.Parallelism must take precedence", got)
+	}
+	o.Opts.Parallelism = 0
+	t.Setenv(WorkersEnv, "not-a-number")
+	if got := o.workers(); got < 1 {
+		t.Fatalf("workers() = %d with garbage override", got)
+	}
+}
+
+// repeatedLinearChain builds anchor → lin → lin → lin with an extended
+// residual edge anchor→lin3: three structurally identical nodes and two
+// structurally identical edges, so both memo caches must fire.
+func repeatedLinearChain() *graph.Graph {
+	g := &graph.Graph{Name: "repeated-chain"}
+	anchor := &graph.Op{
+		Name: "anchor",
+		Kind: graph.OpIdentity,
+		Axes: []graph.Axis{
+			{Name: "B", Size: 4, Splittable: true},
+			{Name: "M", Size: 8, Splittable: true},
+			{Name: "K", Size: 8, Splittable: true},
+		},
+		Tensors:      []graph.Tensor{{Name: "O", Kind: graph.Output, Axes: []int{0, 1, 2}}},
+		Reductions:   map[partition.Phase][]graph.Reduction{},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		OutputTensor: 0,
+	}
+	g.AddNode(anchor)
+	for i := 0; i < 3; i++ {
+		g.AddNode(model.NewLinear("lin", 4, 8, 8, 8))
+	}
+	g.Connect(0, 1, 0, []int{0, 1, 2})
+	g.Connect(1, 2, 0, []int{model.LinB, model.LinM, model.LinK})
+	g.Connect(2, 3, 0, []int{model.LinB, model.LinM, model.LinK})
+	g.Connect(0, 3, 0, []int{0, 1, 2}) // extended residual hand-off
+	return g
+}
+
+// TestDPMatchesExhaustiveRepeatedNodes extends the oracle coverage to the
+// memoized path: repeated identical nodes sharing one nodeCands, duplicate
+// edges sharing one matrix, and an extended edge — against both the
+// exhaustive oracle and the SerialUncached reference.
+func TestDPMatchesExhaustiveRepeatedNodes(t *testing.T) {
+	g := repeatedLinearChain()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := optimizerFor(t, 4, 4)
+	dp, err := o.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Stats.NodeCacheHits < 2 {
+		t.Errorf("node cache hits = %d, want ≥ 2 (three identical linears)", dp.Stats.NodeCacheHits)
+	}
+	if dp.Stats.EdgeCacheHits < 1 {
+		t.Errorf("edge cache hits = %d, want ≥ 1 (lin→lin repeats)", dp.Stats.EdgeCacheHits)
+	}
+	ex, err := o.Exhaustive(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.TotalCost-ex.TotalCost) > 1e-9*ex.TotalCost {
+		t.Fatalf("DP cost %v != exhaustive cost %v", dp.TotalCost, ex.TotalCost)
+	}
+	if got := o.Cost.Overall(g, dp.Seqs); math.Abs(got-dp.TotalCost) > 1e-9*dp.TotalCost {
+		t.Fatalf("strategy replays to %v, DP reported %v", got, dp.TotalCost)
+	}
+	ref := optimizerFor(t, 4, 4)
+	ref.Opts = ref.Opts.SerialUncached()
+	want, err := ref.Optimize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStrategy(t, "repeated-chain", dp, want)
+}
+
+// TestDPMatchesExhaustiveRepeatedNodesStacked runs the repeated chain through
+// layer stacking so shared boundary states ride the memoized path too. The
+// chain gets a tail identity (same space as the anchor) so head/tail
+// candidate sets line up for stacking — and it duplicates the anchor's
+// signature, giving another node-cache hit.
+func TestDPMatchesExhaustiveRepeatedNodesStacked(t *testing.T) {
+	g := repeatedLinearChain()
+	tail := *g.Nodes[0]
+	tail.Name = "tail"
+	g.AddNode(&tail)
+	g.Connect(3, 4, 0, []int{model.LinB, model.LinM, model.LinK})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := optimizerFor(t, 4, 4)
+	dp, err := o.Optimize(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := optimizerFor(t, 4, 4)
+	ref.Opts = ref.Opts.SerialUncached()
+	want, err := ref.Optimize(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStrategy(t, "repeated-chain stacked", dp, want)
+}

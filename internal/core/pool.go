@@ -1,0 +1,94 @@
+// Worker-pool plumbing for the optimizer's three parallel axes: candidate
+// evaluation across nodes, edge-matrix builds across edges, and row fills
+// inside one matrix. All task functions write to disjoint slots, so results
+// are deterministic regardless of worker count or schedule.
+package core
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkersEnv overrides the optimizer's worker count when Opts.Parallelism is
+// unset, so benchmarks and CI can pin parallelism without code changes.
+const WorkersEnv = "PRIMEPAR_WORKERS"
+
+// workers resolves the worker count: Opts.Parallelism when positive, then
+// the PRIMEPAR_WORKERS environment override, then GOMAXPROCS. A count of 1
+// degrades every parallel loop to inline serial execution.
+func (o *Optimizer) workers() int {
+	if o.Opts.Parallelism > 0 {
+		return o.Opts.Parallelism
+	}
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTasks runs f(i) for i in [0, n) on up to w workers pulling from a
+// shared atomic counter (better load balance than static chunking when task
+// sizes vary, e.g. edge matrices of very different dimensions). w ≤ 1 runs
+// inline.
+func runTasks(w, n int, f func(i int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelRows runs f(i) for i in [0, n) across the worker pool.
+func (o *Optimizer) parallelRows(n int, f func(i int)) {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				f(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}

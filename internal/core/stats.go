@@ -1,0 +1,39 @@
+// Search instrumentation: every Optimize call reports what the memo caches
+// and the worker pool actually did, so benchmarks (cmd/primebench -exp
+// table2, BENCH_table2.json) can track the search-performance trajectory
+// across changes.
+package core
+
+import "time"
+
+// SearchStats describes one Optimize call: cache effectiveness, work volume,
+// and wall time per DP stage.
+type SearchStats struct {
+	// Workers is the resolved worker-pool width.
+	Workers int `json:"workers"`
+
+	// NodeEvals counts nodeCands evaluations actually performed (signature
+	// cache misses); NodeCacheHits counts nodes served from the memo.
+	NodeEvals     int `json:"node_evals"`
+	NodeCacheHits int `json:"node_cache_hits"`
+
+	// CandidatesEvaluated sums |P| over evaluated (unique) nodes.
+	CandidatesEvaluated int `json:"candidates_evaluated"`
+
+	// EdgeMatsBuilt counts grouped matrices actually computed (edge-key
+	// cache misses); EdgeCacheHits counts edges served from the cache.
+	EdgeMatsBuilt int `json:"edge_mats_built"`
+	EdgeCacheHits int `json:"edge_cache_hits"`
+
+	// EdgeCellsEvaluated sums uniqueRows×uniqueCols over built matrices —
+	// the number of Measure/RedistributeDetail evaluations.
+	EdgeCellsEvaluated int64 `json:"edge_cells_evaluated"`
+
+	// Wall time per stage: candidate evaluation, edge-matrix building,
+	// per-segment DP + merging, layer stacking, and the whole call.
+	NodeEvalTime time.Duration `json:"node_eval_ns"`
+	EdgeMatTime  time.Duration `json:"edge_mat_ns"`
+	DPTime       time.Duration `json:"dp_ns"`
+	StackTime    time.Duration `json:"stack_ns"`
+	TotalTime    time.Duration `json:"total_ns"`
+}

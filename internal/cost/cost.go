@@ -410,6 +410,42 @@ type EdgePlan struct {
 	bwdDst []int
 }
 
+// dedupAxes collects the non-negative axes of the given lists in first-seen
+// order.
+func dedupAxes(lists ...[]int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, l := range lists {
+		for _, ax := range l {
+			if ax >= 0 && !seen[ax] {
+				seen[ax] = true
+				out = append(out, ax)
+			}
+		}
+	}
+	return out
+}
+
+// FwdSrcAxes returns the producer-op axes that influence the FORWARD
+// direction of this edge's traffic: candidates whose output interface agrees
+// on these axes (forward distribution and width) produce identical
+// forward-traffic rows.
+func (p *EdgePlan) FwdSrcAxes() []int { return dedupAxes(p.fwdSrc) }
+
+// FwdDstAxes returns the consumer-op axes that influence the forward
+// direction (all destination-tensor axes: mapped axes drive coverage, and
+// every axis' width scales the fetched volume).
+func (p *EdgePlan) FwdDstAxes() []int { return dedupAxes(p.fwdDst) }
+
+// BwdSrcAxes returns the producer-op axes that influence the BACKWARD
+// direction (all output-tensor axes: mapped axes drive coverage, and every
+// axis' width scales the fetched volume).
+func (p *EdgePlan) BwdSrcAxes() []int { return dedupAxes(p.bwdSrc) }
+
+// BwdDstAxes returns the consumer-op axes that influence the backward
+// direction.
+func (p *EdgePlan) BwdDstAxes() []int { return dedupAxes(p.bwdDst) }
+
 // SrcRelevantAxes returns the producer-op axes that influence this edge's
 // traffic (mapped forward axes plus the output tensor's axes). Candidates
 // identical on these axes produce identical matrix rows.
@@ -529,17 +565,28 @@ func (p *EdgePlan) bwdCov(src, dst *Iface, sDev, dDev int) float64 {
 // its block is first sourced from same-node peers (producer blocks of
 // distinct slices are disjoint, so same-node coverages add), and only the
 // remainder crosses nodes.
+//
+// The forward and backward directions depend on disjoint interface state
+// (src.Fwd/dst.Fwd on the forward axis pairing vs src.Bwd/dst.Bwd on the
+// backward pairing), which is what lets the optimizer evaluate them on
+// separately-grouped, much smaller candidate classes (see core's factored
+// edge-matrix build).
 func (p *EdgePlan) Measure(src, dst *Iface) Traffic {
+	var t Traffic
+	t.FwdIntra, t.FwdInter = p.MeasureFwd(src, dst)
+	t.BwdIntra, t.BwdInter = p.MeasureBwd(src, dst)
+	return t
+}
+
+// MeasureFwd computes only the forward-direction redistribution traffic
+// (intra-node bytes, inter-node bytes). The result depends on src only
+// through Fwd/Width on FwdSrcAxes and on dst only through Fwd/Width on
+// FwdDstAxes.
+func (p *EdgePlan) MeasureFwd(src, dst *Iface) (intraBytes, interBytes float64) {
 	vDst := p.dstFull
 	for _, dax := range p.fwdDst {
 		vDst *= dst.Width[dax]
 	}
-	vSrc := p.srcFull
-	for _, sa := range p.bwdSrc {
-		vSrc *= src.Width[sa]
-	}
-
-	var t Traffic
 	for dev := 0; dev < p.devices; dev++ {
 		// Forward: consumer dev fetches what its own block misses.
 		covSelf := p.fwdCov(src, dst, dev, dev)
@@ -559,12 +606,25 @@ func (p *EdgePlan) Measure(src, dst *Iface) Traffic {
 			if intra > missing {
 				intra = missing
 			}
-			t.FwdIntra += vDst * intra * p.eb
-			t.FwdInter += vDst * (missing - intra) * p.eb
+			intraBytes += vDst * intra * p.eb
+			interBytes += vDst * (missing - intra) * p.eb
 		}
+	}
+	return intraBytes, interBytes
+}
 
+// MeasureBwd computes only the backward-direction redistribution traffic
+// (intra-node bytes, inter-node bytes). The result depends on src only
+// through Bwd/Width on BwdSrcAxes and on dst only through Bwd/Width on
+// BwdDstAxes.
+func (p *EdgePlan) MeasureBwd(src, dst *Iface) (intraBytes, interBytes float64) {
+	vSrc := p.srcFull
+	for _, sa := range p.bwdSrc {
+		vSrc *= src.Width[sa]
+	}
+	for dev := 0; dev < p.devices; dev++ {
 		// Backward: producer dev fetches missing dOutput pieces.
-		covSelf = p.bwdCov(src, dst, dev, dev)
+		covSelf := p.bwdCov(src, dst, dev, dev)
 		if missing := 1 - covSelf; missing > 0 {
 			nodeStart := dev / p.perNode * p.perNode
 			covNode := covSelf
@@ -581,11 +641,11 @@ func (p *EdgePlan) Measure(src, dst *Iface) Traffic {
 			if intra > missing {
 				intra = missing
 			}
-			t.BwdIntra += vSrc * intra * p.eb
-			t.BwdInter += vSrc * (missing - intra) * p.eb
+			intraBytes += vSrc * intra * p.eb
+			interBytes += vSrc * (missing - intra) * p.eb
 		}
 	}
-	return t
+	return intraBytes, interBytes
 }
 
 // Traffic computes the total redistribution traffic in BYTES across all

@@ -1,0 +1,256 @@
+// EdgeCalc: a table-driven evaluator for edge redistribution traffic.
+//
+// Measure's per-cell cost is dominated by overlapFrac: for every candidate
+// pair it walks all devices and their node peers, multiplying per-axis
+// interval overlaps. But the overlap of one axis pair depends only on how
+// that ONE axis is distributed on each side — and across a whole candidate
+// space an axis takes only a few dozen distinct distributions (patterns),
+// while the space has ~10³ interface groups and ~10⁶ group pairs. EdgeCalc
+// therefore precomputes, per (source axis, destination axis) pairing, a
+// table of per-device-pair overlaps indexed by (source pattern, destination
+// pattern), and evaluates a cell as a short product of table rows. The
+// arithmetic — operand values, multiplication order, accumulation order —
+// is exactly Measure's, so results are bit-identical; the equivalence is
+// pinned by tests and by core's SerialUncached search mode.
+package cost
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// calcTableLimit caps the per-direction table size (in float64s) so a
+// pathological pattern explosion falls back to direct Measure calls instead
+// of exhausting memory.
+const calcTableLimit = 16 << 20
+
+// axisPair is one (source op axis, destination op axis) correspondence in a
+// direction's coverage product.
+type axisPair struct{ sa, dax int }
+
+// dirTable holds the per-device-pair overlap vectors of one axis pair:
+// block(rp, cp)[k] is the overlap of source pattern rp and destination
+// pattern cp at device-pair index k (see EdgeCalc.pairIndex layout).
+type dirTable struct {
+	nColPat int
+	n       int // device-pair vector length
+	flat    []float64
+}
+
+func (t *dirTable) block(rp, cp int32) []float64 {
+	off := (int(rp)*t.nColPat + int(cp)) * t.n
+	return t.flat[off : off+t.n]
+}
+
+// dirCalc is the table set of one traffic direction (forward or backward).
+type dirCalc struct {
+	pairs  []axisPair
+	rowPat [][]int32 // [pair][row rep] -> source-side pattern id
+	colPat [][]int32 // [pair][col rep] -> destination-side pattern id
+	tabs   []dirTable
+}
+
+// EdgeCalc evaluates Measure for (row representative, column representative)
+// pairs of one edge through precomputed per-axis overlap tables.
+type EdgeCalc struct {
+	p   *EdgePlan
+	n   int // device-pair vector length = devices * perNode
+	fwd dirCalc
+	bwd dirCalc
+	// fwdVol[ci] is MeasureFwd's vDst for column rep ci; bwdVol[ri] is
+	// MeasureBwd's vSrc for row rep ri.
+	fwdVol []float64
+	bwdVol []float64
+}
+
+// NewCalc builds the table evaluator for this plan over the given interface
+// representatives (srcReps: producer output interfaces of the row groups,
+// dstReps: consumer input interfaces of the column groups). Returns nil when
+// the pattern tables would exceed calcTableLimit; callers must then fall
+// back to Measure.
+func (p *EdgePlan) NewCalc(srcReps, dstReps []*Iface) *EdgeCalc {
+	c := &EdgeCalc{p: p, n: p.devices * p.perNode}
+	var fp, bp []axisPair
+	for i, dax := range p.fwdDst {
+		if sa := p.fwdSrc[i]; sa >= 0 {
+			fp = append(fp, axisPair{sa, dax})
+		}
+	}
+	for i, sa := range p.bwdSrc {
+		if dax := p.bwdDst[i]; dax >= 0 {
+			bp = append(bp, axisPair{sa, dax})
+		}
+	}
+	if !c.fwd.build(p, fp, srcReps, dstReps, true) {
+		return nil
+	}
+	if !c.bwd.build(p, bp, srcReps, dstReps, false) {
+		return nil
+	}
+	c.fwdVol = make([]float64, len(dstReps))
+	for ci, d := range dstReps {
+		v := p.dstFull
+		for _, dax := range p.fwdDst {
+			v *= d.Width[dax]
+		}
+		c.fwdVol[ci] = v
+	}
+	c.bwdVol = make([]float64, len(srcReps))
+	for ri, s := range srcReps {
+		v := p.srcFull
+		for _, sa := range p.bwdSrc {
+			v *= s.Width[sa]
+		}
+		c.bwdVol[ri] = v
+	}
+	return c
+}
+
+// CovLen returns the scratch length MeasureCell requires.
+func (c *EdgeCalc) CovLen() int { return c.n }
+
+// axisPattern describes one distinct distribution of a single axis: its
+// uniform interval width and every device's interval start.
+type axisPattern struct {
+	width  float64
+	starts []float64
+}
+
+// patternIDs groups the interfaces by their (width, per-device starts) on
+// axis ax of the chosen pass array, returning per-interface pattern ids and
+// the distinct patterns. Grouping is by exact byte equality — no hashing —
+// so distinct distributions can never share an id.
+func patternIDs(ifaces []*Iface, ax int, fwd bool) ([]int32, []axisPattern) {
+	byKey := make(map[string]int32)
+	ids := make([]int32, len(ifaces))
+	var pats []axisPattern
+	var buf []byte
+	for i, ifc := range ifaces {
+		arr := ifc.Fwd
+		if !fwd {
+			arr = ifc.Bwd
+		}
+		devs := len(arr) / ifc.NumAxes
+		buf = binary.LittleEndian.AppendUint64(buf[:0], math.Float64bits(ifc.Width[ax]))
+		for dev := 0; dev < devs; dev++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(arr[dev*ifc.NumAxes+ax]))
+		}
+		id, ok := byKey[string(buf)]
+		if !ok {
+			id = int32(len(pats))
+			byKey[string(buf)] = id
+			starts := make([]float64, devs)
+			for dev := 0; dev < devs; dev++ {
+				starts[dev] = arr[dev*ifc.NumAxes+ax]
+			}
+			pats = append(pats, axisPattern{width: ifc.Width[ax], starts: starts})
+		}
+		ids[i] = id
+	}
+	return ids, pats
+}
+
+// build fills one direction's pattern ids and overlap tables. Reports false
+// when a table would exceed calcTableLimit.
+func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface, fwdPass bool) bool {
+	d.pairs = pairs
+	n := p.devices * p.perNode
+	for _, pr := range pairs {
+		srcIDs, srcPats := patternIDs(srcReps, pr.sa, fwdPass)
+		dstIDs, dstPats := patternIDs(dstReps, pr.dax, fwdPass)
+		if len(srcPats)*len(dstPats)*n > calcTableLimit {
+			return false
+		}
+		tab := dirTable{nColPat: len(dstPats), n: n,
+			flat: make([]float64, len(srcPats)*len(dstPats)*n)}
+		for rp, sp := range srcPats {
+			for cp, dp := range dstPats {
+				blk := tab.block(int32(rp), int32(cp))
+				for dev := 0; dev < p.devices; dev++ {
+					nodeStart := dev / p.perNode * p.perNode
+					for j := 0; j < p.perNode; j++ {
+						d2 := nodeStart + j
+						var o float64
+						if fwdPass {
+							// fwdCov(src@d2, dst@dev): producer d2 covering
+							// consumer dev's need.
+							o = overlapFrac(sp.starts[d2], sp.width, dp.starts[dev], dp.width, dp.width)
+						} else {
+							// bwdCov(src@dev, dst@d2): consumer d2 covering
+							// producer dev's need.
+							o = overlapFrac(dp.starts[d2], dp.width, sp.starts[dev], sp.width, sp.width)
+						}
+						blk[dev*p.perNode+j] = o
+					}
+				}
+			}
+		}
+		d.rowPat = append(d.rowPat, srcIDs)
+		d.colPat = append(d.colPat, dstIDs)
+		d.tabs = append(d.tabs, tab)
+	}
+	return true
+}
+
+// fillCov writes the per-device-pair coverage vector of cell (ri, ci) into
+// cov: cov[dev*perNode+j] is the coverage the j-th device of dev's node
+// provides toward dev's need. The product runs in the same axis order as
+// fwdCov/bwdCov, so each entry is bit-identical to the direct computation.
+func (d *dirCalc) fillCov(ri, ci int, cov []float64) {
+	if len(d.pairs) == 0 {
+		for k := range cov {
+			cov[k] = 1
+		}
+		return
+	}
+	copy(cov, d.tabs[0].block(d.rowPat[0][ri], d.colPat[0][ci]))
+	for i := 1; i < len(d.pairs); i++ {
+		blk := d.tabs[i].block(d.rowPat[i][ri], d.colPat[i][ci])
+		for k := range cov {
+			cov[k] *= blk[k]
+		}
+	}
+}
+
+// accumulate replays MeasureFwd/MeasureBwd's per-device loop over a
+// precomputed coverage vector: same peer order, same saturation conditions,
+// same accumulation order.
+func (c *EdgeCalc) accumulate(cov []float64, vol float64) (intraBytes, interBytes float64) {
+	perNode := c.p.perNode
+	for dev := 0; dev < c.p.devices; dev++ {
+		base := dev * perNode
+		self := dev % perNode
+		covSelf := cov[base+self]
+		if missing := 1 - covSelf; missing > 0 {
+			covNode := covSelf
+			for j := 0; j < perNode && covNode < 1; j++ {
+				if j == self {
+					continue
+				}
+				covNode += cov[base+j]
+			}
+			if covNode > 1 {
+				covNode = 1
+			}
+			intra := covNode - covSelf
+			if intra > missing {
+				intra = missing
+			}
+			intraBytes += vol * intra * c.p.eb
+			interBytes += vol * (missing - intra) * c.p.eb
+		}
+	}
+	return intraBytes, interBytes
+}
+
+// MeasureCell returns the edge's Traffic for (row rep ri, column rep ci),
+// bit-identical to p.Measure(srcReps[ri], dstReps[ci]). cov is caller-owned
+// scratch of length CovLen() (pass a distinct slice per goroutine).
+func (c *EdgeCalc) MeasureCell(ri, ci int, cov []float64) Traffic {
+	var t Traffic
+	c.fwd.fillCov(ri, ci, cov)
+	t.FwdIntra, t.FwdInter = c.accumulate(cov, c.fwdVol[ci])
+	c.bwd.fillCov(ri, ci, cov)
+	t.BwdIntra, t.BwdInter = c.accumulate(cov, c.bwdVol[ri])
+	return t
+}

@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randIfaces builds pseudo-random but structurally valid interfaces: per
+// axis, a power-of-two slice count and per-device aligned interval starts,
+// the way real candidate interfaces look.
+func randIfaces(rng *rand.Rand, n, devices, numAxes int) []*Iface {
+	out := make([]*Iface, n)
+	for i := range out {
+		ifc := &Iface{
+			NumAxes: numAxes,
+			Fwd:     make([]float64, devices*numAxes),
+			Bwd:     make([]float64, devices*numAxes),
+			Width:   make([]float64, numAxes),
+		}
+		for ax := 0; ax < numAxes; ax++ {
+			slices := 1 << rng.Intn(4)
+			w := 1 / float64(slices)
+			ifc.Width[ax] = w
+			for dev := 0; dev < devices; dev++ {
+				ifc.Fwd[dev*numAxes+ax] = float64(rng.Intn(slices)) * w
+				ifc.Bwd[dev*numAxes+ax] = float64(rng.Intn(slices)) * w
+			}
+		}
+		out[i] = ifc
+	}
+	return out
+}
+
+// TestEdgeCalcMatchesMeasure pins the table-driven evaluator to the
+// reference Measure bit-for-bit on randomized interface sets, including
+// unmapped (-1) axis pairings.
+func TestEdgeCalcMatchesMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		devices, perNode := 16, 4
+		srcAxes, dstAxes := 3, 4
+		p := &EdgePlan{
+			devices: devices,
+			perNode: perNode,
+			eb:      2,
+			dstFull: 1 << 20,
+			srcFull: 1 << 18,
+			fwdDst:  []int{0, 1, 2, 3},
+			fwdSrc:  []int{0, 2, -1, 1},
+			bwdSrc:  []int{0, 1, 2},
+			bwdDst:  []int{0, 3, -1},
+		}
+		srcReps := randIfaces(rng, 25, devices, srcAxes)
+		dstReps := randIfaces(rng, 25, devices, dstAxes)
+		calc := p.NewCalc(srcReps, dstReps)
+		if calc == nil {
+			t.Fatalf("trial %d: NewCalc fell back unexpectedly", trial)
+		}
+		cov := make([]float64, calc.CovLen())
+		for ri, s := range srcReps {
+			for ci, d := range dstReps {
+				want := p.Measure(s, d)
+				got := calc.MeasureCell(ri, ci, cov)
+				if got != want {
+					t.Fatalf("trial %d cell (%d,%d): got %+v want %+v", trial, ri, ci, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeCalcNoMappedAxes covers the degenerate all-replicated pairing:
+// every coverage is 1 and no traffic flows.
+func TestEdgeCalcNoMappedAxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := &EdgePlan{
+		devices: 8, perNode: 4, eb: 2, dstFull: 1024, srcFull: 1024,
+		fwdDst: []int{0}, fwdSrc: []int{-1},
+		bwdSrc: []int{0}, bwdDst: []int{-1},
+	}
+	srcReps := randIfaces(rng, 4, 8, 2)
+	dstReps := randIfaces(rng, 4, 8, 2)
+	calc := p.NewCalc(srcReps, dstReps)
+	cov := make([]float64, calc.CovLen())
+	for ri, s := range srcReps {
+		for ci, d := range dstReps {
+			want := p.Measure(s, d)
+			got := calc.MeasureCell(ri, ci, cov)
+			if got != want {
+				t.Fatalf("cell (%d,%d): got %+v want %+v", ri, ci, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Sequence interning: the optimizer enumerates the same partition sequences
+// over and over (structurally identical operators share candidate spaces, and
+// a transformer block repeats the same four linears), so sequences are given
+// dense integer identities via an exact binary key. Unlike Seq.Key, the
+// binary key avoids fmt formatting on the hot path and is injective by
+// construction: every token field is length- or tag-delimited.
+package partition
+
+import "encoding/binary"
+
+// AppendBinaryKey appends an exact, injective binary encoding of the sequence
+// to b and returns the extended slice. Two sequences produce the same bytes
+// iff they are token-for-token identical.
+func (s Seq) AppendBinaryKey(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s.Tokens)))
+	for _, t := range s.Tokens {
+		if t.Kind == Prime {
+			b = append(b, 1)
+			b = binary.AppendUvarint(b, uint64(t.K))
+			b = binary.AppendVarint(b, int64(t.MDim))
+			b = binary.AppendVarint(b, int64(t.NDim))
+			b = binary.AppendVarint(b, int64(t.KDim))
+		} else {
+			b = append(b, 0)
+			b = binary.AppendVarint(b, int64(t.Dim))
+		}
+	}
+	return b
+}
+
+// BinaryKey returns the sequence's exact binary key as a string (usable as a
+// map key). See AppendBinaryKey.
+func (s Seq) BinaryKey() string { return string(s.AppendBinaryKey(nil)) }
+
+// Interner assigns dense int32 identities to sequences: equal sequences get
+// equal IDs, and the canonical Seq for an ID can be recovered. The zero value
+// is ready to use. Not safe for concurrent use; callers that share an
+// Interner across goroutines must serialise access.
+type Interner struct {
+	ids  map[string]int32
+	seqs []Seq
+	buf  []byte
+}
+
+// ID returns the dense identity of s, interning it on first sight.
+func (in *Interner) ID(s Seq) int32 {
+	in.buf = s.AppendBinaryKey(in.buf[:0])
+	if id, ok := in.ids[string(in.buf)]; ok {
+		return id
+	}
+	if in.ids == nil {
+		in.ids = make(map[string]int32)
+	}
+	id := int32(len(in.seqs))
+	in.ids[string(in.buf)] = id
+	in.seqs = append(in.seqs, s)
+	return id
+}
+
+// Seq returns the canonical sequence for a previously returned ID.
+func (in *Interner) Seq(id int32) Seq { return in.seqs[id] }
+
+// Len returns the number of distinct sequences interned so far.
+func (in *Interner) Len() int { return len(in.seqs) }

@@ -50,6 +50,14 @@ type Profile = device.Profile
 // Seq is a tensor partition sequence 𝒫.
 type Seq = partition.Seq
 
+// SearchStats instruments one strategy search: cache effectiveness, work
+// volume and wall time per DP stage (see internal/core.SearchStats).
+type SearchStats = core.SearchStats
+
+// WorkersEnv is the environment variable overriding the search worker count
+// when Options leave it unset (e.g. PRIMEPAR_WORKERS=1 forces serial).
+const WorkersEnv = core.WorkersEnv
+
 // Report is a simulated training-iteration measurement.
 type Report = sim.Report
 
@@ -110,6 +118,9 @@ type Plan struct {
 	PredictedCost float64
 	// SpaceSizes records the per-node candidate-space sizes |P|.
 	SpaceSizes []int
+	// Stats instruments the search that produced the plan (zero for
+	// baseline plans, which perform no search).
+	Stats SearchStats
 
 	system string
 }
@@ -144,6 +155,7 @@ func Search(cfg Config, cluster *Cluster, opts ...Options) (*Plan, error) {
 		Seqs:          strat.Seqs,
 		PredictedCost: strat.TotalCost,
 		SpaceSizes:    strat.SpaceSizes,
+		Stats:         strat.Stats,
 		system:        name,
 	}, nil
 }
