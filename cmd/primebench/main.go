@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,16 +26,38 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig2a, fig2b, fig4, table1, fig7, fig8, fig9, fig10, table2, ablations, sweeps, all)")
-		quick    = flag.Bool("quick", false, "reduced sweep (2 models, scales 4–8) for smoke runs")
-		benchOut = flag.String("bench-out", "BENCH_table2.json", "where -exp table2 writes its JSON artifact")
+		exp        = flag.String("exp", "all", "experiment id (fig2a, fig2b, fig4, table1, fig7, fig8, fig9, fig10, table2, ablations, sweeps, all)")
+		quick      = flag.Bool("quick", false, "reduced sweep (2 models, scales 4–8) for smoke runs")
+		benchOut   = flag.String("bench-out", "BENCH_table2.json", "where -exp table2 writes its JSON artifact")
+		budget     = flag.Duration("budget", 0, "per-search wall-clock budget: beam widths autotune until the strategy stabilizes (0 = exact search)")
+		goldenOut  = flag.String("write-golden", "", "with -exp table2: write strategy digests to this file")
+		goldenIn   = flag.String("check-golden", "", "with -exp table2: fail if strategy digests diverge from this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			runtime.GC()
+			check(pprof.Lookup("allocs").WriteTo(f, 0))
+			check(f.Close())
+		}()
+	}
 
 	setup := experiments.DefaultSetup()
 	if *quick {
 		setup = experiments.QuickSetup()
 	}
+	setup.SearchBudget = *budget
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 	start := time.Now()
@@ -91,6 +115,14 @@ func main() {
 		fmt.Println(table)
 		check(experiments.WriteTable2JSON(*benchOut, rows))
 		fmt.Printf("wrote %s (search stats + before/after timings)\n\n", *benchOut)
+		if *goldenOut != "" {
+			check(experiments.WriteGoldenDigests(*goldenOut, rows))
+			fmt.Printf("wrote %s (golden strategy digests)\n\n", *goldenOut)
+		}
+		if *goldenIn != "" {
+			check(experiments.CheckGoldenDigests(*goldenIn, rows))
+			fmt.Printf("strategy digests match %s\n\n", *goldenIn)
+		}
 	}
 	if run("ablations") {
 		cfg := model.OPT175B()

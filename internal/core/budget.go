@@ -1,0 +1,78 @@
+// Beam autotuning: OptimizeBudget replaces hand-picked beam widths with a
+// wall-clock budget. The beam grows geometrically; each width is a full
+// (approximate) search, and widths stop growing as soon as the chosen
+// strategy stops changing, the beam stops cutting anything (the search was
+// exact), or the budget is spent. Cross-call caching (crosscache.go) makes
+// the growth cheap: successive widths share every node evaluation and, below
+// the pruning threshold, every edge matrix.
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// budgetStartBeam is the first beam width OptimizeBudget tries. Small enough
+// that the first probe is nearly free, large enough that tiny spaces are
+// exact on the first try.
+const budgetStartBeam = 16
+
+// OptimizeBudget runs the search under Opts.SearchBudget. With a zero (or
+// negative) budget it is exactly Optimize. Otherwise it searches at beam
+// widths budgetStartBeam, 2·budgetStartBeam, ... and returns the newest
+// strategy when
+//
+//   - no node's candidate space was actually cut (the result is the exact
+//     optimum and wider beams cannot change it),
+//   - two consecutive widths choose the same strategy (stabilized), or
+//   - the budget is exhausted.
+//
+// The final strategy's Stats describe the LAST search run; Opts.Beam is
+// restored on return.
+func (o *Optimizer) OptimizeBudget(g *graph.Graph, layers int) (*Strategy, error) {
+	if o.Opts.SearchBudget <= 0 {
+		return o.Optimize(g, layers)
+	}
+	start := time.Now()
+	saved := o.Opts.Beam
+	defer func() { o.Opts.Beam = saved }()
+	var prev *Strategy
+	for beam := budgetStartBeam; ; beam *= 2 {
+		o.Opts.Beam = beam
+		strat, err := o.Optimize(g, layers)
+		if err != nil {
+			return nil, err
+		}
+		if uncut(strat.SpaceSizes, beam) || stableSeqs(prev, strat) ||
+			time.Since(start) >= o.Opts.SearchBudget {
+			return strat, nil
+		}
+		prev = strat
+	}
+}
+
+// uncut reports whether every (post-pruning) candidate space is strictly
+// below the beam — i.e. pruning removed nothing and the search was exact. A
+// space of exactly beam candidates MAY have been cut, so it keeps growing.
+func uncut(sizes []int, beam int) bool {
+	for _, n := range sizes {
+		if n >= beam {
+			return false
+		}
+	}
+	return true
+}
+
+// stableSeqs reports whether two strategies assign identical sequences.
+func stableSeqs(a, b *Strategy) bool {
+	if a == nil || len(a.Seqs) != len(b.Seqs) {
+		return false
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i].Key() != b.Seqs[i].Key() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+// Cross-call search cache: node evaluations and edge matrices persist
+// ACROSS Optimize calls, so a sweep that revisits the same model structure —
+// other experiments, other α values, repeated scales — pays the quadratic
+// stages once. The within-call signature memo (dp.go) dedups work inside one
+// search; this cache dedups work between searches.
+//
+// Keys are exact byte encodings, like sig.go's: an environment prefix (every
+// cluster, cost-model and search-option field the cached value depends on)
+// followed by the per-op or per-edge structural signature. α is deliberately
+// EXCLUDED from node entries — candidate enumeration, intra costs and
+// interfaces never read it — so an α-sweep (AblationAlphaSweep) hits; the
+// α-dependent totals are rebuilt per call from the cached Intra breakdowns,
+// with the same expression evalNode uses, hence bit-identically. Edge
+// matrices are α-independent too (RedistributeDetail never reads α) UNLESS
+// beam pruning is on: the kept candidate subsets are chosen by α-weighted
+// totals, so Beam>0 keys fold in the beam width, α and the full endpoint
+// signatures.
+//
+// Configurations the byte encoding cannot identify — a calibration Book
+// replaces the analytic formulas with arbitrary regressed models — bypass
+// the cache entirely, as does Options.DisableCache (the SerialUncached
+// reference mode).
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// maxCachedEdgeCells bounds the float64 cells retained by one SearchCache
+// (~512 MB). Exceeding it flushes the edge map wholesale — an epoch flush is
+// simpler than LRU and the cache rebuilds in one sweep pass.
+const maxCachedEdgeCells = 64 << 20
+
+// nodeEntry is the α-independent part of a nodeCands evaluation.
+type nodeEntry struct {
+	seqs  []partition.Seq
+	intra []cost.Intra
+	out   []*cost.Iface
+	in    []*cost.Iface
+}
+
+// withAlpha completes a cached entry into a per-call nodeCands: the totals
+// are recomputed with the SAME expression evalNode uses, so a cache hit is
+// bit-identical to a fresh evaluation.
+func (e *nodeEntry) withAlpha(alpha float64) *nodeCands {
+	total := make([]float64, len(e.intra))
+	for i := range e.intra {
+		total[i] = e.intra[i].Total(alpha)
+	}
+	return &nodeCands{seqs: e.seqs, intra: e.intra, total: total, out: e.out, in: e.in}
+}
+
+// SearchCache carries node evaluations and edge matrices across Optimize
+// calls. Safe for concurrent use; all cached values are read-only.
+type SearchCache struct {
+	mu        sync.Mutex
+	nodes     map[string]*nodeEntry
+	edges     map[string]*edgeMat
+	edgeCells int64
+}
+
+// NewSearchCache returns an empty cross-call cache.
+func NewSearchCache() *SearchCache {
+	return &SearchCache{
+		nodes: make(map[string]*nodeEntry),
+		edges: make(map[string]*edgeMat),
+	}
+}
+
+// DefaultSearchCache backs every NewOptimizer-built optimizer, so the
+// experiment drivers (sweep, fig9, fig10, ablations, table2) share work with
+// zero plumbing. Give an optimizer a private NewSearchCache (or nil) to
+// isolate it.
+var DefaultSearchCache = NewSearchCache()
+
+// Reset drops every cached entry.
+func (c *SearchCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes = make(map[string]*nodeEntry)
+	c.edges = make(map[string]*edgeMat)
+	c.edgeCells = 0
+}
+
+func (c *SearchCache) getNode(key string) *nodeEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[key]
+}
+
+func (c *SearchCache) putNode(key string, e *nodeEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[key]; !ok {
+		c.nodes[key] = e
+	}
+}
+
+func (c *SearchCache) getEdge(key string) *edgeMat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.edges[key]
+}
+
+func (c *SearchCache) putEdge(key string, m *edgeMat) {
+	var cells int64
+	if len(m.vals) > 0 {
+		cells = int64(len(m.vals)) * int64(len(m.vals[0]))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.edgeCells+cells > maxCachedEdgeCells {
+		c.edges = make(map[string]*edgeMat)
+		c.edgeCells = 0
+	}
+	if _, ok := c.edges[key]; !ok {
+		c.edges[key] = m
+		c.edgeCells += cells
+	}
+}
+
+// crossCache returns the cache to consult for this search, or nil when the
+// configuration must bypass it (reference mode, or a calibration Book whose
+// regressed models the byte keys cannot identify).
+func (o *Optimizer) crossCache() *SearchCache {
+	if o.Opts.DisableCache || o.Cost == nil || o.Cost.Book != nil {
+		return nil
+	}
+	return o.Cache
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appendEnvSig appends every input of a search OTHER than the graph and α:
+// the cluster shape, every hardware coefficient the cost model reads, the
+// α-independent model fields, and the options that shape candidate
+// enumeration. Two optimizers with equal environment signatures produce
+// bit-identical node evaluations for equal ops.
+func (o *Optimizer) appendEnvSig(b []byte) []byte {
+	cl := o.Cost.Cluster
+	b = binary.AppendUvarint(b, uint64(cl.NumDevices))
+	b = binary.AppendUvarint(b, uint64(cl.DevicesPerNode))
+	p := cl.Profile
+	b = binary.AppendUvarint(b, uint64(len(p.Name)))
+	b = append(b, p.Name...)
+	for _, f := range [...]float64{
+		p.FLOPs, p.MemBW, p.IntraBW, p.InterBW, p.IntraLatency, p.InterLatency,
+		p.KernelOverhead, p.ElementBytes, p.MemoryCapacity, p.TorusBW, p.TorusLatency,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	b = append(b, byte(p.Collective), byte(p.Topology))
+	m := o.Cost
+	b = append(b, boolByte(m.Overlap), boolByte(m.ZeRO1))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.ParamBytesPerElement))
+	b = binary.AppendVarint(b, int64(o.Opts.MaxPrimeK))
+	b = append(b, boolByte(o.Opts.AllowPrime), boolByte(o.Opts.AllowBatchSplit))
+	return b
+}
+
+// appendNodeCrossKey appends op's cross-call identity onto the environment
+// prefix: the tag plus the exact full structural signature.
+func appendNodeCrossKey(b []byte, op *graph.Op) []byte {
+	b = append(b, 'N')
+	return appendOpSig(b, op)
+}
+
+// appendEdgeCrossKey appends edge e's cross-call identity onto the
+// environment prefix: the same selection material edgeKeyOf encodes (source
+// output axes, destination tensor axes, axis map) plus the endpoint
+// candidate-space signatures — and, under beam pruning, the beam width, α
+// and the full endpoint signatures, because the kept candidate subsets are
+// chosen by α-weighted totals over the full structure.
+func (o *Optimizer) appendEdgeCrossKey(b []byte, g *graph.Graph, e *graph.Edge) []byte {
+	src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+	b = append(b, 'E')
+	appendAxes := func(axes []int) {
+		b = binary.AppendUvarint(b, uint64(len(axes)))
+		for _, ax := range axes {
+			b = binary.AppendVarint(b, int64(ax))
+		}
+	}
+	appendAxes(src.Tensors[src.OutputTensor].Axes)
+	appendAxes(dst.Tensors[e.DstTensor].Axes)
+	appendAxes(e.AxisMap)
+	b = appendSpaceSig(b, src)
+	b = appendSpaceSig(b, dst)
+	if o.Opts.Beam > 0 {
+		b = binary.AppendUvarint(b, uint64(o.Opts.Beam))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Cost.Alpha))
+		b = appendOpSig(b, src)
+		b = appendOpSig(b, dst)
+	}
+	return b
+}

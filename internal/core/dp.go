@@ -18,11 +18,15 @@ import (
 type Optimizer struct {
 	Cost *cost.Model
 	Opts Options
+	// Cache persists node evaluations and edge matrices ACROSS Optimize
+	// calls (see crosscache.go). NewOptimizer attaches the process-wide
+	// DefaultSearchCache; set a private NewSearchCache (or nil) to isolate.
+	Cache *SearchCache
 }
 
 // NewOptimizer returns an optimizer over the given cost model with defaults.
 func NewOptimizer(m *cost.Model) *Optimizer {
-	return &Optimizer{Cost: m, Opts: DefaultOptions()}
+	return &Optimizer{Cost: m, Opts: DefaultOptions(), Cache: DefaultSearchCache}
 }
 
 // nodeCands caches per-candidate evaluations for one graph node.
@@ -73,17 +77,38 @@ func (o *Optimizer) evalNode(op *graph.Op) *nodeCands {
 	return nc
 }
 
-// table is an optimal-substructure matrix C_{a,b}(p_a, p_b) with the
-// back-pointers needed to reconstruct the witness assignment.
+// table is an optimal-substructure matrix C_{a,b}(p_a, p_b), stored in
+// head-class-factored form: every dependence on p_a flows through the head
+// node's own cost plus its row in the edge matrices reaching back to a
+// (the adjacent edge a→a+1, the extended edges a→j, and any merge cross
+// edge). Candidates of p_a that share all those rows are provably
+// interchangeable, so the DP keeps ONE row per equivalence class:
+//
+//	C(ia, ib) = headBase[ia] + cost[rowCls[ia]][ib]
+//
+// Back-pointers are per class too — a witness for the class representative
+// is a witness for every member.
 type table struct {
 	a, b int
+
+	// rowCls maps each p_a candidate to its interface class; nCls counts
+	// classes; headBase is the head node's own cost (shared with
+	// cands[a].total).
+	rowCls   []int32
+	nCls     int
+	headBase []float64
+
+	// cost[cls][ib] excludes headBase.
 	cost [][]float64
 
-	// Chain segments: args[j-a-1][ia][ij] is the best index of p_{j-1}
-	// in the Bellman step that introduced node j (a+1 ≤ j ≤ b).
+	// Chain segments: chainArgs[j-a-2][cls][ij] is the best index of
+	// p_{j-1} in the Bellman step that introduced node j (a+2 ≤ j ≤ b).
+	// The first step a→a+1 needs no pointer: its predecessor is p_a.
 	chainArgs [][][]int32
 
-	// Merge nodes: argmid[ia][ib] is the best middle index.
+	// Merge nodes: argmid[cls][ib] is the best middle candidate index.
+	// Rows may be shared between classes (a cross edge refines classes
+	// without moving the argmin).
 	left, right *table
 	argmid      [][]int32
 }
@@ -91,10 +116,13 @@ type table struct {
 // segmentDP runs the Bellman iteration (Eqs. 11–12) over nodes a..b.
 // Extended edges inside the segment must originate at a (checked by
 // graph.CheckSegmentAssumptions).
+//
+// The p_a axis is collapsed to interface classes up front: the recursion
+// depends on p_a only through the row groups of the adjacent edge a→a+1 and
+// of every extended edge a→j, so the joint refinement of those row-group
+// vectors is computed once and each Bellman step runs per class instead of
+// per candidate.
 func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int) *table {
-	t := &table{a: a, b: b}
-	na := len(cands[a].seqs)
-
 	sumEdges := func(j int, from int) *edgeMat {
 		var ms []*edgeMat
 		for _, e := range g.InEdges(j) {
@@ -108,126 +136,194 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 		return sumEdgeMats(ms)
 	}
 
+	adj := sumEdges(a+1, a)
+	eExts := make([]*edgeMat, 0, b-a-1) // eExts[j-a-2] for j = a+2 .. b
+	idVecs := make([][]int32, 0, b-a)
+	if adj != nil {
+		idVecs = append(idVecs, adj.rows)
+	}
+	for j := a + 2; j <= b; j++ {
+		e := sumEdges(j, a)
+		eExts = append(eExts, e)
+		if e != nil {
+			idVecs = append(idVecs, e.rows)
+		}
+	}
+	na := len(cands[a].seqs)
+	rowCls, reps := refineClasses(na, idVecs...)
+	t := &table{a: a, b: b, rowCls: rowCls, nCls: len(reps), headBase: cands[a].total}
+
 	// C_{a,a+1}: no min needed — the only predecessor state is p_a itself.
 	nb := len(cands[a+1].seqs)
-	cur := make([][]float64, na)
-	args0 := make([][]int32, na)
-	adj := sumEdges(a+1, a)
-	o.parallelRows(na, func(ia int) {
+	cur := make([][]float64, t.nCls)
+	if adj == nil {
+		// No edge: every class shares one (read-only) row.
 		row := make([]float64, nb)
-		arow := make([]int32, nb)
-		base := cands[a].total[ia]
-		for ib := 0; ib < nb; ib++ {
-			c := base + cands[a+1].total[ib]
-			if adj != nil {
-				c += adj.at(int32(ia), int32(ib))
-			}
-			row[ib] = c
-			arow[ib] = int32(ia)
+		copy(row, cands[a+1].total)
+		for r := range cur {
+			cur[r] = row
 		}
-		cur[ia] = row
-		args0[ia] = arow
-	})
-	t.chainArgs = append(t.chainArgs, args0)
+	} else {
+		o.parallelChunks(t.nCls, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				arow := adj.vals[adj.rows[reps[r]]]
+				row := make([]float64, nb)
+				for ib := 0; ib < nb; ib++ {
+					row[ib] = cands[a+1].total[ib] + arow[adj.cols[ib]]
+				}
+				cur[r] = row
+			}
+		})
+	}
 
 	// Bellman steps j = a+2 .. b. The min over p_{j-1} runs over edge-row
 	// GROUPS: candidates with identical edge interfaces share matrix rows,
-	// so we first fold C over each group, then scan groups per column.
+	// so we first fold C over each group, then scan groups per column with
+	// bucketed early exit.
 	for j := a + 2; j <= b; j++ {
-		nj := len(cands[j].seqs)
+		totals := cands[j].total
+		nj := len(totals)
 		nprev := len(cands[j-1].seqs)
 		em := sumEdges(j, j-1)
-		var eExt *edgeMat
-		if j != a+1 {
-			eExt = sumEdges(j, a)
-		}
+		eExt := eExts[j-a-2]
 
-		// Transposed group-value matrix for sequential access.
+		// Transposed group-value matrix, each column sorted once and
+		// shared (read-only) across classes and worker bands. foldM reduces
+		// a class's DP row over the edge's row groups.
+		var scols *sortedCols
 		var valsT [][]float64
-		if em != nil {
-			uR := em.numRowGroups()
-			uC := len(em.vals[0])
-			valsT = make([][]float64, uC)
-			for c := 0; c < uC; c++ {
-				col := make([]float64, uR)
-				for r := 0; r < uR; r++ {
-					col[r] = em.vals[r][c]
-				}
-				valsT[c] = col
-			}
-		}
-
-		next := make([][]float64, na)
-		args := make([][]int32, na)
-		o.parallelRows(na, func(ia int) {
-			row := make([]float64, nj)
-			arow := make([]int32, nj)
-			prevRow := cur[ia]
-
-			if em == nil {
-				// No edge: one global min serves every p_j.
-				best := math.Inf(1)
-				bestK := int32(-1)
-				for k := 0; k < nprev; k++ {
-					if prevRow[k] < best {
-						best = prevRow[k]
-						bestK = int32(k)
-					}
-				}
-				for ij := 0; ij < nj; ij++ {
-					c := best + cands[j].total[ij]
-					if eExt != nil {
-						c += eExt.at(int32(ia), int32(ij))
-					}
-					row[ij] = c
-					arow[ij] = bestK
-				}
-				next[ia] = row
-				args[ia] = arow
-				return
-			}
-
-			uR := em.numRowGroups()
-			m := make([]float64, uR)
-			argm := make([]int32, uR)
+		var colMin []float64
+		uR, uC := 0, 0
+		foldM := func(prevRow, m []float64, argm []int32) (mMin float64) {
 			for u := range m {
 				m[u] = math.Inf(1)
 				argm[u] = -1
 			}
+			mMin = math.Inf(1)
 			for k := 0; k < nprev; k++ {
 				u := em.rows[k]
 				if prevRow[k] < m[u] {
 					m[u] = prevRow[k]
 					argm[u] = int32(k)
-				}
-			}
-			uC := len(em.vals[0])
-			bestVal := make([]float64, uC)
-			bestK := make([]int32, uC)
-			for c := 0; c < uC; c++ {
-				col := valsT[c]
-				best := math.Inf(1)
-				bu := -1
-				for u := 0; u < uR; u++ {
-					if v := m[u] + col[u]; v < best {
-						best = v
-						bu = u
+					if prevRow[k] < mMin {
+						mMin = prevRow[k]
 					}
 				}
-				bestVal[c] = best
-				bestK[c] = argm[bu]
 			}
-			for ij := 0; ij < nj; ij++ {
-				cg := em.cols[ij]
-				c := bestVal[cg] + cands[j].total[ij]
-				if eExt != nil {
-					c += eExt.at(int32(ia), int32(ij))
+			return mMin
+		}
+		scanRows := false
+		if em != nil {
+			uR = em.numRowGroups()
+			uC = len(em.vals[0])
+			valsT = make([][]float64, uC)
+			colMin = make([]float64, uC)
+			for c := 0; c < uC; c++ {
+				col := make([]float64, uR)
+				cm := math.Inf(1)
+				for r := 0; r < uR; r++ {
+					col[r] = em.vals[r][c]
+					if col[r] < cm {
+						cm = col[r]
+					}
 				}
-				row[ij] = c
-				arow[ij] = bestK[cg]
+				valsT[c] = col
+				colMin[c] = cm
 			}
-			next[ia] = row
-			args[ia] = arow
+			// Probe class 0 with the row kernel; only when its scans are
+			// long (≥ uR/8 per column) is the per-column sort worth
+			// building to compare against. The counts depend only on
+			// values, so the choice (and with it the scan-order
+			// tie-breaking of witnesses) is deterministic.
+			m := make([]float64, uR)
+			argm := make([]int32, uR)
+			morder := make([]int32, uR)
+			mval := make([]float64, uR)
+			msuf := make([]float64, uR)
+			bestVal := make([]float64, uC)
+			bestU := make([]int32, uC)
+			var ss sortScratch
+			mMin := foldM(cur[0], m, argm)
+			sortAsc(m, morder, mval, msuf, &ss)
+			nRows := scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU)
+			scanRows = true
+			if 8*nRows >= uR*uC {
+				scols = sortCols(valsT)
+				nCols := scanMinPlus(m, mMin, valsT, scols, bestVal, bestU)
+				scanRows = nRows <= nCols
+			}
+		}
+
+		next := make([][]float64, t.nCls)
+		args := make([][]int32, t.nCls)
+		o.parallelChunks(t.nCls, func(lo, hi int) {
+			var m, mval, msuf []float64
+			var argm, morder, bestU []int32
+			var bestVal []float64
+			var ss *sortScratch
+			if em != nil {
+				m = make([]float64, uR)
+				argm = make([]int32, uR)
+				bestVal = make([]float64, uC)
+				bestU = make([]int32, uC)
+				if scanRows {
+					morder = make([]int32, uR)
+					mval = make([]float64, uR)
+					msuf = make([]float64, uR)
+					ss = &sortScratch{}
+				}
+			}
+			for r := lo; r < hi; r++ {
+				row := make([]float64, nj)
+				arow := make([]int32, nj)
+				prevRow := cur[r]
+				var extRow []float64
+				if eExt != nil {
+					extRow = eExt.vals[eExt.rows[reps[r]]]
+				}
+
+				if em == nil {
+					// No edge: one global min serves every p_j.
+					best := math.Inf(1)
+					bestK := int32(-1)
+					for k := 0; k < nprev; k++ {
+						if prevRow[k] < best {
+							best = prevRow[k]
+							bestK = int32(k)
+						}
+					}
+					for ij := 0; ij < nj; ij++ {
+						c := best + totals[ij]
+						if extRow != nil {
+							c += extRow[eExt.cols[ij]]
+						}
+						row[ij] = c
+						arow[ij] = bestK
+					}
+					next[r] = row
+					args[r] = arow
+					continue
+				}
+
+				mMin := foldM(prevRow, m, argm)
+				if scanRows {
+					sortAsc(m, morder, mval, msuf, ss)
+					scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU)
+				} else {
+					scanMinPlus(m, mMin, valsT, scols, bestVal, bestU)
+				}
+				for ij := 0; ij < nj; ij++ {
+					cg := em.cols[ij]
+					c := bestVal[cg] + totals[ij]
+					if extRow != nil {
+						c += extRow[eExt.cols[ij]]
+					}
+					row[ij] = c
+					arow[ij] = argm[bestU[cg]]
+				}
+				next[r] = row
+				args[r] = arow
+			}
 		})
 		cur = next
 		t.chainArgs = append(t.chainArgs, args)
@@ -241,46 +337,98 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 //	out(pa, pb) = min_pm { L(pa,pm) + R(pm,pb) − n_m(pm) } + cross(pa,pb)
 //
 // where cross sums the edge matrices of extended edges a→b (e.g. e(0,7)).
+//
+// Both operands are class-factored. Expanding the factored forms,
+//
+//	out = hbL[pa] + min_pm { Lc[rL][pm] + (hbR[pm] − mid[pm]) + Rc[rm(pm)][pb] }
+//
+// so the min folds in two exact stages: first over the mid candidates of
+// each right class (W[rm] = min over pm in rm of Lc + delta), then over
+// right classes per column with bucketed early exit. For in-layer merges
+// midTotal IS the right table's headBase, so delta is exactly zero; for
+// stacking merges midTotal is the zero vector and delta re-adds the
+// boundary anchor's own cost. A cross edge refines the OUTPUT classes but
+// never moves the argmin, so refined classes share argmid rows.
 func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat) *table {
-	na := len(left.cost)
 	nm := len(midTotal)
+	nR := right.nCls
 	nb := len(right.cost[0])
-	t := &table{a: left.a, b: right.b, left: left, right: right}
-	t.cost = make([][]float64, na)
-	t.argmid = make([][]int32, na)
-	// Fold the shared-node subtraction into a transposed right matrix for
-	// sequential access in the inner loop.
-	rightT := make([][]float64, nb)
-	for ib := 0; ib < nb; ib++ {
-		col := make([]float64, nm)
-		for im := 0; im < nm; im++ {
-			col[im] = right.cost[im][ib] - midTotal[im]
-		}
-		rightT[ib] = col
+	delta := make([]float64, nm)
+	for pm, hb := range right.headBase {
+		delta[pm] = hb - midTotal[pm]
 	}
-	o.parallelRows(na, func(ia int) {
-		row := make([]float64, nb)
-		arow := make([]int32, nb)
-		lrow := left.cost[ia]
-		for ib := 0; ib < nb; ib++ {
-			best := math.Inf(1)
-			bestM := int32(-1)
-			col := rightT[ib]
-			for im := 0; im < nm; im++ {
-				c := lrow[im] + col[im]
-				if c < best {
-					best = c
-					bestM = int32(im)
+	// Transposed right classes, each column sorted once for the early exit.
+	rightT := make([][]float64, nb)
+	for pb := 0; pb < nb; pb++ {
+		col := make([]float64, nR)
+		for rm := 0; rm < nR; rm++ {
+			col[rm] = right.cost[rm][pb]
+		}
+		rightT[pb] = col
+	}
+	scols := sortCols(rightT)
+
+	nL := left.nCls
+	base := make([][]float64, nL)
+	argPM := make([][]int32, nL)
+	o.parallelChunks(nL, func(lo, hi int) {
+		W := make([]float64, nR)
+		argW := make([]int32, nR)
+		bestRM := make([]int32, nb)
+		for rL := lo; rL < hi; rL++ {
+			lrow := left.cost[rL]
+			for u := range W {
+				W[u] = math.Inf(1)
+				argW[u] = -1
+			}
+			wMin := math.Inf(1)
+			for pm := 0; pm < nm; pm++ {
+				rm := right.rowCls[pm]
+				if v := lrow[pm] + delta[pm]; v < W[rm] {
+					W[rm] = v
+					argW[rm] = int32(pm)
+					if v < wMin {
+						wMin = v
+					}
 				}
 			}
-			if cross != nil {
-				best += cross.at(int32(ia), int32(ib))
+			row := make([]float64, nb)
+			scanMinPlus(W, wMin, rightT, scols, row, bestRM)
+			arow := make([]int32, nb)
+			for pb := range arow {
+				arow[pb] = argW[bestRM[pb]]
 			}
-			row[ib] = best
-			arow[ib] = bestM
+			base[rL] = row
+			argPM[rL] = arow
 		}
-		t.cost[ia] = row
-		t.argmid[ia] = arow
+	})
+
+	t := &table{a: left.a, b: right.b, left: left, right: right, headBase: left.headBase}
+	if cross == nil {
+		t.rowCls = left.rowCls
+		t.nCls = nL
+		t.cost = base
+		t.argmid = argPM
+		return t
+	}
+	outCls, reps := refineClasses(len(left.rowCls), left.rowCls, cross.rows)
+	t.rowCls = outCls
+	t.nCls = len(reps)
+	t.cost = make([][]float64, t.nCls)
+	t.argmid = make([][]int32, t.nCls)
+	o.parallelChunks(t.nCls, func(lo, hi int) {
+		for ro := lo; ro < hi; ro++ {
+			rep := reps[ro]
+			rL := left.rowCls[rep]
+			crow := cross.vals[cross.rows[rep]]
+			b := base[rL]
+			row := make([]float64, nb)
+			for pb := 0; pb < nb; pb++ {
+				row[pb] = b[pb] + crow[cross.cols[pb]]
+			}
+			t.cost[ro] = row
+			t.argmid[ro] = argPM[rL] // shared: cross shifts values, not argmins
+		}
 	})
 	return t
 }
@@ -327,10 +475,43 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 			slotOf[i] = s
 		}
 	}
+	// Cross-call cache: slots whose (environment, op signature) key was seen
+	// by an earlier Optimize call reuse the stored α-independent evaluation;
+	// only the misses are evaluated (and then published for later calls).
+	ccache := o.crossCache()
+	var envSig []byte
+	if ccache != nil {
+		envSig = o.appendEnvSig(nil)
+	}
 	slotCands := make([]*nodeCands, len(slotNode))
-	runTasks(stats.Workers, len(slotNode), func(s int) {
+	evalSlots := make([]int, 0, len(slotNode))
+	var nodeKeys []string
+	if ccache == nil {
+		for s := range slotNode {
+			evalSlots = append(evalSlots, s)
+		}
+	} else {
+		nodeKeys = make([]string, len(slotNode))
+		for s, ni := range slotNode {
+			nodeKeys[s] = string(appendNodeCrossKey(envSig, g.Nodes[ni]))
+			if e := ccache.getNode(nodeKeys[s]); e != nil {
+				slotCands[s] = e.withAlpha(o.Cost.Alpha)
+				stats.CrossCallNodeHits++
+			} else {
+				evalSlots = append(evalSlots, s)
+			}
+		}
+	}
+	runTasks(stats.Workers, len(evalSlots), func(i int) {
+		s := evalSlots[i]
 		slotCands[s] = o.evalNode(g.Nodes[slotNode[s]])
 	})
+	if ccache != nil {
+		for _, s := range evalSlots {
+			nc := slotCands[s]
+			ccache.putNode(nodeKeys[s], &nodeEntry{seqs: nc.seqs, intra: nc.intra, out: nc.out, in: nc.in})
+		}
+	}
 	cands := make([]*nodeCands, len(g.Nodes))
 	for i, op := range g.Nodes {
 		cands[i] = slotCands[slotOf[i]]
@@ -338,10 +519,10 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 			return nil, fmt.Errorf("core: node %d (%s) has an empty partition space", i, op.Name)
 		}
 	}
-	stats.NodeEvals = len(slotNode)
+	stats.NodeEvals = len(evalSlots)
 	stats.NodeCacheHits = len(g.Nodes) - len(slotNode)
-	for _, nc := range slotCands {
-		stats.CandidatesEvaluated += len(nc.seqs)
+	for _, s := range evalSlots {
+		stats.CandidatesEvaluated += len(slotCands[s].seqs)
 	}
 	stats.NodeEvalTime = time.Since(tNodes)
 
@@ -377,17 +558,40 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 		}
 	}
 	mats := make([]*edgeMat, len(uniqEdges))
-	runTasks(stats.Workers, len(uniqEdges), func(s int) {
-		e := uniqEdges[s]
-		mats[s] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
+	buildSlots := make([]int, 0, len(uniqEdges))
+	var edgeKeys []string
+	if ccache == nil {
+		for s := range uniqEdges {
+			buildSlots = append(buildSlots, s)
+		}
+	} else {
+		edgeKeys = make([]string, len(uniqEdges))
+		for s, e := range uniqEdges {
+			edgeKeys[s] = string(o.appendEdgeCrossKey(envSig, g, e))
+			if m := ccache.getEdge(edgeKeys[s]); m != nil {
+				mats[s] = m
+				stats.CrossCallEdgeHits++
+			} else {
+				buildSlots = append(buildSlots, s)
+			}
+		}
+	}
+	runTasks(stats.Workers, len(buildSlots), func(i int) {
+		e := uniqEdges[buildSlots[i]]
+		mats[buildSlots[i]] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
 	})
+	if ccache != nil {
+		for _, s := range buildSlots {
+			ccache.putEdge(edgeKeys[s], mats[s])
+		}
+	}
 	for i, e := range g.Edges {
 		edgeMats[e] = mats[matIdx[i]]
 	}
-	stats.EdgeMatsBuilt = len(uniqEdges)
+	stats.EdgeMatsBuilt = len(buildSlots)
 	stats.EdgeCacheHits = len(g.Edges) - len(uniqEdges)
-	for _, m := range mats {
-		if len(m.vals) > 0 {
+	for _, s := range buildSlots {
+		if m := mats[s]; len(m.vals) > 0 {
 			stats.EdgeCellsEvaluated += int64(len(m.vals)) * int64(len(m.vals[0]))
 		}
 	}
@@ -402,6 +606,7 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	var acc *table
 	for s := 0; s+1 < len(cuts); s++ {
 		seg := o.segmentDP(g, cands, edgeMats, cuts[s], cuts[s+1])
+		stats.DPRowClasses += int64(seg.nCls)
 		if acc == nil {
 			acc = seg
 			continue
@@ -411,7 +616,7 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	}
 
 	layerTable := acc
-	layerCost := matrixMin(layerTable.cost)
+	layerCost := layerTable.minTotal()
 	stats.DPTime = time.Since(tDP)
 
 	// Stack layers: binary decomposition with Eq. 14 merging. The layer
@@ -449,11 +654,11 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 			doubled = o.merge(doubled, doubled, zeroMid, nil)
 		}
 	}
-	totalCost := matrixMin(full.cost)
+	totalCost := full.minTotal()
 	stats.StackTime = time.Since(tStack)
 
 	// Reconstruct the representative (leftmost) layer's assignment.
-	ia, ib := matrixArgMin(full.cost)
+	ia, ib := full.argMin()
 	assign := make([]int32, len(g.Nodes))
 	for i := range assign {
 		assign[i] = -1
@@ -576,10 +781,11 @@ func (o *Optimizer) crossEdges(g *graph.Graph, edgeMats map[*graph.Edge]*edgeMat
 
 // reconstruct walks back-pointers, recording candidate indices for the nodes
 // of the LEFTMOST layer instance into assign (indexed by node id; later
-// layer instances only contribute their boundary choices).
+// layer instances only contribute their boundary choices). All back-pointer
+// rows are indexed by the head candidate's CLASS — valid for every member.
 func reconstruct(t *table, ia, ib int32, assign []int32) {
 	if t.argmid != nil {
-		im := t.argmid[ia][ib]
+		im := t.argmid[t.rowCls[ia]][ib]
 		reconstruct(t.left, ia, im, assign)
 		// Right subtree: only needed while it still covers leftmost-layer
 		// nodes (merge of segments within the layer). Stacked-layer merges
@@ -590,13 +796,17 @@ func reconstruct(t *table, ia, ib int32, assign []int32) {
 		}
 		return
 	}
-	// Chain segment: walk j = b .. a+1.
+	// Chain segment: walk j = b .. a+2, then the implicit first step.
+	cls := t.rowCls[ia]
 	cur := ib
-	for j := t.b; j > t.a; j-- {
+	for j := t.b; j > t.a+1; j-- {
 		if assign[j] == -1 {
 			assign[j] = cur
 		}
-		cur = t.chainArgs[j-t.a-1][ia][cur]
+		cur = t.chainArgs[j-t.a-2][cls][cur]
+	}
+	if assign[t.a+1] == -1 {
+		assign[t.a+1] = cur
 	}
 	if assign[t.a] == -1 {
 		assign[t.a] = ia
@@ -612,26 +822,51 @@ func rangeAssigned(assign []int32, a, b int) bool {
 	return true
 }
 
-func matrixMin(m [][]float64) float64 {
+// minHeadBase folds headBase over each row class: the cheapest head
+// candidate per class, with its index (first-minimum wins, deterministic).
+func (t *table) minHeadBase() ([]float64, []int32) {
+	minHB := make([]float64, t.nCls)
+	argHB := make([]int32, t.nCls)
+	for r := range minHB {
+		minHB[r] = math.Inf(1)
+		argHB[r] = -1
+	}
+	for ia, r := range t.rowCls {
+		if hb := t.headBase[ia]; hb < minHB[r] {
+			minHB[r] = hb
+			argHB[r] = int32(ia)
+		}
+	}
+	return minHB, argHB
+}
+
+// minTotal is min over (p_a, p_b) of the full table value
+// headBase[p_a] + cost[rowCls[p_a]][p_b].
+func (t *table) minTotal() float64 {
+	minHB, _ := t.minHeadBase()
 	best := math.Inf(1)
-	for i := range m {
-		for j := range m[i] {
-			if m[i][j] < best {
-				best = m[i][j]
+	for r := 0; r < t.nCls; r++ {
+		hb := minHB[r]
+		for _, v := range t.cost[r] {
+			if c := hb + v; c < best {
+				best = c
 			}
 		}
 	}
 	return best
 }
 
-func matrixArgMin(m [][]float64) (int32, int32) {
+// argMin returns a witness (ia, ib) attaining minTotal.
+func (t *table) argMin() (int32, int32) {
+	minHB, argHB := t.minHeadBase()
 	best := math.Inf(1)
 	var bi, bj int32
-	for i := range m {
-		for j := range m[i] {
-			if m[i][j] < best {
-				best = m[i][j]
-				bi, bj = int32(i), int32(j)
+	for r := 0; r < t.nCls; r++ {
+		hb := minHB[r]
+		for ib, v := range t.cost[r] {
+			if c := hb + v; c < best {
+				best = c
+				bi, bj = argHB[r], int32(ib)
 			}
 		}
 	}

@@ -87,18 +87,26 @@ func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCa
 		calc = plan.NewCalc(srcIfs, dstIfs)
 	}
 
+	if calc != nil {
+		// One CellEval per worker band: the cell/combo memos amortize across
+		// all rows of the band, and with one worker across the whole matrix.
+		o.parallelChunks(len(rowReps), func(lo, hi int) {
+			ev := calc.Eval()
+			for r := lo; r < hi; r++ {
+				row := make([]float64, len(colReps))
+				for c := range colReps {
+					row[c] = o.Cost.RedistributeDetail(ev.MeasureCell(r, c))
+				}
+				m.vals[r] = row
+			}
+		})
+		return m
+	}
 	o.parallelRows(len(rowReps), func(r int) {
 		row := make([]float64, len(colReps))
-		if calc != nil {
-			cov := make([]float64, calc.CovLen())
-			for c := range colReps {
-				row[c] = o.Cost.RedistributeDetail(calc.MeasureCell(r, c, cov))
-			}
-		} else {
-			srcIface := src.out[rowReps[r]]
-			for c, cj := range colReps {
-				row[c] = o.Cost.RedistributeDetail(plan.Measure(srcIface, dst.in[cj]))
-			}
+		srcIface := src.out[rowReps[r]]
+		for c, cj := range colReps {
+			row[c] = o.Cost.RedistributeDetail(plan.Measure(srcIface, dst.in[cj]))
 		}
 		m.vals[r] = row
 	})

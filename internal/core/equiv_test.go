@@ -100,6 +100,7 @@ func TestSearchDeterminismAcrossWorkers(t *testing.T) {
 	}
 	m := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
 	serial := NewOptimizer(m)
+	serial.Cache = NewSearchCache() // isolate: warm cross-call entries would zero the work counts
 	serial.Opts.Parallelism = 1
 	a, err := serial.Optimize(g, 3)
 	if err != nil {
@@ -107,6 +108,7 @@ func TestSearchDeterminismAcrossWorkers(t *testing.T) {
 	}
 	for _, workers := range []int{2, 4, 7} {
 		par := NewOptimizer(m)
+		par.Cache = NewSearchCache()
 		par.Opts.Parallelism = workers
 		b, err := par.Optimize(g, 3)
 		if err != nil {

@@ -1,0 +1,306 @@
+// Sorted-scan min-plus: the inner kernel of the factored DP. For a row
+// vector m against a set of columns it computes
+//
+//	best[c] = min_u m[u] + colsT[c][u]
+//
+// with two exact kernels that differ only in scan order:
+//
+//   - scanMinPlus walks each COLUMN in ascending value order and exits via
+//     the column's suffix minima plus the global min of m. The order is
+//     independent of m, so it is built ONCE per product (sortCols) and
+//     shared read-only by every row multiplied against it.
+//   - scanMinPlusRows walks the sorted M vector (one sort per row) and
+//     exits via m's suffix minima plus each column's minimum.
+//
+// Which side exits earlier depends on the value distributions: heads with
+// many near-minimal column entries favour the row scan, spread-out columns
+// favour the column scan. Callers probe one row with both kernels and pick
+// the side that scanned less — the counts depend only on the values, so the
+// choice is deterministic.
+//
+// Exactness: suf[i] is an exact suffix minimum of the ordered values, and
+// IEEE addition is monotone (a ≥ b, c ≥ d ⟹ a+c ≥ b+d), so when
+// suf[i] + otherMin ≥ best every remaining pair is ≥ best and cannot
+// strictly improve. The ordering itself only needs to be APPROXIMATELY
+// sorted to make the exit early — correctness never depends on it, and
+// results are independent of worker count.
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// sortBuckets is the counting-sort resolution used to order values.
+// Buckets are cut in IEEE bit space: for non-negative finite floats the bit
+// pattern is monotone in the value, and bit-space cuts spread heavy-tailed
+// cost distributions where linear cuts pile everything into one bucket.
+const (
+	sortBuckets    = 2048
+	sortBucketsLog = 11
+)
+
+// sortScratch is the per-worker counting-sort state.
+type sortScratch struct {
+	cnt  [sortBuckets + 1]int32
+	keys []int32
+}
+
+// bucketFunc returns a monotone bucket index in [0, nb) for values in
+// [lo, hi]. Degenerate ranges (infinities, all-equal) collapse to bucket 0 —
+// the suffix-minima exit keeps the scans exact regardless.
+func bucketFunc(lo, hi float64, nb int, logB int) func(float64) int {
+	if lo >= 0 && !math.Signbit(lo) && !math.IsInf(hi, 1) {
+		blo := math.Float64bits(lo)
+		shift := 0
+		if l := bits.Len64(math.Float64bits(hi) - blo); l > logB {
+			shift = l - logB // span>>shift < nb
+		}
+		return func(x float64) int {
+			k := int((math.Float64bits(x) - blo) >> shift)
+			if k >= nb {
+				return nb - 1
+			}
+			return k
+		}
+	}
+	if hi > lo && !math.IsInf(hi, 1) && !math.IsInf(lo, -1) {
+		// Negative values: linear cuts (still monotone).
+		inv := float64(nb) / (hi - lo)
+		return func(x float64) int {
+			f := (x - lo) * inv
+			if f > 0 {
+				if f >= float64(nb) {
+					return nb - 1
+				}
+				return int(f)
+			}
+			return 0
+		}
+	}
+	return func(float64) int { return 0 }
+}
+
+// sortAsc bucket-orders m ascending (stable: ties and same-bucket values
+// keep ascending index order — deterministic) and fills order, val and the
+// exact suffix minima suf. All three must have len(m).
+func sortAsc(m []float64, order []int32, val, suf []float64, ss *sortScratch) {
+	n := len(m)
+	lo, hi := m[0], m[0]
+	for _, x := range m[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if cap(ss.keys) < n {
+		ss.keys = make([]int32, n)
+	}
+	keys := ss.keys[:n]
+	// Bucket count adapts to the input: small inputs pay a small counter
+	// reset. The sort only has to be roughly ordered, so ~2 buckets per
+	// element is plenty.
+	nb, logB := sortBuckets, sortBucketsLog
+	for nb > 256 && nb > 2*n {
+		nb >>= 1
+		logB--
+	}
+	// Bucket keys in one specialized pass (the common bit-space case stays
+	// free of indirect calls).
+	if lo >= 0 && !math.Signbit(lo) && !math.IsInf(hi, 1) {
+		blo := math.Float64bits(lo)
+		shift := 0
+		if l := bits.Len64(math.Float64bits(hi) - blo); l > logB {
+			shift = l - logB // span>>shift < nb
+		}
+		for u, x := range m {
+			k := int32((math.Float64bits(x) - blo) >> shift)
+			if k >= int32(nb) {
+				k = int32(nb) - 1
+			}
+			keys[u] = k
+		}
+	} else {
+		bucketOf := bucketFunc(lo, hi, nb, logB)
+		for u, x := range m {
+			keys[u] = int32(bucketOf(x))
+		}
+	}
+	cnt := ss.cnt[: nb+1 : nb+1]
+	for k := range cnt {
+		cnt[k] = 0
+	}
+	for _, k := range keys {
+		cnt[k+1]++
+	}
+	for k := 0; k < nb; k++ {
+		cnt[k+1] += cnt[k]
+	}
+	for u := 0; u < n; u++ {
+		k := keys[u]
+		order[cnt[k]] = int32(u)
+		val[cnt[k]] = m[u]
+		cnt[k]++
+	}
+	run := math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		if val[i] < run {
+			run = val[i]
+		}
+		suf[i] = run
+	}
+}
+
+// sortedCols holds every column of a min-plus product in ascending value
+// order: order[c] lists row indices, val[c] the values in that order, and
+// suf[c] the exact suffix minima of val[c].
+type sortedCols struct {
+	order [][]int32
+	val   [][]float64
+	suf   [][]float64
+}
+
+// sortCols orders each column with sortAsc; built once per min-plus product
+// and shared read-only across rows and worker bands.
+func sortCols(colsT [][]float64) *sortedCols {
+	sc := &sortedCols{
+		order: make([][]int32, len(colsT)),
+		val:   make([][]float64, len(colsT)),
+		suf:   make([][]float64, len(colsT)),
+	}
+	var ss sortScratch
+	for c, col := range colsT {
+		n := len(col)
+		order := make([]int32, n)
+		val := make([]float64, n)
+		suf := make([]float64, n)
+		sortAsc(col, order, val, suf, &ss)
+		sc.order[c] = order
+		sc.val[c] = val
+		sc.suf[c] = suf
+	}
+	return sc
+}
+
+// scanMinPlus fills best[c] = min_u m[u] + column c and argU[c] with a
+// witness row index, scanning each column in its shared ascending order.
+// mMin must be the exact minimum of m. Returns the number of entries
+// scanned (value-determined, used to pick the scan side).
+func scanMinPlus(m []float64, mMin float64, colsT [][]float64, sc *sortedCols, best []float64, argU []int32) int {
+	scanned := 0
+	pu := int32(-1)
+	for c := range sc.order {
+		order, val, suf := sc.order[c], sc.val[c], sc.suf[c]
+		b := math.Inf(1)
+		bu := int32(-1)
+		if pu >= 0 {
+			// Warm start from the previous column's witness: adjacent
+			// columns are correlated, and a tight initial bound makes the
+			// suffix-minima exit fire from the first entry.
+			b = m[pu] + colsT[c][pu]
+			bu = pu
+		}
+		// Exit checks run once per block of 8: the bound only decides how
+		// early the scan stops, so overshooting at most 7 entries keeps the
+		// result exact while the hot loop stays at three loads per entry.
+		i, n := 0, len(order)
+		for i < n {
+			if suf[i]+mMin >= b {
+				break
+			}
+			e := i + 8
+			if e > n {
+				e = n
+			}
+			for ; i < e; i++ {
+				if v := val[i] + m[order[i]]; v < b {
+					b = v
+					bu = order[i]
+				}
+			}
+		}
+		scanned += i
+		best[c] = b
+		argU[c] = bu
+		pu = bu
+	}
+	return scanned
+}
+
+// scanMinPlusRows fills best[c] = min_u m[u] + colsT[c][u] scanning the
+// SORTED m (order/val/suf from sortAsc) against each raw column; colMin[c]
+// must be the exact minimum of colsT[c]. Returns the number of entries
+// scanned.
+func scanMinPlusRows(m []float64, order []int32, val, suf []float64, colsT [][]float64, colMin []float64, best []float64, argU []int32) int {
+	scanned := 0
+	pu := int32(-1)
+	for c := range colsT {
+		col := colsT[c]
+		cm := colMin[c]
+		b := math.Inf(1)
+		bu := int32(-1)
+		if pu >= 0 {
+			// Warm start from the previous column's witness (see
+			// scanMinPlus).
+			b = m[pu] + col[pu]
+			bu = pu
+		}
+		// Blocked exit checks, see scanMinPlus.
+		i, n := 0, len(order)
+		for i < n {
+			if suf[i]+cm >= b {
+				break
+			}
+			e := i + 8
+			if e > n {
+				e = n
+			}
+			for ; i < e; i++ {
+				u := order[i]
+				if v := val[i] + col[u]; v < b {
+					b = v
+					bu = u
+				}
+			}
+		}
+		scanned += i
+		best[c] = b
+		argU[c] = bu
+		pu = bu
+	}
+	return scanned
+}
+
+// refineClasses folds per-candidate id vectors into joint equivalence
+// classes: two candidates share a class iff every id vector agrees on them.
+// Class ids are assigned in first-seen (candidate-ascending) order, so the
+// result is deterministic; reps[r] is the lowest candidate index of class r.
+// Nil vectors are skipped; with no vectors everything lands in class 0.
+func refineClasses(n int, ids ...[]int32) (cls []int32, reps []int32) {
+	cls = make([]int32, n)
+	reps = append(reps, 0)
+	for _, id := range ids {
+		if id == nil {
+			continue
+		}
+		byKey := make(map[uint64]int32, len(reps))
+		newCls := make([]int32, n)
+		reps = reps[:0]
+		next := int32(0)
+		for i := 0; i < n; i++ {
+			key := uint64(uint32(cls[i]))<<32 | uint64(uint32(id[i]))
+			c, ok := byKey[key]
+			if !ok {
+				c = next
+				next++
+				byKey[key] = c
+				reps = append(reps, int32(i))
+			}
+			newCls[i] = c
+		}
+		cls = newCls
+	}
+	return cls, reps
+}

@@ -63,6 +63,38 @@ func runTasks(w, n int, f func(i int)) {
 	wg.Wait()
 }
 
+// parallelChunks splits [0, n) into one contiguous band per worker and runs
+// f(lo, hi) on each. Use it when the per-band closure carries expensive
+// private state (memo tables, scratch buffers) that should be built once per
+// goroutine rather than once per item; with one worker the whole range shares
+// a single state instance.
+func (o *Optimizer) parallelChunks(n int, f func(lo, hi int)) {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			f(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
 // parallelRows runs f(i) for i in [0, n) across the worker pool.
 func (o *Optimizer) parallelRows(n int, f func(i int)) {
 	w := o.workers()

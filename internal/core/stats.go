@@ -29,6 +29,19 @@ type SearchStats struct {
 	// the number of Measure/RedistributeDetail evaluations.
 	EdgeCellsEvaluated int64 `json:"edge_cells_evaluated"`
 
+	// DPRowClasses sums the head-interface row classes over segment tables:
+	// the row dimension the factored DP actually iterates, versus the full
+	// |P| of each segment head in CandidatesEvaluated.
+	DPRowClasses int64 `json:"dp_row_classes"`
+
+	// CrossCallNodeHits / CrossCallEdgeHits count node evaluations and edge
+	// matrices served by the Optimizer-level cache that persists ACROSS
+	// Optimize calls (sweeps over scales/α reuse earlier work). The
+	// per-call NodeCacheHits/EdgeCacheHits count within-call signature
+	// sharing only.
+	CrossCallNodeHits int `json:"cross_call_node_hits"`
+	CrossCallEdgeHits int `json:"cross_call_edge_hits"`
+
 	// Wall time per stage: candidate evaluation, edge-matrix building,
 	// per-segment DP + merging, layer stacking, and the whole call.
 	NodeEvalTime time.Duration `json:"node_eval_ns"`

@@ -582,35 +582,50 @@ func (p *EdgePlan) Measure(src, dst *Iface) Traffic {
 // (intra-node bytes, inter-node bytes). The result depends on src only
 // through Fwd/Width on FwdSrcAxes and on dst only through Fwd/Width on
 // FwdDstAxes.
+//
+// Accumulation runs as a volume-free partial-sum tree: each node first folds
+// its devices' intra/inter coverage FRACTIONS, the per-node totals fold in
+// node order, and the moved volume multiplies in exactly once at the end.
+// This is the canonical summation order of the cost model — EdgeCalc's
+// node-factored evaluator reproduces it operand for operand, which is what
+// keeps the two bit-identical; keeping the volume out of the fold is also
+// what makes the fraction pair memoizable independently of tensor sizes
+// (devices is assumed to be a multiple of perNode, as the cluster
+// constructors guarantee).
 func (p *EdgePlan) MeasureFwd(src, dst *Iface) (intraBytes, interBytes float64) {
 	vDst := p.dstFull
 	for _, dax := range p.fwdDst {
 		vDst *= dst.Width[dax]
 	}
-	for dev := 0; dev < p.devices; dev++ {
-		// Forward: consumer dev fetches what its own block misses.
-		covSelf := p.fwdCov(src, dst, dev, dev)
-		if missing := 1 - covSelf; missing > 0 {
-			nodeStart := dev / p.perNode * p.perNode
-			covNode := covSelf
-			for d2 := nodeStart; d2 < nodeStart+p.perNode && covNode < 1; d2++ {
-				if d2 == dev {
-					continue
+	var totI, totE float64
+	for nodeStart := 0; nodeStart < p.devices; nodeStart += p.perNode {
+		var fi, fe float64
+		for dev := nodeStart; dev < nodeStart+p.perNode; dev++ {
+			// Forward: consumer dev fetches what its own block misses.
+			covSelf := p.fwdCov(src, dst, dev, dev)
+			if missing := 1 - covSelf; missing > 0 {
+				covNode := covSelf
+				for d2 := nodeStart; d2 < nodeStart+p.perNode && covNode < 1; d2++ {
+					if d2 == dev {
+						continue
+					}
+					covNode += p.fwdCov(src, dst, d2, dev)
 				}
-				covNode += p.fwdCov(src, dst, d2, dev)
+				if covNode > 1 {
+					covNode = 1
+				}
+				intra := covNode - covSelf
+				if intra > missing {
+					intra = missing
+				}
+				fi += intra
+				fe += missing - intra
 			}
-			if covNode > 1 {
-				covNode = 1
-			}
-			intra := covNode - covSelf
-			if intra > missing {
-				intra = missing
-			}
-			intraBytes += vDst * intra * p.eb
-			interBytes += vDst * (missing - intra) * p.eb
 		}
+		totI += fi
+		totE += fe
 	}
-	return intraBytes, interBytes
+	return vDst * totI * p.eb, vDst * totE * p.eb
 }
 
 // MeasureBwd computes only the backward-direction redistribution traffic
@@ -622,30 +637,35 @@ func (p *EdgePlan) MeasureBwd(src, dst *Iface) (intraBytes, interBytes float64) 
 	for _, sa := range p.bwdSrc {
 		vSrc *= src.Width[sa]
 	}
-	for dev := 0; dev < p.devices; dev++ {
-		// Backward: producer dev fetches missing dOutput pieces.
-		covSelf := p.bwdCov(src, dst, dev, dev)
-		if missing := 1 - covSelf; missing > 0 {
-			nodeStart := dev / p.perNode * p.perNode
-			covNode := covSelf
-			for d2 := nodeStart; d2 < nodeStart+p.perNode && covNode < 1; d2++ {
-				if d2 == dev {
-					continue
+	var totI, totE float64
+	for nodeStart := 0; nodeStart < p.devices; nodeStart += p.perNode {
+		var fi, fe float64
+		for dev := nodeStart; dev < nodeStart+p.perNode; dev++ {
+			// Backward: producer dev fetches missing dOutput pieces.
+			covSelf := p.bwdCov(src, dst, dev, dev)
+			if missing := 1 - covSelf; missing > 0 {
+				covNode := covSelf
+				for d2 := nodeStart; d2 < nodeStart+p.perNode && covNode < 1; d2++ {
+					if d2 == dev {
+						continue
+					}
+					covNode += p.bwdCov(src, dst, dev, d2)
 				}
-				covNode += p.bwdCov(src, dst, dev, d2)
+				if covNode > 1 {
+					covNode = 1
+				}
+				intra := covNode - covSelf
+				if intra > missing {
+					intra = missing
+				}
+				fi += intra
+				fe += missing - intra
 			}
-			if covNode > 1 {
-				covNode = 1
-			}
-			intra := covNode - covSelf
-			if intra > missing {
-				intra = missing
-			}
-			intraBytes += vSrc * intra * p.eb
-			interBytes += vSrc * (missing - intra) * p.eb
 		}
+		totI += fi
+		totE += fe
 	}
-	return intraBytes, interBytes
+	return vSrc * totI * p.eb, vSrc * totE * p.eb
 }
 
 // Traffic computes the total redistribution traffic in BYTES across all

@@ -1,17 +1,35 @@
-// EdgeCalc: a table-driven evaluator for edge redistribution traffic.
+// EdgeCalc: a node-factored, memoizing evaluator for edge redistribution
+// traffic.
 //
 // Measure's per-cell cost is dominated by overlapFrac: for every candidate
 // pair it walks all devices and their node peers, multiplying per-axis
 // interval overlaps. But the overlap of one axis pair depends only on how
 // that ONE axis is distributed on each side — and across a whole candidate
-// space an axis takes only a few dozen distinct distributions (patterns),
-// while the space has ~10³ interface groups and ~10⁶ group pairs. EdgeCalc
-// therefore precomputes, per (source axis, destination axis) pairing, a
-// table of per-device-pair overlaps indexed by (source pattern, destination
-// pattern), and evaluates a cell as a short product of table rows. The
-// arithmetic — operand values, multiplication order, accumulation order —
-// is exactly Measure's, so results are bit-identical; the equivalence is
-// pinned by tests and by core's SerialUncached search mode.
+// space an axis takes only a few dozen distinct distributions (patterns).
+// EdgeCalc exploits that structure at three levels:
+//
+//  1. Per (source axis, destination axis) pairing it precomputes the
+//     per-device-pair overlap vector of every (source pattern, destination
+//     pattern) combination, then deduplicates those vectors per NODE: the
+//     perNode×perNode block a node sees takes only ~10²–10³ distinct values
+//     ("node blocks"), and the per-(pattern pair) sequence of node blocks
+//     across the machine collapses to a small set of "node vectors".
+//  2. A direction's coverage-fraction pair is a pure function of the cell's
+//     node-vector tuple — Measure keeps the moved volume out of its
+//     accumulation tree precisely so this holds — so each distinct tuple is
+//     evaluated once and memoized; the millions of remaining cells are two
+//     hash probes each. At 32 devices the realized tuple count is an order
+//     of magnitude smaller than the cell count.
+//  3. Evaluating a distinct tuple folds per-node coverage fractions that are
+//     themselves memoized per node-block combination, so even the miss path
+//     touches perNode² floats per node instead of re-walking every device.
+//
+// The arithmetic — operand values, multiplication order, accumulation order —
+// is exactly MeasureFwd/MeasureBwd's volume-free partial-sum tree, so results
+// are bit-identical; the equivalence is pinned by tests and by core's
+// SerialUncached search mode. Identical keys imply identical operands at
+// every step (pattern ids and node-block ids are assigned by exact byte
+// equality, never by hash), which is why memoization is exact.
 package cost
 
 import (
@@ -24,13 +42,18 @@ import (
 // of exhausting memory.
 const calcTableLimit = 16 << 20
 
+// calcKeyLimit caps the packed key spaces (cell keys and node-combo keys) so
+// index arithmetic can never overflow a uint64; beyond it the evaluator
+// computes cells directly (still exactly) without memoization.
+const calcKeyLimit = 1 << 62
+
 // axisPair is one (source op axis, destination op axis) correspondence in a
 // direction's coverage product.
 type axisPair struct{ sa, dax int }
 
 // dirTable holds the per-device-pair overlap vectors of one axis pair:
 // block(rp, cp)[k] is the overlap of source pattern rp and destination
-// pattern cp at device-pair index k (see EdgeCalc.pairIndex layout).
+// pattern cp at device-pair index k (k = dev*perNode + peer).
 type dirTable struct {
 	nColPat int
 	n       int // device-pair vector length
@@ -48,13 +71,29 @@ type dirCalc struct {
 	rowPat [][]int32 // [pair][row rep] -> source-side pattern id
 	colPat [][]int32 // [pair][col rep] -> destination-side pattern id
 	tabs   []dirTable
+
+	// Node factoring (see package comment). All ids are assigned by exact
+	// byte equality, so equal ids imply bit-equal operands.
+	nodes   int
+	perNode int
+	nBlk    []int32     // [pair] distinct node-block count
+	nVec    []int32     // [pair] distinct node-vector count
+	blks    [][]float64 // [pair] deduped node blocks, perNode² floats each
+	vecs    [][]int32   // [pair] vid*nodes+g -> node-block id
+	cellVec [][]int32   // [pair] rp*nColPat+cp -> node-vector id
+
+	// cellMemo/comboMemo report whether the packed key spaces fit
+	// calcKeyLimit; when false the corresponding memo level is skipped and
+	// values are computed directly (identical results, just slower).
+	cellMemo  bool
+	comboMemo bool
 }
 
 // EdgeCalc evaluates Measure for (row representative, column representative)
-// pairs of one edge through precomputed per-axis overlap tables.
+// pairs of one edge through precomputed per-axis overlap tables. Shared
+// read-only state; per-goroutine evaluation goes through Eval.
 type EdgeCalc struct {
 	p   *EdgePlan
-	n   int // device-pair vector length = devices * perNode
 	fwd dirCalc
 	bwd dirCalc
 	// fwdVol[ci] is MeasureFwd's vDst for column rep ci; bwdVol[ri] is
@@ -69,7 +108,7 @@ type EdgeCalc struct {
 // the pattern tables would exceed calcTableLimit; callers must then fall
 // back to Measure.
 func (p *EdgePlan) NewCalc(srcReps, dstReps []*Iface) *EdgeCalc {
-	c := &EdgeCalc{p: p, n: p.devices * p.perNode}
+	c := &EdgeCalc{p: p}
 	var fp, bp []axisPair
 	for i, dax := range p.fwdDst {
 		if sa := p.fwdSrc[i]; sa >= 0 {
@@ -103,11 +142,29 @@ func (p *EdgePlan) NewCalc(srcReps, dstReps []*Iface) *EdgeCalc {
 		}
 		c.bwdVol[ri] = v
 	}
+	c.fwd.checkKeySpaces()
+	c.bwd.checkKeySpaces()
 	return c
 }
 
-// CovLen returns the scratch length MeasureCell requires.
-func (c *EdgeCalc) CovLen() int { return c.n }
+// checkKeySpaces decides which memo levels fit calcKeyLimit.
+func (d *dirCalc) checkKeySpaces() {
+	cell := uint64(1)
+	combo := uint64(1)
+	d.cellMemo, d.comboMemo = true, true
+	for i := range d.pairs {
+		if cell > calcKeyLimit/uint64(d.nVec[i]+1) {
+			d.cellMemo = false
+		} else {
+			cell *= uint64(d.nVec[i])
+		}
+		if combo > calcKeyLimit/uint64(d.nBlk[i]+1) {
+			d.comboMemo = false
+		} else {
+			combo *= uint64(d.nBlk[i])
+		}
+	}
+}
 
 // axisPattern describes one distinct distribution of a single axis: its
 // uniform interval width and every device's interval start.
@@ -150,11 +207,15 @@ func patternIDs(ifaces []*Iface, ax int, fwd bool) ([]int32, []axisPattern) {
 	return ids, pats
 }
 
-// build fills one direction's pattern ids and overlap tables. Reports false
-// when a table would exceed calcTableLimit.
+// build fills one direction's pattern ids, overlap tables and node-factoring
+// indexes. Reports false when a table would exceed calcTableLimit.
 func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface, fwdPass bool) bool {
 	d.pairs = pairs
+	d.perNode = p.perNode
+	d.nodes = p.devices / p.perNode
 	n := p.devices * p.perNode
+	blkLen := p.perNode * p.perNode
+	var keyBuf []byte
 	for _, pr := range pairs {
 		srcIDs, srcPats := patternIDs(srcReps, pr.sa, fwdPass)
 		dstIDs, dstPats := patternIDs(dstReps, pr.dax, fwdPass)
@@ -163,6 +224,12 @@ func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface
 		}
 		tab := dirTable{nColPat: len(dstPats), n: n,
 			flat: make([]float64, len(srcPats)*len(dstPats)*n)}
+		blkIDs := make(map[string]int32)
+		vecIDs := make(map[string]int32)
+		var blks []float64
+		var vecs []int32
+		cellVec := make([]int32, len(srcPats)*len(dstPats))
+		vecKey := make([]int32, d.nodes)
 		for rp, sp := range srcPats {
 			for cp, dp := range dstPats {
 				blk := tab.block(int32(rp), int32(cp))
@@ -183,51 +250,176 @@ func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface
 						blk[dev*p.perNode+j] = o
 					}
 				}
+				// Deduplicate this (rp, cp)'s per-node blocks and the node
+				// vector they form. Node g's block occupies the contiguous
+				// slice [g*blkLen, (g+1)*blkLen).
+				for g := 0; g < d.nodes; g++ {
+					nb := blk[g*blkLen : (g+1)*blkLen]
+					keyBuf = keyBuf[:0]
+					for _, v := range nb {
+						keyBuf = binary.LittleEndian.AppendUint64(keyBuf, math.Float64bits(v))
+					}
+					bid, ok := blkIDs[string(keyBuf)]
+					if !ok {
+						bid = int32(len(blkIDs))
+						blkIDs[string(keyBuf)] = bid
+						blks = append(blks, nb...)
+					}
+					vecKey[g] = bid
+				}
+				keyBuf = keyBuf[:0]
+				for _, bid := range vecKey {
+					keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(bid))
+				}
+				vid, ok := vecIDs[string(keyBuf)]
+				if !ok {
+					vid = int32(len(vecIDs))
+					vecIDs[string(keyBuf)] = vid
+					vecs = append(vecs, vecKey...)
+				}
+				cellVec[rp*len(dstPats)+cp] = vid
 			}
 		}
 		d.rowPat = append(d.rowPat, srcIDs)
 		d.colPat = append(d.colPat, dstIDs)
 		d.tabs = append(d.tabs, tab)
+		d.nBlk = append(d.nBlk, int32(len(blkIDs)))
+		d.nVec = append(d.nVec, int32(len(vecIDs)))
+		d.blks = append(d.blks, blks)
+		d.vecs = append(d.vecs, vecs)
+		d.cellVec = append(d.cellVec, cellVec)
 	}
 	return true
 }
 
-// fillCov writes the per-device-pair coverage vector of cell (ri, ci) into
-// cov: cov[dev*perNode+j] is the coverage the j-th device of dev's node
-// provides toward dev's need. The product runs in the same axis order as
-// fwdCov/bwdCov, so each entry is bit-identical to the direct computation.
-func (d *dirCalc) fillCov(ri, ci int, cov []float64) {
-	if len(d.pairs) == 0 {
-		for k := range cov {
-			cov[k] = 1
-		}
-		return
-	}
-	copy(cov, d.tabs[0].block(d.rowPat[0][ri], d.colPat[0][ci]))
-	for i := 1; i < len(d.pairs); i++ {
-		blk := d.tabs[i].block(d.rowPat[i][ri], d.colPat[i][ci])
-		for k := range cov {
-			cov[k] *= blk[k]
-		}
+// frac is one folded (intra, inter) coverage-fraction pair — either a single
+// node's or, in the cell memo, the whole machine's.
+type frac struct{ fi, fe float64 }
+
+// CellEval evaluates cells of one EdgeCalc with private memo state; create
+// one per goroutine (via Eval) and reuse it across many cells — the memos
+// are what make the per-cell cost amortize to a couple of hash probes.
+type CellEval struct {
+	c        *EdgeCalc
+	fwd, bwd dirEval
+}
+
+// dirEval is one direction's per-goroutine memo state.
+type dirEval struct {
+	d     *dirCalc
+	cells cellTab
+	combo cellTab
+	buf   []float64 // perNode² scratch for combined node blocks
+	vids  []int32   // per-pair node-vector ids of the current cell
+}
+
+// Eval returns a fresh per-goroutine cell evaluator.
+func (c *EdgeCalc) Eval() *CellEval {
+	blkLen := c.p.perNode * c.p.perNode
+	ce := &CellEval{c: c}
+	ce.fwd = dirEval{d: &c.fwd,
+		buf: make([]float64, blkLen), vids: make([]int32, len(c.fwd.pairs))}
+	ce.bwd = dirEval{d: &c.bwd,
+		buf: make([]float64, blkLen), vids: make([]int32, len(c.bwd.pairs))}
+	ce.fwd.cells.init()
+	ce.bwd.cells.init()
+	ce.fwd.combo.init()
+	ce.bwd.combo.init()
+	return ce
+}
+
+// MeasureCell returns the edge's Traffic for (row rep ri, column rep ci),
+// bit-identical to p.Measure(srcReps[ri], dstReps[ci]).
+func (ce *CellEval) MeasureCell(ri, ci int) Traffic {
+	eb := ce.c.p.eb
+	f := ce.fwd.eval(ri, ci)
+	b := ce.bwd.eval(ri, ci)
+	fv, bv := ce.c.fwdVol[ci], ce.c.bwdVol[ri]
+	return Traffic{
+		FwdIntra: fv * f.fi * eb, FwdInter: fv * f.fe * eb,
+		BwdIntra: bv * b.fi * eb, BwdInter: bv * b.fe * eb,
 	}
 }
 
-// accumulate replays MeasureFwd/MeasureBwd's per-device loop over a
-// precomputed coverage vector: same peer order, same saturation conditions,
-// same accumulation order.
-func (c *EdgeCalc) accumulate(cov []float64, vol float64) (intraBytes, interBytes float64) {
-	perNode := c.p.perNode
-	for dev := 0; dev < c.p.devices; dev++ {
-		base := dev * perNode
-		self := dev % perNode
-		covSelf := cov[base+self]
+// eval returns one direction's machine-wide coverage-fraction pair for cell
+// (ri, ci).
+func (de *dirEval) eval(ri, ci int) frac {
+	d := de.d
+	if len(d.pairs) == 0 {
+		// Unmapped direction: every device fully covers itself.
+		return frac{}
+	}
+	key := uint64(0)
+	for i := range d.pairs {
+		vid := d.cellVec[i][int(d.rowPat[i][ri])*d.tabs[i].nColPat+int(d.colPat[i][ci])]
+		de.vids[i] = vid
+		key = key*uint64(d.nVec[i]) + uint64(vid)
+	}
+	if !d.cellMemo {
+		return de.compute()
+	}
+	if f, ok := de.cells.get(key); ok {
+		return f
+	}
+	f := de.compute()
+	de.cells.put(key, f)
+	return f
+}
+
+// compute evaluates the current cell (node-vector ids in de.vids) from node
+// contributions, reproducing MeasureFwd/MeasureBwd's volume-free partial-sum
+// tree exactly.
+func (de *dirEval) compute() frac {
+	d := de.d
+	var tot frac
+	for g := 0; g < d.nodes; g++ {
+		var fr frac
+		if d.comboMemo {
+			var ck uint64
+			for i := range d.pairs {
+				ck = ck*uint64(d.nBlk[i]) + uint64(d.vecs[i][int(de.vids[i])*d.nodes+g])
+			}
+			var ok bool
+			if fr, ok = de.combo.get(ck); !ok {
+				fr = de.comboFrac(g)
+				de.combo.put(ck, fr)
+			}
+		} else {
+			fr = de.comboFrac(g)
+		}
+		tot.fi += fr.fi
+		tot.fe += fr.fe
+	}
+	return tot
+}
+
+// comboFrac folds node g's coverage fractions from the combined node block:
+// the elementwise product of the per-pair node blocks (in pair order, exactly
+// fwdCov/bwdCov's multiplication order), then Measure's per-device loop.
+func (de *dirEval) comboFrac(g int) frac {
+	d := de.d
+	pn := d.perNode
+	blkLen := pn * pn
+	buf := de.buf
+	b0 := int(d.vecs[0][int(de.vids[0])*d.nodes+g]) * blkLen
+	copy(buf, d.blks[0][b0:b0+blkLen])
+	for i := 1; i < len(d.pairs); i++ {
+		bo := int(d.vecs[i][int(de.vids[i])*d.nodes+g]) * blkLen
+		blk := d.blks[i][bo : bo+blkLen]
+		for k := 0; k < blkLen; k++ {
+			buf[k] *= blk[k]
+		}
+	}
+	var f frac
+	for j := 0; j < pn; j++ {
+		covSelf := buf[j*pn+j]
 		if missing := 1 - covSelf; missing > 0 {
 			covNode := covSelf
-			for j := 0; j < perNode && covNode < 1; j++ {
-				if j == self {
+			for q := 0; q < pn && covNode < 1; q++ {
+				if q == j {
 					continue
 				}
-				covNode += cov[base+j]
+				covNode += buf[j*pn+q]
 			}
 			if covNode > 1 {
 				covNode = 1
@@ -236,21 +428,83 @@ func (c *EdgeCalc) accumulate(cov []float64, vol float64) (intraBytes, interByte
 			if intra > missing {
 				intra = missing
 			}
-			intraBytes += vol * intra * c.p.eb
-			interBytes += vol * (missing - intra) * c.p.eb
+			f.fi += intra
+			f.fe += missing - intra
 		}
 	}
-	return intraBytes, interBytes
+	return f
 }
 
-// MeasureCell returns the edge's Traffic for (row rep ri, column rep ci),
-// bit-identical to p.Measure(srcReps[ri], dstReps[ci]). cov is caller-owned
-// scratch of length CovLen() (pass a distinct slice per goroutine).
-func (c *EdgeCalc) MeasureCell(ri, ci int, cov []float64) Traffic {
-	var t Traffic
-	c.fwd.fillCov(ri, ci, cov)
-	t.FwdIntra, t.FwdInter = c.accumulate(cov, c.fwdVol[ci])
-	c.bwd.fillCov(ri, ci, cov)
-	t.BwdIntra, t.BwdInter = c.accumulate(cov, c.bwdVol[ri])
-	return t
+// cellTab is a small open-addressing uint64→frac hash table with inline
+// values (keys are stored +1 so zero marks an empty slot; a hit touches one
+// cache line). It exists because the cell memo is probed once per matrix
+// cell — a runtime map's overhead would eat most of the factoring win.
+type cellTab struct {
+	slots []cellSlot
+	n     int
+	mask  uint64
+	shift uint8
+}
+
+type cellSlot struct {
+	key    uint64
+	fi, fe float64
+}
+
+func (t *cellTab) init() {
+	const initSize = 1 << 12
+	t.slots = make([]cellSlot, initSize)
+	t.mask = initSize - 1
+	t.shift = 64 - 12
+	t.n = 0
+}
+
+// slotFor keeps the HIGH product bits — the only well-mixed bits of a
+// Fibonacci hash — so probe chains stay short.
+func (t *cellTab) slotFor(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *cellTab) get(k uint64) (frac, bool) {
+	i := t.slotFor(k)
+	for {
+		s := &t.slots[i]
+		if s.key == 0 {
+			return frac{}, false
+		}
+		if s.key == k+1 {
+			return frac{s.fi, s.fe}, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *cellTab) put(k uint64, f frac) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	i := t.slotFor(k)
+	for t.slots[i].key != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = cellSlot{key: k + 1, fi: f.fi, fe: f.fe}
+	t.n++
+}
+
+func (t *cellTab) grow() {
+	old := t.slots
+	size := 4 * len(old) // 4x growth keeps total rehash work ~1.3x final size
+	t.slots = make([]cellSlot, size)
+	t.mask = uint64(size - 1)
+	t.shift -= 2
+	for _, s := range old {
+		if s.key == 0 {
+			continue
+		}
+		j := t.slotFor(s.key - 1)
+		for t.slots[j].key != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = s
+	}
 }

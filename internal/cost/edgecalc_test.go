@@ -56,11 +56,11 @@ func TestEdgeCalcMatchesMeasure(t *testing.T) {
 		if calc == nil {
 			t.Fatalf("trial %d: NewCalc fell back unexpectedly", trial)
 		}
-		cov := make([]float64, calc.CovLen())
+		ev := calc.Eval()
 		for ri, s := range srcReps {
 			for ci, d := range dstReps {
 				want := p.Measure(s, d)
-				got := calc.MeasureCell(ri, ci, cov)
+				got := ev.MeasureCell(ri, ci)
 				if got != want {
 					t.Fatalf("trial %d cell (%d,%d): got %+v want %+v", trial, ri, ci, got, want)
 				}
@@ -81,11 +81,11 @@ func TestEdgeCalcNoMappedAxes(t *testing.T) {
 	srcReps := randIfaces(rng, 4, 8, 2)
 	dstReps := randIfaces(rng, 4, 8, 2)
 	calc := p.NewCalc(srcReps, dstReps)
-	cov := make([]float64, calc.CovLen())
+	ev := calc.Eval()
 	for ri, s := range srcReps {
 		for ci, d := range dstReps {
 			want := p.Measure(s, d)
-			got := calc.MeasureCell(ri, ci, cov)
+			got := ev.MeasureCell(ri, ci)
 			if got != want {
 				t.Fatalf("cell (%d,%d): got %+v want %+v", ri, ci, got, want)
 			}

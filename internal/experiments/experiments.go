@@ -35,6 +35,11 @@ type Setup struct {
 	// evaluation uses the paper's six models on 4–32 GPUs).
 	Models []model.Config
 	Scales []int
+	// SearchBudget, when positive, runs the optimization-time experiments
+	// through core.OptimizeBudget beam autotuning: the beam width grows
+	// until the strategy stabilizes or the budget is spent, instead of a
+	// hand-picked width. Zero keeps the exact search.
+	SearchBudget time.Duration
 }
 
 // DefaultSetup reproduces the paper's environment.
@@ -284,9 +289,14 @@ func (d *ThroughputData) Fig8Table() string {
 	return t.String()
 }
 
-// selectOptimizer builds the PrimePar optimizer for a cluster.
+// selectOptimizer builds the PrimePar optimizer for a cluster. Optimizers
+// share the process-wide cross-call search cache (core.DefaultSearchCache),
+// so sweeps over scales, α values and repeated experiment passes reuse node
+// evaluations and edge matrices instead of recomputing them.
 func (s Setup) optimizer(cl *device.Cluster) *core.Optimizer {
 	m := cost.NewModel(cl)
 	m.Alpha = s.Alpha
-	return core.NewOptimizer(m)
+	o := core.NewOptimizer(m)
+	o.Opts.SearchBudget = s.SearchBudget
+	return o
 }

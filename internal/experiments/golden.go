@@ -1,0 +1,99 @@
+// Golden strategy digests: a compact fingerprint of every search answer in
+// the Table 2 sweep, checked in CI so a performance refactor of the search
+// can never silently change WHAT it returns. The search is deterministic
+// (pinned by the core equivalence tests), so the digest is stable until a
+// change genuinely alters a chosen strategy or its cost.
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// StrategyDigest fingerprints a search result: a SHA-256 over the canonical
+// per-node sequence keys and the exact cost bits.
+func StrategyDigest(strat *core.Strategy) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, seq := range strat.Seqs {
+		k := seq.Key()
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(k)))
+		h.Write(buf[:])
+		h.Write([]byte(k))
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(strat.LayerCost))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(strat.TotalCost))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(strat.Layers))
+	h.Write(buf[:])
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func goldenKey(model string, scale int) string { return fmt.Sprintf("%s@%d", model, scale) }
+
+func digestMap(rows []Table2Row) map[string]string {
+	out := make(map[string]string, len(rows))
+	for _, r := range rows {
+		out[goldenKey(r.Model, r.Scale)] = r.Digest
+	}
+	return out
+}
+
+// WriteGoldenDigests writes the sweep's digests as a sorted JSON object.
+func WriteGoldenDigests(path string, rows []Table2Row) error {
+	out, err := json.MarshalIndent(digestMap(rows), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// CheckGoldenDigests compares the sweep's digests against a golden file and
+// returns an error naming every divergent or missing cell.
+func CheckGoldenDigests(path string, rows []Table2Row) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("experiments: golden file %s: %w", path, err)
+	}
+	got := digestMap(rows)
+	var bad []string
+	for k, w := range want {
+		switch g, ok := got[k]; {
+		case !ok:
+			// Golden cells outside this sweep (e.g. a -quick run that only
+			// reaches scales 4–8) are skipped, not failures.
+		case g != w:
+			bad = append(bad, fmt.Sprintf("%s: got %s, want %s", k, g, w))
+		}
+	}
+	matched := 0
+	for k := range got {
+		if _, ok := want[k]; ok {
+			matched++
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("experiments: golden file %s covers none of the %d sweep cells", path, len(got))
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		msg := "experiments: search strategies diverged from golden digests:"
+		for _, b := range bad {
+			msg += "\n  " + b
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

@@ -18,6 +18,9 @@ type Table2Row struct {
 	Scale int
 	Time  time.Duration
 	Stats core.SearchStats
+	// Digest fingerprints the chosen strategy (see StrategyDigest) for the
+	// golden-answer check in CI.
+	Digest string
 }
 
 // Table2 reproduces the optimization-time measurement: run the segmented DP
@@ -37,12 +40,13 @@ func Table2(s Setup) ([]Table2Row, string, error) {
 		for _, scale := range s.Scales {
 			o := s.optimizer(s.cluster(scale))
 			start := time.Now()
-			strat, err := o.Optimize(g, cfg.Layers)
+			strat, err := o.OptimizeBudget(g, cfg.Layers)
 			if err != nil {
 				return nil, "", err
 			}
 			el := time.Since(start)
-			rows = append(rows, Table2Row{Model: cfg.Name, Scale: scale, Time: el, Stats: strat.Stats})
+			rows = append(rows, Table2Row{Model: cfg.Name, Scale: scale, Time: el,
+				Stats: strat.Stats, Digest: StrategyDigest(strat)})
 			cells = append(cells, fmt.Sprintf("%.1f", float64(el.Microseconds())/1000))
 		}
 		for len(cells) < 5 {

@@ -282,10 +282,10 @@ func (p *Plan) Check() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cap := p.Cluster.Profile.MemoryCapacity; cap > 0 && rep.PeakMemoryBytes > cap {
+	if capacity := p.Cluster.Profile.MemoryCapacity; capacity > 0 && rep.PeakMemoryBytes > capacity {
 		warnings = append(warnings, fmt.Sprintf(
 			"projected peak memory %.1f GiB exceeds device capacity %.1f GiB — add pipeline stages, recomputation or ZeRO",
-			rep.PeakMemoryBytes/(1<<30), cap/(1<<30)))
+			rep.PeakMemoryBytes/(1<<30), capacity/(1<<30)))
 	}
 	return warnings, nil
 }
