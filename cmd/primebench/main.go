@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/model"
 )
@@ -34,8 +35,21 @@ func main() {
 		goldenIn   = flag.String("check-golden", "", "with -exp table2: fail if strategy digests diverge from this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cacheDir   = flag.String("cache-dir", "", "persist the cross-call search cache in this directory: load it (if present and valid) before running, save it back after; stale or corrupt files fall back to a cold cache")
+		reqWarm    = flag.Bool("require-warm", false, "with -exp table2: fail unless every search was served entirely from the cross-call cache (used by CI's warm-restart check)")
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		if err := core.DefaultSearchCache.Load(*cacheDir); err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "primebench: cache load failed (%v), starting cold\n", err)
+			}
+		} else {
+			n, e := core.DefaultSearchCache.Sizes()
+			fmt.Printf("loaded search cache from %s (%d node entries, %d edge matrices)\n\n", *cacheDir, n, e)
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -113,6 +127,10 @@ func main() {
 		rows, table, err := experiments.Table2(setup)
 		check(err)
 		fmt.Println(table)
+		if *reqWarm {
+			check(requireWarm(rows))
+			fmt.Println("warm-restart check passed: every search served from the cross-call cache")
+		}
 		check(experiments.WriteTable2JSON(*benchOut, rows))
 		fmt.Printf("wrote %s (search stats + before/after timings)\n\n", *benchOut)
 		if *goldenOut != "" {
@@ -188,7 +206,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "primebench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *cacheDir != "" {
+		check(core.DefaultSearchCache.Save(*cacheDir))
+		n, e := core.DefaultSearchCache.Sizes()
+		fmt.Printf("saved search cache to %s (%d node entries, %d edge matrices)\n", *cacheDir, n, e)
+	}
 	fmt.Printf("primebench finished in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// requireWarm verifies a fully warm run: no node evaluations or edge-matrix
+// builds anywhere, and at least one cross-call hit to prove the cache was
+// actually consulted.
+func requireWarm(rows []experiments.Table2Row) error {
+	for _, r := range rows {
+		if r.Stats.NodeEvals != 0 || r.Stats.EdgeMatsBuilt != 0 {
+			return fmt.Errorf("require-warm: %s@%d recomputed %d node evals, %d edge matrices",
+				r.Model, r.Scale, r.Stats.NodeEvals, r.Stats.EdgeMatsBuilt)
+		}
+		if r.Stats.CrossCallNodeHits+r.Stats.CrossCallEdgeHits == 0 {
+			return fmt.Errorf("require-warm: %s@%d reports no cross-call hits", r.Model, r.Scale)
+		}
+	}
+	return nil
 }
 
 func anyRan(exp string) bool {

@@ -1,0 +1,450 @@
+// Disk persistence for SearchCache: a sweep's node evaluations and edge
+// matrices survive process restarts, so a warm rerun of table2 (or any other
+// experiment) skips both quadratic stages entirely. The format is a single
+// versioned binary file ("PPSC") whose payload is covered by a SHA-256
+// digest; any mismatch — truncation, corruption, a format bump — makes Load
+// return an error and the caller falls back to a cold cache. Writes go
+// through a temp file plus rename, so a crashed run can never leave a
+// half-written cache behind.
+//
+// Entries are serialized by their exact byte keys (crosscache.go), which
+// already encode every input a cached value depends on — cluster, cost
+// model, options, structural signatures. A persisted entry therefore hits
+// only under the configuration that produced it, and a hit is bit-identical
+// to recomputing: the same seqs, Intra breakdowns, interfaces and matrix
+// cells flow into the same downstream arithmetic.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/partition"
+)
+
+// diskCacheMagic identifies a PrimePar search-cache file.
+const diskCacheMagic = "PPSC"
+
+// diskCacheVersion is bumped on any encoding change; old files then fail to
+// load and the run proceeds cold.
+const diskCacheVersion = 1
+
+// CacheFileName is the file Save writes inside a cache directory.
+const CacheFileName = "searchcache.ppsc"
+
+// Save writes the cache to dir/CacheFileName atomically (temp file +
+// rename). Concurrent optimizers may keep using the cache; Save holds the
+// lock only while snapshotting the maps.
+func (c *SearchCache) Save(dir string) error {
+	c.mu.Lock()
+	nodes := make(map[string]*nodeEntry, len(c.nodes))
+	for k, v := range c.nodes {
+		nodes[k] = v
+	}
+	edges := make(map[string]*edgeMat, len(c.edges))
+	for k, v := range c.edges {
+		edges[k] = v
+	}
+	c.mu.Unlock()
+
+	payload := encodeCachePayload(nodes, edges)
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, len(diskCacheMagic)+1+len(sum)+len(payload))
+	buf = append(buf, diskCacheMagic...)
+	buf = binary.AppendUvarint(buf, diskCacheVersion)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, CacheFileName+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, CacheFileName))
+}
+
+// Load reads dir/CacheFileName into the cache, merging with (and never
+// overwriting) entries already present. Any structural problem — missing
+// file, wrong magic or version, digest mismatch, truncated payload — returns
+// an error and leaves the cache unchanged, so callers can always fall back
+// to a cold start.
+func (c *SearchCache) Load(dir string) error {
+	buf, err := os.ReadFile(filepath.Join(dir, CacheFileName))
+	if err != nil {
+		return err
+	}
+	if len(buf) < len(diskCacheMagic) || string(buf[:len(diskCacheMagic)]) != diskCacheMagic {
+		return errors.New("diskcache: bad magic")
+	}
+	buf = buf[len(diskCacheMagic):]
+	ver, n := binary.Uvarint(buf)
+	if n <= 0 || ver != diskCacheVersion {
+		return fmt.Errorf("diskcache: unsupported version %d", ver)
+	}
+	buf = buf[n:]
+	if len(buf) < sha256.Size {
+		return errors.New("diskcache: truncated header")
+	}
+	want := buf[:sha256.Size]
+	payload := buf[sha256.Size:]
+	if sum := sha256.Sum256(payload); string(sum[:]) != string(want) {
+		return errors.New("diskcache: digest mismatch")
+	}
+	nodes, edges, err := decodeCachePayload(payload)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range nodes {
+		if _, ok := c.nodes[k]; !ok {
+			c.nodes[k] = v
+		}
+	}
+	for k, v := range edges {
+		if _, ok := c.edges[k]; !ok {
+			var cells int64
+			if len(v.vals) > 0 {
+				cells = int64(len(v.vals)) * int64(len(v.vals[0]))
+			}
+			c.edges[k] = v
+			c.edgeCells += cells
+		}
+	}
+	return nil
+}
+
+// Sizes reports the entry counts, mostly for logging and tests.
+func (c *SearchCache) Sizes() (nodes, edges int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes), len(c.edges)
+}
+
+// encodeCachePayload serializes both maps in sorted key order, so equal
+// caches produce byte-equal files.
+func encodeCachePayload(nodes map[string]*nodeEntry, edges map[string]*edgeMat) []byte {
+	var b []byte
+	nodeKeys := make([]string, 0, len(nodes))
+	for k := range nodes {
+		nodeKeys = append(nodeKeys, k)
+	}
+	sort.Strings(nodeKeys)
+	b = binary.AppendUvarint(b, uint64(len(nodeKeys)))
+	for _, k := range nodeKeys {
+		b = appendBytes(b, []byte(k))
+		b = appendNodeEntry(b, nodes[k])
+	}
+	edgeKeys := make([]string, 0, len(edges))
+	for k := range edges {
+		edgeKeys = append(edgeKeys, k)
+	}
+	sort.Strings(edgeKeys)
+	b = binary.AppendUvarint(b, uint64(len(edgeKeys)))
+	for _, k := range edgeKeys {
+		b = appendBytes(b, []byte(k))
+		b = appendEdgeMat(b, edges[k])
+	}
+	return b
+}
+
+func decodeCachePayload(b []byte) (map[string]*nodeEntry, map[string]*edgeMat, error) {
+	r := &cacheReader{b: b}
+	nNodes := r.uvarint()
+	nodes := make(map[string]*nodeEntry, nNodes)
+	for i := uint64(0); i < nNodes && r.err == nil; i++ {
+		key := string(r.bytes())
+		nodes[key] = r.nodeEntry()
+	}
+	nEdges := r.uvarint()
+	edges := make(map[string]*edgeMat, nEdges)
+	for i := uint64(0); i < nEdges && r.err == nil; i++ {
+		key := string(r.bytes())
+		edges[key] = r.edgeMat()
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, nil, errors.New("diskcache: trailing bytes")
+	}
+	return nodes, edges, nil
+}
+
+func appendBytes(b, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloats(b []byte, fs []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(fs)))
+	for _, f := range fs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+func appendNodeEntry(b []byte, e *nodeEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(e.seqs)))
+	for _, s := range e.seqs {
+		b = binary.AppendUvarint(b, uint64(len(s.Tokens)))
+		for _, t := range s.Tokens {
+			b = append(b, byte(t.Kind))
+			b = binary.AppendVarint(b, int64(t.Dim))
+			b = binary.AppendUvarint(b, uint64(t.K))
+			b = binary.AppendVarint(b, int64(t.MDim))
+			b = binary.AppendVarint(b, int64(t.NDim))
+			b = binary.AppendVarint(b, int64(t.KDim))
+		}
+	}
+	for _, ic := range e.intra {
+		for _, f := range [...]float64{ic.Compute, ic.RingTotal, ic.StepSum, ic.AllReduce, ic.MemoryBytes} {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	}
+	b = appendIfaces(b, e.out)
+	b = appendIfaces(b, e.in)
+	return b
+}
+
+func appendIfaces(b []byte, ifs []*cost.Iface) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ifs)))
+	for _, ifc := range ifs {
+		if ifc == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(ifc.NumAxes))
+		b = appendFloats(b, ifc.Fwd)
+		b = appendFloats(b, ifc.Bwd)
+		b = appendFloats(b, ifc.Width)
+	}
+	return b
+}
+
+func appendEdgeMat(b []byte, m *edgeMat) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m.rows)))
+	for _, v := range m.rows {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.cols)))
+	for _, v := range m.cols {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.vals)))
+	for _, row := range m.vals {
+		b = appendFloats(b, row)
+	}
+	return b
+}
+
+// cacheReader decodes the payload with sticky error handling: after the
+// first malformed field every accessor returns zero values and the caller
+// checks err once.
+type cacheReader struct {
+	b   []byte
+	err error
+}
+
+func (r *cacheReader) fail() {
+	if r.err == nil {
+		r.err = errors.New("diskcache: truncated payload")
+	}
+}
+
+func (r *cacheReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *cacheReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *cacheReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *cacheReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *cacheReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *cacheReader) floats() []float64 {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if uint64(len(r.b)) < 8*n {
+		r.fail()
+		return nil
+	}
+	fs := make([]float64, n)
+	for i := range fs {
+		fs[i] = r.float()
+	}
+	return fs
+}
+
+func (r *cacheReader) nodeEntry() *nodeEntry {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	e := &nodeEntry{
+		seqs:  make([]partition.Seq, n),
+		intra: make([]cost.Intra, n),
+	}
+	for i := range e.seqs {
+		nt := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		toks := make([]partition.Token, nt)
+		for j := range toks {
+			toks[j] = partition.Token{
+				Kind: partition.Kind(r.byteVal()),
+				Dim:  int(r.varint()),
+				K:    int(r.uvarint()),
+				MDim: int(r.varint()),
+				NDim: int(r.varint()),
+				KDim: int(r.varint()),
+			}
+		}
+		e.seqs[i] = partition.Seq{Tokens: toks}
+	}
+	for i := range e.intra {
+		e.intra[i] = cost.Intra{
+			Compute:     r.float(),
+			RingTotal:   r.float(),
+			StepSum:     r.float(),
+			AllReduce:   r.float(),
+			MemoryBytes: r.float(),
+		}
+	}
+	e.out = r.ifaces()
+	e.in = r.ifaces()
+	if r.err != nil {
+		return nil
+	}
+	return e
+}
+
+func (r *cacheReader) ifaces() []*cost.Iface {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	ifs := make([]*cost.Iface, n)
+	for i := range ifs {
+		if r.byteVal() == 0 {
+			continue
+		}
+		ifs[i] = &cost.Iface{
+			NumAxes: int(r.uvarint()),
+			Fwd:     r.floats(),
+			Bwd:     r.floats(),
+			Width:   r.floats(),
+		}
+	}
+	return ifs
+}
+
+func (r *cacheReader) edgeMat() *edgeMat {
+	m := &edgeMat{}
+	nr := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	m.rows = make([]int32, nr)
+	for i := range m.rows {
+		m.rows[i] = int32(r.varint())
+	}
+	nc := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	m.cols = make([]int32, nc)
+	for i := range m.cols {
+		m.cols[i] = int32(r.varint())
+	}
+	nv := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	m.vals = make([][]float64, nv)
+	for i := range m.vals {
+		m.vals[i] = r.floats()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// warmCache runs a small real search into a fresh SearchCache so the disk
+// round-trip exercises every record shape the encoder handles: multi-token
+// sequences, in/out interfaces (including absent ones) and grouped edge
+// matrices.
+func warmCache(t *testing.T) (*SearchCache, *Strategy) {
+	t.Helper()
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.NewModel(device.MustCluster(4, 4, device.V100Profile()))
+	m.Alpha = 1e-12
+	o := NewOptimizer(m)
+	o.Cache = NewSearchCache()
+	s, err := o.Optimize(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.Cache, s
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, want := warmCache(t)
+	nodes, edges := c.Sizes()
+	if nodes == 0 || edges == 0 {
+		t.Fatalf("warm cache is empty: %d nodes, %d edges", nodes, edges)
+	}
+	dir := t.TempDir()
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewSearchCache()
+	if err := loaded.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	ln, le := loaded.Sizes()
+	if ln != nodes || le != edges {
+		t.Fatalf("loaded %d nodes, %d edges; saved %d, %d", ln, le, nodes, edges)
+	}
+
+	// A search against the loaded cache must be fully warm — zero node
+	// evaluations and edge builds — and reproduce the strategy bit-for-bit.
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.NewModel(device.MustCluster(4, 4, device.V100Profile()))
+	m.Alpha = 1e-12
+	o := NewOptimizer(m)
+	o.Cache = loaded
+	got, err := o.Optimize(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.NodeEvals != 0 || got.Stats.EdgeMatsBuilt != 0 {
+		t.Fatalf("loaded cache was not warm: %d node evals, %d edge builds",
+			got.Stats.NodeEvals, got.Stats.EdgeMatsBuilt)
+	}
+	if got.Stats.CrossCallNodeHits == 0 || got.Stats.CrossCallEdgeHits == 0 {
+		t.Fatalf("no cross-call hits against the loaded cache: %+v", got.Stats)
+	}
+	sameStrategy(t, "disk-round-trip", got, want)
+}
+
+// TestDiskCacheReproducibleBytes pins the sorted-key encoding: saving the
+// same cache twice (or a loaded copy of it) must produce identical files, the
+// property CI's warm-restart digest comparison leans on.
+func TestDiskCacheReproducibleBytes(t *testing.T) {
+	c, _ := warmCache(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := c.Save(dirA); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewSearchCache()
+	if err := loaded.Load(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(dirB); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dirA, CacheFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirB, CacheFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("save→load→save changed the file: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestDiskCacheRejectsDamage covers the cold-fallback contract: corrupt,
+// truncated, wrong-magic and wrong-version files must all surface an error
+// from Load and leave the target cache untouched.
+func TestDiskCacheRejectsDamage(t *testing.T) {
+	c, _ := warmCache(t)
+	dir := t.TempDir()
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, CacheFileName)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"flipped payload byte": func(b []byte) []byte {
+			out := bytes.Clone(b)
+			out[len(out)-1] ^= 0xFF
+			return out
+		},
+		"flipped digest byte": func(b []byte) []byte {
+			out := bytes.Clone(b)
+			out[len(diskCacheMagic)+2] ^= 0xFF
+			return out
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":     func([]byte) []byte { return nil },
+		"wrong magic": func(b []byte) []byte {
+			out := bytes.Clone(b)
+			out[0] = 'X'
+			return out
+		},
+		"trailing garbage": func(b []byte) []byte { return append(bytes.Clone(b), 0xAB) },
+	}
+	for name, f := range damage {
+		if err := os.WriteFile(path, f(good), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewSearchCache()
+		if err := fresh.Load(dir); err == nil {
+			t.Errorf("%s: Load accepted a damaged file", name)
+		}
+		if n, e := fresh.Sizes(); n != 0 || e != 0 {
+			t.Errorf("%s: damaged load left %d nodes, %d edges in the cache", name, n, e)
+		}
+	}
+
+	// A missing file is not damage — the caller treats it as a cold start.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSearchCache().Load(dir); !os.IsNotExist(err) {
+		t.Errorf("missing file: want os.IsNotExist, got %v", err)
+	}
+}

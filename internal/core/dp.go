@@ -7,12 +7,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
+
+// addScanned accumulates sorted-scan min-plus work into the stats, tolerating
+// the nil stats of direct test invocations. Called from worker bands, hence
+// atomic; counts are value-determined, so totals are worker-independent.
+func addScanned(st *SearchStats, n int64) {
+	if st != nil && n != 0 {
+		atomic.AddInt64(&st.MinPlusScanned, n)
+	}
+}
 
 // Optimizer searches the partition space of a computation graph.
 type Optimizer struct {
@@ -122,7 +132,7 @@ type table struct {
 // of every extended edge a→j, so the joint refinement of those row-group
 // vectors is computed once and each Bellman step runs per class instead of
 // per candidate.
-func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int) *table {
+func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int, st *SearchStats) *table {
 	sumEdges := func(j int, from int) *edgeMat {
 		var ms []*edgeMat
 		for _, e := range g.InEdges(j) {
@@ -246,10 +256,12 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 			mMin := foldM(cur[0], m, argm)
 			sortAsc(m, morder, mval, msuf, &ss)
 			nRows := scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU)
+			addScanned(st, int64(nRows))
 			scanRows = true
 			if 8*nRows >= uR*uC {
 				scols = sortCols(valsT)
 				nCols := scanMinPlus(m, mMin, valsT, scols, bestVal, bestU)
+				addScanned(st, int64(nCols))
 				scanRows = nRows <= nCols
 			}
 		}
@@ -257,6 +269,7 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 		next := make([][]float64, t.nCls)
 		args := make([][]int32, t.nCls)
 		o.parallelChunks(t.nCls, func(lo, hi int) {
+			var scanned int64
 			var m, mval, msuf []float64
 			var argm, morder, bestU []int32
 			var bestVal []float64
@@ -308,9 +321,9 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 				mMin := foldM(prevRow, m, argm)
 				if scanRows {
 					sortAsc(m, morder, mval, msuf, ss)
-					scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU)
+					scanned += int64(scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU))
 				} else {
-					scanMinPlus(m, mMin, valsT, scols, bestVal, bestU)
+					scanned += int64(scanMinPlus(m, mMin, valsT, scols, bestVal, bestU))
 				}
 				for ij := 0; ij < nj; ij++ {
 					cg := em.cols[ij]
@@ -324,6 +337,7 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 				next[r] = row
 				args[r] = arow
 			}
+			addScanned(st, scanned)
 		})
 		cur = next
 		t.chainArgs = append(t.chainArgs, args)
@@ -349,7 +363,7 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 // stacking merges midTotal is the zero vector and delta re-adds the
 // boundary anchor's own cost. A cross edge refines the OUTPUT classes but
 // never moves the argmin, so refined classes share argmid rows.
-func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat) *table {
+func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat, st *SearchStats) *table {
 	nm := len(midTotal)
 	nR := right.nCls
 	nb := len(right.cost[0])
@@ -372,6 +386,7 @@ func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat
 	base := make([][]float64, nL)
 	argPM := make([][]int32, nL)
 	o.parallelChunks(nL, func(lo, hi int) {
+		var scanned int64
 		W := make([]float64, nR)
 		argW := make([]int32, nR)
 		bestRM := make([]int32, nb)
@@ -393,7 +408,7 @@ func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat
 				}
 			}
 			row := make([]float64, nb)
-			scanMinPlus(W, wMin, rightT, scols, row, bestRM)
+			scanned += int64(scanMinPlus(W, wMin, rightT, scols, row, bestRM))
 			arow := make([]int32, nb)
 			for pb := range arow {
 				arow[pb] = argW[bestRM[pb]]
@@ -401,6 +416,7 @@ func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat
 			base[rL] = row
 			argPM[rL] = arow
 		}
+		addScanned(st, scanned)
 	})
 
 	t := &table{a: left.a, b: right.b, left: left, right: right, headBase: left.headBase}
@@ -605,14 +621,14 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	}
 	var acc *table
 	for s := 0; s+1 < len(cuts); s++ {
-		seg := o.segmentDP(g, cands, edgeMats, cuts[s], cuts[s+1])
+		seg := o.segmentTable(g, cands, edgeMats, cuts[s], cuts[s+1], &stats)
 		stats.DPRowClasses += int64(seg.nCls)
 		if acc == nil {
 			acc = seg
 			continue
 		}
 		cross := o.crossEdges(g, edgeMats, acc.a, seg.b)
-		acc = o.merge(acc, seg, cands[seg.a].total, cross)
+		acc = o.merge(acc, seg, cands[seg.a].total, cross, &stats)
 	}
 
 	layerTable := acc
@@ -647,11 +663,11 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	doubled := layerTable
 	for remaining > 0 {
 		if remaining&1 == 1 {
-			full = o.merge(full, doubled, zeroMid, nil)
+			full = o.merge(full, doubled, zeroMid, nil, &stats)
 		}
 		remaining >>= 1
 		if remaining > 0 {
-			doubled = o.merge(doubled, doubled, zeroMid, nil)
+			doubled = o.merge(doubled, doubled, zeroMid, nil, &stats)
 		}
 	}
 	totalCost := full.minTotal()

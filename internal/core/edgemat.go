@@ -88,15 +88,15 @@ func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCa
 	}
 
 	if calc != nil {
-		// One CellEval per worker band: the cell/combo memos amortize across
-		// all rows of the band, and with one worker across the whole matrix.
+		// One BlockEval per worker band: rows stream through a specialized
+		// fill loop (hoisted slices, fused volume math), and the band-private
+		// cell/combo memos amortize across all its rows — with one worker,
+		// across the whole matrix.
 		o.parallelChunks(len(rowReps), func(lo, hi int) {
-			ev := calc.Eval()
+			be := calc.Block()
 			for r := lo; r < hi; r++ {
 				row := make([]float64, len(colReps))
-				for c := range colReps {
-					row[c] = o.Cost.RedistributeDetail(ev.MeasureCell(r, c))
-				}
+				be.MeasureRowInto(o.Cost, r, row)
 				m.vals[r] = row
 			}
 		})

@@ -206,6 +206,8 @@ func scanMinPlus(m []float64, mMin float64, colsT [][]float64, sc *sortedCols, b
 		// early the scan stops, so overshooting at most 7 entries keeps the
 		// result exact while the hot loop stays at three loads per entry.
 		i, n := 0, len(order)
+		val = val[:n]
+		suf = suf[:n]
 		for i < n {
 			if suf[i]+mMin >= b {
 				break
@@ -215,9 +217,10 @@ func scanMinPlus(m []float64, mMin float64, colsT [][]float64, sc *sortedCols, b
 				e = n
 			}
 			for ; i < e; i++ {
-				if v := val[i] + m[order[i]]; v < b {
+				u := order[i]
+				if v := val[i] + m[u]; v < b {
 					b = v
-					bu = order[i]
+					bu = u
 				}
 			}
 		}
@@ -249,6 +252,8 @@ func scanMinPlusRows(m []float64, order []int32, val, suf []float64, colsT [][]f
 		}
 		// Blocked exit checks, see scanMinPlus.
 		i, n := 0, len(order)
+		val := val[:n]
+		suf := suf[:n]
 		for i < n {
 			if suf[i]+cm >= b {
 				break

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMinPlusInput builds a deterministic pseudo-random min-plus instance
+// shaped like a real edge step: n row groups, nCols column groups, smooth
+// values with local correlation so the warm starts and suffix-minima exits
+// behave the way they do on grouped edge matrices (not like white noise).
+func benchMinPlusInput(n, nCols int) (m []float64, colsT [][]float64) {
+	rng := rand.New(rand.NewSource(42))
+	m = make([]float64, n)
+	for i := range m {
+		m[i] = rng.Float64() * 10
+	}
+	colsT = make([][]float64, nCols)
+	base := make([]float64, n)
+	for u := range base {
+		base[u] = rng.Float64() * 5
+	}
+	for c := range colsT {
+		col := make([]float64, n)
+		for u := range col {
+			// Adjacent columns share the base profile plus small jitter, the
+			// correlation the scan kernels' warm starts exploit.
+			col[u] = base[u] + rng.Float64()*0.5 + float64(c)*0.01
+		}
+		colsT[c] = col
+	}
+	return m, colsT
+}
+
+// BenchmarkScanMinPlus measures the column-sorted scan kernel: the per-step
+// inner loop of the Bellman fold when the column side's sort is shared across
+// rows (the dominant DP kernel at 32 devices, DESIGN.md §5.3).
+func BenchmarkScanMinPlus(b *testing.B) {
+	const n, nCols = 512, 512
+	m, colsT := benchMinPlusInput(n, nCols)
+	sc := sortCols(colsT)
+	mMin := m[0]
+	for _, v := range m[1:] {
+		if v < mMin {
+			mMin = v
+		}
+	}
+	best := make([]float64, nCols)
+	argU := make([]int32, nCols)
+	b.ResetTimer()
+	scanned := 0
+	for i := 0; i < b.N; i++ {
+		scanned += scanMinPlus(m, mMin, colsT, sc, best, argU)
+	}
+	b.ReportMetric(float64(scanned)/float64(b.N), "entries/op")
+}
+
+// BenchmarkScanMinPlusRows measures the row-sorted variant: the fold vector m
+// is sorted once and scanned against raw columns, the cheaper side when the
+// fold vector is smaller than the column count.
+func BenchmarkScanMinPlusRows(b *testing.B) {
+	const n, nCols = 512, 512
+	m, colsT := benchMinPlusInput(n, nCols)
+	order := make([]int32, n)
+	val := make([]float64, n)
+	suf := make([]float64, n)
+	var ss sortScratch
+	sortAsc(m, order, val, suf, &ss)
+	colMin := make([]float64, nCols)
+	for c, col := range colsT {
+		cm := col[0]
+		for _, v := range col[1:] {
+			if v < cm {
+				cm = v
+			}
+		}
+		colMin[c] = cm
+	}
+	best := make([]float64, nCols)
+	argU := make([]int32, nCols)
+	b.ResetTimer()
+	scanned := 0
+	for i := 0; i < b.N; i++ {
+		scanned += scanMinPlusRows(m, order, val, suf, colsT, colMin, best, argU)
+	}
+	b.ReportMetric(float64(scanned)/float64(b.N), "entries/op")
+}

@@ -53,6 +53,15 @@ type Options struct {
 	// cached search (the equivalence tests assert exactly that); the mode
 	// exists as the oracle those tests compare against.
 	DisableCache bool
+
+	// DisableTreeDP forces the left-to-right Bellman chain inside every
+	// segment instead of the balanced binary merges of segmentTable. The
+	// two evaluate the segment recurrence under different parenthesizations
+	// of the IEEE sums along a path, so costs may differ in the last ulps
+	// (strategies agree in practice; the fuzz harness bounds the drift).
+	// The chain is retained as the reference the tree-DP tests compare
+	// against; production searches leave this false.
+	DisableTreeDP bool
 }
 
 // SerialUncached returns the options with caching disabled and parallelism

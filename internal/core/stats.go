@@ -34,6 +34,17 @@ type SearchStats struct {
 	// |P| of each segment head in CandidatesEvaluated.
 	DPRowClasses int64 `json:"dp_row_classes"`
 
+	// DPTreeMerges counts the in-segment binary merges performed by the
+	// tree DP (zero under Options.DisableTreeDP, which keeps the pure
+	// left-to-right chain).
+	DPTreeMerges int `json:"dp_tree_merges"`
+
+	// MinPlusScanned sums the entries visited by the sorted-scan min-plus
+	// kernels across segment chains, in-segment merges and layer stacking —
+	// the measured DP floor (DESIGN.md §5.2/§5.3) the binary-split tree
+	// attacks. Tracked by BenchmarkScanMinPlus*/primebench.
+	MinPlusScanned int64 `json:"min_plus_scanned"`
+
 	// CrossCallNodeHits / CrossCallEdgeHits count node evaluations and edge
 	// matrices served by the Optimizer-level cache that persists ACROSS
 	// Optimize calls (sweeps over scales/α reuse earlier work). The

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// chainFromBytes decodes a fuzz input into a linear chain the segmented DP
+// can split: an identity anchor followed by 1–8 structurally varied linear
+// ops, optionally with an extended residual edge anchor→j that constrains
+// where the tree planner may cut. Dimension sizes stay small powers of two so
+// each case searches in milliseconds at 4 devices.
+func chainFromBytes(r *byteReader) (*graph.Graph, int) {
+	b := 2 << r.intn(2)  // batch: 2 or 4
+	m := 4 << r.intn(2)  // sequence: 4, 8 or 16
+	k := 4 << r.intn(2)  // hidden: 4, 8 or 16
+	length := 1 + r.intn(8)
+
+	g := &graph.Graph{Name: "fuzz-chain"}
+	anchor := &graph.Op{
+		Name: "anchor",
+		Kind: graph.OpIdentity,
+		Axes: []graph.Axis{
+			{Name: "B", Size: b, Splittable: true},
+			{Name: "M", Size: m, Splittable: true},
+			{Name: "K", Size: k, Splittable: true},
+		},
+		Tensors:      []graph.Tensor{{Name: "O", Kind: graph.Output, Axes: []int{0, 1, 2}}},
+		Reductions:   map[partition.Phase][]graph.Reduction{},
+		PrimeM:       -1,
+		PrimeN:       -1,
+		PrimeK:       -1,
+		OutputTensor: 0,
+	}
+	g.AddNode(anchor)
+	for i := 0; i < length; i++ {
+		// n == k keeps the chain dimensionally consistent: each linear's N
+		// input axis is fed by the predecessor's K output axis.
+		g.AddNode(model.NewLinear("lin", b, m, k, k))
+	}
+	g.Connect(0, 1, 0, []int{0, 1, 2})
+	for i := 1; i < length; i++ {
+		g.Connect(i, i+1, 0, []int{model.LinB, model.LinM, model.LinK})
+	}
+	if length >= 2 && r.next()&1 == 0 {
+		j := 2 + r.intn(length-1) // extended edge target in [2, length]
+		g.Connect(0, j, 0, []int{0, 1, 2})
+	}
+	// Tail identity in the anchor's space so head/tail candidate sets line
+	// up and the chain stacks across layers.
+	tail := *anchor
+	tail.Name = "tail"
+	g.AddNode(&tail)
+	g.Connect(length, length+1, 0, []int{model.LinB, model.LinM, model.LinK})
+	layers := 1 + r.intn(2)
+	return g, layers
+}
+
+// closeCosts compares two strategies across the tree/chain association
+// boundary. The tree evaluates the Bellman sums under a different IEEE
+// parenthesization than the chain (treedp.go header), so costs may differ in
+// the last ulps — but never more, and both must replay to what they report.
+func closeCosts(t *testing.T, label string, a, b *Strategy) {
+	t.Helper()
+	if diff := math.Abs(a.TotalCost - b.TotalCost); diff > 1e-12*math.Abs(a.TotalCost) {
+		t.Fatalf("%s: totals differ beyond ulp noise: %v vs %v", label, a.TotalCost, b.TotalCost)
+	}
+	if diff := math.Abs(a.LayerCost - b.LayerCost); diff > 1e-12*math.Abs(a.LayerCost) {
+		t.Fatalf("%s: layer costs differ beyond ulp noise: %v vs %v", label, a.LayerCost, b.LayerCost)
+	}
+}
+
+// FuzzTreeChainEquivalence pins the tree DP against the Bellman chain on
+// random segment shapes (odd and even lengths including 1 and 2, with and
+// without extended edges): the production tree must BIT-IDENTICALLY match the
+// SerialUncached reference (which plans the same tree), the chain mode must
+// bit-identically match the serial chain, and tree vs chain totals must agree
+// to ulp precision — the binary association may only shuffle rounding, never
+// change which strategy wins by more than that.
+func FuzzTreeChainEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0})                      // length 1
+	f.Add([]byte{1, 2, 0, 1, 3})                   // length 2
+	f.Add([]byte{0, 0, 1, 4, 1, 2, 3, 0, 1})       // length 5, ext edge
+	f.Add([]byte{2, 1, 2, 7, 3, 2, 1, 0, 255, 6})  // length 8
+	f.Add([]byte{1, 1, 0, 6, 0, 0, 0, 0, 0, 0, 1}) // length 7, ext edge at 2
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{data: data}
+		g, layers := chainFromBytes(r)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated graph invalid: %v", err)
+		}
+		mdl := cost.NewModel(device.MustCluster(4, 4, device.V100Profile()))
+		mdl.Alpha = 1e-12
+
+		tree := NewOptimizer(mdl)
+		tree.Cache = NewSearchCache()
+		got, err := tree.Optimize(g, layers)
+		if err != nil {
+			t.Fatalf("tree: %v", err)
+		}
+
+		chain := NewOptimizer(mdl)
+		chain.Cache = NewSearchCache()
+		chain.Opts.DisableTreeDP = true
+		want, err := chain.Optimize(g, layers)
+		if err != nil {
+			t.Fatalf("chain: %v", err)
+		}
+		if want.Stats.DPTreeMerges != 0 {
+			t.Fatalf("chain mode executed %d tree merges", want.Stats.DPTreeMerges)
+		}
+		closeCosts(t, "tree-vs-chain", got, want)
+
+		ref := NewOptimizer(mdl)
+		ref.Opts = ref.Opts.SerialUncached()
+		slow, err := ref.Optimize(g, layers)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		sameStrategy(t, "tree-vs-reference", got, slow)
+		if got.Stats.DPTreeMerges != slow.Stats.DPTreeMerges {
+			t.Fatalf("production and reference planned different trees: %d vs %d merges",
+				got.Stats.DPTreeMerges, slow.Stats.DPTreeMerges)
+		}
+
+		serialChain := NewOptimizer(mdl)
+		serialChain.Opts = serialChain.Opts.SerialUncached()
+		serialChain.Opts.DisableTreeDP = true
+		slowChain, err := serialChain.Optimize(g, layers)
+		if err != nil {
+			t.Fatalf("serial chain: %v", err)
+		}
+		sameStrategy(t, "chain-vs-serial-chain", want, slowChain)
+	})
+}
+
+// TestTreeDPActivatesOnModelBlock pins that the planner actually chooses
+// merges on a real transformer block — the work estimate must favor splits
+// on every paper model even at small scales — and that the executed tree is
+// still bit-identical to the Bellman chain (the fuzz above covers random
+// synthetic shapes where the planner may legitimately keep the chain).
+func TestTreeDPActivatesOnModelBlock(t *testing.T) {
+	g, err := model.BuildBlock(model.OPT175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	mdl.Alpha = 1e-12
+
+	tree := NewOptimizer(mdl)
+	tree.Cache = NewSearchCache()
+	got, err := tree.Optimize(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.DPTreeMerges == 0 {
+		t.Fatal("planner kept the chain on a full OPT-175B block; expected at least one merge")
+	}
+
+	chain := NewOptimizer(mdl)
+	chain.Cache = NewSearchCache()
+	chain.Opts.DisableTreeDP = true
+	want, err := chain.Optimize(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.DPTreeMerges != 0 {
+		t.Fatalf("chain mode executed %d tree merges", want.Stats.DPTreeMerges)
+	}
+	closeCosts(t, "opt175b-block", got, want)
+
+	ref := NewOptimizer(mdl)
+	ref.Opts = ref.Opts.SerialUncached()
+	slow, err := ref.Optimize(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStrategy(t, "opt175b-block-reference", got, slow)
+	if slow.Stats.DPTreeMerges != got.Stats.DPTreeMerges {
+		t.Fatalf("reference planned %d merges, production %d", slow.Stats.DPTreeMerges, got.Stats.DPTreeMerges)
+	}
+}

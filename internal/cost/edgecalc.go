@@ -371,6 +371,25 @@ func (de *dirEval) eval(ri, ci int) frac {
 // tree exactly.
 func (de *dirEval) compute() frac {
 	d := de.d
+	if d.comboMemo && len(d.pairs) == 2 {
+		// Dominant pair count: hoist the two node-vector slices out of the
+		// node loop. Same keys, same comboFrac calls, same accumulation order.
+		v0 := d.vecs[0][int(de.vids[0])*d.nodes:][:d.nodes]
+		v1 := d.vecs[1][int(de.vids[1])*d.nodes:][:d.nodes]
+		r1 := uint64(d.nBlk[1])
+		var tot frac
+		for g := 0; g < d.nodes; g++ {
+			ck := uint64(v0[g])*r1 + uint64(v1[g])
+			fr, ok := de.combo.get(ck)
+			if !ok {
+				fr = de.comboFrac(g)
+				de.combo.put(ck, fr)
+			}
+			tot.fi += fr.fi
+			tot.fe += fr.fe
+		}
+		return tot
+	}
 	var tot frac
 	for g := 0; g < d.nodes; g++ {
 		var fr frac
@@ -435,6 +454,229 @@ func (de *dirEval) comboFrac(g int) frac {
 	return f
 }
 
+// BlockEval fills whole matrix rows through one specialized streaming loop
+// instead of per-cell Eval calls. Per row it hoists each pair's cellVec row
+// slice once, packs cell keys with pure loads (no per-cell vids writes on the
+// hit path), and fuses the forward/backward fractions with the edge volumes
+// in registers; consecutive cells that repeat the same node-vector key reuse
+// the previous result without a probe. Values are bit-identical to
+// MeasureCell: the same mixed-radix keys probe the same memo, and misses run
+// the same compute().
+//
+// Earlier drafts interned whole rows/columns (by vid-slice signature) or
+// per-pair column-pattern tuples into dense block tables, and fronted the
+// memo with a small epoch-tagged per-row cache; measurement rejected all
+// three. The groupings are the identity here — the interface grouping
+// upstream (ifaceGroups) already leaves zero row/column duplication, and
+// distinct pattern tuples never repeat within a matrix — and the extra cache
+// cost more in lookup overhead than it saved in memo misses.
+//
+// Create one per goroutine (via Block); the memo and row buffers are private.
+type BlockEval struct {
+	c        *EdgeCalc
+	fwd, bwd dirStream
+}
+
+// dirStream is one direction's streaming row-fill state. For the dominant
+// two-pair shape it carries a per-row vid grid: each pair's cellVec row slice
+// holds only a handful of DISTINCT node-vector ids (the measured source of
+// the ~2-4x per-row key repetition), so the row's cells live on a tiny
+// (distinct vid0 x distinct vid1) grid. The grid is filled lazily — one
+// global memo probe per realized vid pair — and every repeated cell is a
+// direct epoch-checked load from a buffer small enough to stay cache-hot.
+type dirStream struct {
+	de    dirEval
+	row   []frac    // per-column fractions of the current row
+	rowSl [][]int32 // per pair: cellVec row slice of the current row
+
+	// Two-pair grid state (nil/unused otherwise). loc0/loc1 map a pair's
+	// column-pattern id to the local index of its vid within the current row;
+	// vals0/vals1 list the distinct vids in first-seen order.
+	loc0, loc1   []int32
+	vals0, vals1 []int32
+	grid         []frac   // [l0*len(vals1)+l1], lazily filled
+	gridEp       []uint32 // epoch tag per grid slot
+	epoch        uint32
+}
+
+// Block returns a fresh per-goroutine streaming row evaluator.
+func (c *EdgeCalc) Block() *BlockEval {
+	be := &BlockEval{c: c}
+	be.fwd.init(&c.fwd, len(c.fwdVol))
+	be.bwd.init(&c.bwd, len(c.fwdVol))
+	return be
+}
+
+func (s *dirStream) init(d *dirCalc, nCols int) {
+	s.de = dirEval{d: d,
+		buf: make([]float64, d.perNode*d.perNode), vids: make([]int32, len(d.pairs))}
+	// The cell memo serves every cell of the matrix; starting at 64k slots
+	// skips the early grow/rehash rounds a 4k start pays on big matrices.
+	// Sizing it from the full cell count was measured SLOWER: realized keys
+	// run ~10% of cells, and a near-empty giant table costs a cache miss per
+	// probe where the compact grown table stays hot.
+	s.de.cells.initSize(1 << 16)
+	s.de.combo.init()
+	s.row = make([]frac, nCols) // stays all-zero for an unmapped direction
+	s.rowSl = make([][]int32, len(d.pairs))
+	if len(d.pairs) == 2 && d.cellMemo {
+		n0, n1 := d.tabs[0].nColPat, d.tabs[1].nColPat
+		s.loc0 = make([]int32, n0)
+		s.loc1 = make([]int32, n1)
+		s.vals0 = make([]int32, 0, n0)
+		s.vals1 = make([]int32, 0, n1)
+		s.grid = make([]frac, n0*n1)
+		s.gridEp = make([]uint32, n0*n1)
+	}
+}
+
+// internRow fills loc with the local index of each entry of sl among the
+// distinct values of sl (first-seen order, appended to vals). The distinct
+// count is tiny, so the linear rescan beats any map.
+func internRow(sl []int32, loc []int32, vals []int32) []int32 {
+	vals = vals[:0]
+	for p, v := range sl {
+		id := int32(-1)
+		for j, w := range vals {
+			if w == v {
+				id = int32(j)
+				break
+			}
+		}
+		if id < 0 {
+			id = int32(len(vals))
+			vals = append(vals, v)
+		}
+		loc[p] = id
+	}
+	return vals
+}
+
+// fillRow computes the direction's coverage fractions of row ri for every
+// column into s.row, bit-identical to dirEval.eval per cell.
+func (s *dirStream) fillRow(ri int) {
+	d := s.de.d
+	k := len(d.pairs)
+	if k == 0 {
+		return // unmapped direction: every cell is the zero frac
+	}
+	for i := 0; i < k; i++ {
+		nc := d.tabs[i].nColPat
+		s.rowSl[i] = d.cellVec[i][int(d.rowPat[i][ri])*nc:][:nc]
+	}
+	de := &s.de
+	out := s.row
+	if !d.cellMemo {
+		// Node-vector keys would overflow a packed uint64 (that is what turned
+		// the memo off), so no key-based reuse: evaluate each cell directly,
+		// exactly as eval does without the memo.
+		for ci := range out {
+			for i := 0; i < k; i++ {
+				de.vids[i] = s.rowSl[i][d.colPat[i][ci]]
+			}
+			out[ci] = de.compute()
+		}
+		return
+	}
+	prevKey := ^uint64(0) // impossible: real keys stay below the radix product
+	var prevF frac
+	if k == 2 {
+		// The dominant pair count: map each cell to the row's local vid grid.
+		// Repeated vid pairs — most cells — cost one epoch-checked grid load;
+		// only the first occurrence of a pair touches the memo.
+		s0, s1 := s.rowSl[0], s.rowSl[1]
+		c0, c1 := d.colPat[0], d.colPat[1]
+		s.vals0 = internRow(s0, s.loc0, s.vals0)
+		s.vals1 = internRow(s1, s.loc1, s.vals1)
+		n1 := int32(len(s.vals1))
+		loc0, loc1 := s.loc0, s.loc1
+		grid, gridEp := s.grid, s.gridEp
+		s.epoch++
+		if s.epoch == 0 { // wrapped: stale tags could alias, clear them
+			clear(gridEp)
+			s.epoch = 1
+		}
+		epoch := s.epoch
+		r1 := uint64(d.nVec[1])
+		for ci := range out {
+			gi := loc0[c0[ci]]*n1 + loc1[c1[ci]]
+			if gridEp[gi] != epoch {
+				gridEp[gi] = epoch
+				v0, v1 := s0[c0[ci]], s1[c1[ci]]
+				key := uint64(v0)*r1 + uint64(v1)
+				f, ok := de.cells.get(key)
+				if !ok {
+					de.vids[0] = v0
+					de.vids[1] = v1
+					f = de.compute()
+					de.cells.put(key, f)
+				}
+				grid[gi] = f
+			}
+			out[ci] = grid[gi]
+		}
+		return
+	}
+	for ci := range out {
+		key := uint64(0)
+		for i := 0; i < k; i++ {
+			vid := s.rowSl[i][d.colPat[i][ci]]
+			de.vids[i] = vid
+			key = key*uint64(d.nVec[i]) + uint64(vid)
+		}
+		if key != prevKey {
+			prevKey = key
+			f, ok := de.cells.get(key)
+			if !ok {
+				f = de.compute()
+				de.cells.put(key, f)
+			}
+			prevF = f
+		}
+		out[ci] = prevF
+	}
+}
+
+// MeasureRow fills out[ci] = MeasureCell(ri, ci) for every column rep,
+// bit-identically: same operands, same multiplication order.
+func (be *BlockEval) MeasureRow(ri int, out []Traffic) {
+	be.fwd.fillRow(ri)
+	be.bwd.fillRow(ri)
+	eb := be.c.p.eb
+	fRow, bRow := be.fwd.row, be.bwd.row
+	fVol := be.c.fwdVol
+	bv := be.c.bwdVol[ri]
+	for ci := range out {
+		f, b := fRow[ci], bRow[ci]
+		fv := fVol[ci]
+		out[ci] = Traffic{
+			FwdIntra: fv * f.fi * eb, FwdInter: fv * f.fe * eb,
+			BwdIntra: bv * b.fi * eb, BwdInter: bv * b.fe * eb,
+		}
+	}
+}
+
+// MeasureRowInto fills out[ci] = m.RedistributeDetail(MeasureCell(ri, ci))
+// for every column rep — the fused form, which keeps each cell's Traffic in
+// registers instead of materializing a row of structs. The Traffic operands
+// and RedistributeDetail arithmetic are exactly MeasureRow's.
+func (be *BlockEval) MeasureRowInto(m *Model, ri int, out []float64) {
+	be.fwd.fillRow(ri)
+	be.bwd.fillRow(ri)
+	eb := be.c.p.eb
+	fRow, bRow := be.fwd.row, be.bwd.row
+	fVol := be.c.fwdVol
+	bv := be.c.bwdVol[ri]
+	for ci := range out {
+		f, b := fRow[ci], bRow[ci]
+		fv := fVol[ci]
+		out[ci] = m.RedistributeDetail(Traffic{
+			FwdIntra: fv * f.fi * eb, FwdInter: fv * f.fe * eb,
+			BwdIntra: bv * b.fi * eb, BwdInter: bv * b.fe * eb,
+		})
+	}
+}
+
 // cellTab is a small open-addressing uint64→frac hash table with inline
 // values (keys are stored +1 so zero marks an empty slot; a hit touches one
 // cache line). It exists because the cell memo is probed once per matrix
@@ -451,11 +693,19 @@ type cellSlot struct {
 	fi, fe float64
 }
 
-func (t *cellTab) init() {
-	const initSize = 1 << 12
-	t.slots = make([]cellSlot, initSize)
-	t.mask = initSize - 1
-	t.shift = 64 - 12
+func (t *cellTab) init() { t.initSize(1 << 12) }
+
+// initSize starts the table with a power-of-two slot count ≥ size, letting
+// callers that expect many entries skip the early grow/rehash rounds.
+// Capacity never affects lookup results, only allocation churn.
+func (t *cellTab) initSize(size int) {
+	logSize := uint8(12)
+	for 1<<logSize < size {
+		logSize++
+	}
+	t.slots = make([]cellSlot, 1<<logSize)
+	t.mask = 1<<logSize - 1
+	t.shift = 64 - logSize
 	t.n = 0
 }
 
