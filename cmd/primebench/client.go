@@ -1,0 +1,114 @@
+// Remote client mode: -serve-addr points the table2 sweep at a running
+// primepard daemon instead of searching in-process. Each (structure, scale)
+// cell becomes a POST /plan; the daemon's shared cross-call cache then plays
+// the role DefaultSearchCache plays locally, so the second sweep against one
+// daemon is fully warm. The rows carry the daemon's digests and search stats,
+// so -check-golden and -require-warm work unchanged against a remote server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/report"
+)
+
+// planRequest and planResponse mirror primepard's wire types
+// (cmd/primepard/server.go); only the fields this client uses are declared,
+// and the daemon's DisallowUnknownFields applies to requests, not responses,
+// so the two commands can evolve their optional fields independently.
+type planRequest struct {
+	Model          string  `json:"model"`
+	Devices        int     `json:"devices"`
+	DevicesPerNode int     `json:"devices_per_node,omitempty"`
+	Alpha          float64 `json:"alpha,omitempty"`
+	BudgetMS       int     `json:"budget_ms,omitempty"`
+}
+
+type planResponse struct {
+	Digest    string           `json:"digest"`
+	Stats     core.SearchStats `json:"stats"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Deduped   bool             `json:"deduped,omitempty"`
+}
+
+// remoteTable2 runs the Table 2 sweep (the same three structures
+// experiments.Table2 uses, at setup's scales) against a primepard daemon.
+// Time is the SERVER's search wall time, not the round trip, so the table
+// stays comparable with local runs.
+func remoteTable2(addr string, setup experiments.Setup) ([]experiments.Table2Row, string, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	structures := []model.Config{model.OPT175B(), model.Llama2_70B(), model.BLOOM176B()}
+	client := &http.Client{Timeout: 20 * time.Minute}
+	var rows []experiments.Table2Row
+	t := report.NewTable(fmt.Sprintf("Table 2 — Optimization time (ms, served by %s)", addr),
+		"model", "4", "8", "16", "32")
+	for _, cfg := range structures {
+		cells := []interface{}{cfg.Name}
+		for _, scale := range setup.Scales {
+			resp, err := postPlan(client, addr, planRequest{
+				Model:          cfg.Name,
+				Devices:        scale,
+				DevicesPerNode: setup.DevicesPerNode,
+				Alpha:          setup.Alpha,
+				BudgetMS:       int(setup.SearchBudget / time.Millisecond),
+			})
+			if err != nil {
+				return nil, "", fmt.Errorf("%s@%d: %w", cfg.Name, scale, err)
+			}
+			rows = append(rows, experiments.Table2Row{
+				Model:  cfg.Name,
+				Scale:  scale,
+				Time:   time.Duration(resp.ElapsedMS * float64(time.Millisecond)),
+				Stats:  resp.Stats,
+				Digest: resp.Digest,
+			})
+			cells = append(cells, fmt.Sprintf("%.1f", resp.ElapsedMS))
+		}
+		for len(cells) < 5 {
+			cells = append(cells, "-")
+		}
+		t.AddRow(cells...)
+	}
+	return rows, t.String(), nil
+}
+
+func postPlan(client *http.Client, addr string, req planRequest) (*planResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := client.Post(addr+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server returned %d: %s", httpResp.StatusCode, e.Error)
+		}
+		return nil, fmt.Errorf("server returned %d", httpResp.StatusCode)
+	}
+	var resp planResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("bad /plan response: %w", err)
+	}
+	return &resp, nil
+}

@@ -37,8 +37,14 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		cacheDir   = flag.String("cache-dir", "", "persist the cross-call search cache in this directory: load it (if present and valid) before running, save it back after; stale or corrupt files fall back to a cold cache")
 		reqWarm    = flag.Bool("require-warm", false, "with -exp table2: fail unless every search was served entirely from the cross-call cache (used by CI's warm-restart check)")
+		serveAddr  = flag.String("serve-addr", "", "with -exp table2: run the sweep against a primepard daemon at this address instead of searching in-process")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" && *exp != "table2" {
+		fmt.Fprintln(os.Stderr, "primebench: -serve-addr requires -exp table2")
+		os.Exit(2)
+	}
 
 	if *cacheDir != "" {
 		if err := core.DefaultSearchCache.Load(*cacheDir); err != nil {
@@ -124,15 +130,28 @@ func main() {
 		fmt.Println(table)
 	}
 	if run("table2") {
-		rows, table, err := experiments.Table2(setup)
+		var (
+			rows  []experiments.Table2Row
+			table string
+			err   error
+		)
+		if *serveAddr != "" {
+			rows, table, err = remoteTable2(*serveAddr, setup)
+		} else {
+			rows, table, err = experiments.Table2(setup)
+		}
 		check(err)
 		fmt.Println(table)
 		if *reqWarm {
 			check(requireWarm(rows))
 			fmt.Println("warm-restart check passed: every search served from the cross-call cache")
 		}
-		check(experiments.WriteTable2JSON(*benchOut, rows))
-		fmt.Printf("wrote %s (search stats + before/after timings)\n\n", *benchOut)
+		if *serveAddr == "" {
+			// Remote timings measure the daemon, not this process; keep them
+			// out of the local benchmark artifact.
+			check(experiments.WriteTable2JSON(*benchOut, rows))
+			fmt.Printf("wrote %s (search stats + before/after timings)\n\n", *benchOut)
+		}
 		if *goldenOut != "" {
 			check(experiments.WriteGoldenDigests(*goldenOut, rows))
 			fmt.Printf("wrote %s (golden strategy digests)\n\n", *goldenOut)

@@ -1,0 +1,112 @@
+// Command primepard is a long-lived planner service over the PrimePar
+// strategy search (paper §4–5): POST a model/cluster description to /plan
+// and get back the optimal spatial-temporal partition strategy, its cost
+// breakdown and the search instrumentation. All requests share one
+// cross-call search cache, so repeated and near-identical plans are served
+// with zero node or edge work, and the cache persists across restarts via
+// -cache-dir.
+//
+// Usage:
+//
+//	primepard -addr 127.0.0.1:7133 -cache-dir /var/cache/primepar
+//	curl -s localhost:7133/plan -d '{"model":"OPT-6.7B","devices":8}'
+//	curl -s localhost:7133/stats
+//
+// Endpoints:
+//
+//	POST /plan     — search (or serve from cache); see PlanRequest/PlanResponse
+//	GET  /healthz  — liveness
+//	GET  /stats    — cumulative counters + cache sizes
+//
+// Each request runs under a timeout (its own timeout_ms, clamped to
+// -max-timeout, defaulting to -request-timeout) and is cancelled when the
+// client disconnects; identical in-flight requests are deduplicated. SIGINT
+// or SIGTERM drains in-flight requests and saves the cache before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7133", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "persist the search cache in this directory: load at startup (stale/corrupt files fall back cold), save periodically and on shutdown")
+		saveEvery  = flag.Duration("save-every", 5*time.Minute, "periodic cache-save interval (0 disables; shutdown always saves)")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "default per-request search timeout")
+		maxTimeout = flag.Duration("max-timeout", 15*time.Minute, "upper bound on a request's timeout_ms override")
+	)
+	flag.Parse()
+
+	cache := core.DefaultSearchCache
+	if *cacheDir != "" {
+		if err := cache.Load(*cacheDir); err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "primepard: cache load failed (%v), starting cold\n", err)
+			}
+		} else {
+			n, e := cache.Sizes()
+			fmt.Printf("primepard: loaded search cache from %s (%d node entries, %d edge matrices)\n", *cacheDir, n, e)
+		}
+	}
+
+	s := newServer(cache, *cacheDir, *reqTimeout, *maxTimeout)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *cacheDir != "" && *saveEvery > 0 {
+		go func() {
+			t := time.NewTicker(*saveEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := s.saveCache(); err != nil {
+						fmt.Fprintf(os.Stderr, "primepard: periodic cache save failed: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("primepard: serving on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "primepard: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("primepard: shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "primepard: shutdown: %v\n", err)
+	}
+	if *cacheDir != "" {
+		if err := s.saveCache(); err != nil {
+			fmt.Fprintf(os.Stderr, "primepard: final cache save failed: %v\n", err)
+			os.Exit(1)
+		}
+		n, e := cache.Sizes()
+		fmt.Printf("primepard: saved search cache to %s (%d node entries, %d edge matrices)\n", *cacheDir, n, e)
+	}
+}

@@ -1,0 +1,401 @@
+// The planner service proper: request decoding, per-request optimizers over
+// one shared SearchCache, singleflight dedup of identical in-flight plans,
+// and the JSON endpoints. Kept separate from main.go so the whole request
+// lifecycle is exercisable from httptest without sockets or signals.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+// PlanRequest is the /plan input. Zero-valued optional fields take the
+// model's or the server's defaults.
+type PlanRequest struct {
+	// Model is a paper model name (OPT-6.7B, Llama2-70B, ...; see
+	// `primepar -list`).
+	Model string `json:"model"`
+	// Devices is the cluster size (a power of two).
+	Devices int `json:"devices"`
+	// DevicesPerNode defaults to 4, the paper's testbed shape.
+	DevicesPerNode int `json:"devices_per_node,omitempty"`
+	// Alpha is the Eq. 7 latency↔memory weight; defaults to 1e-12.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Layers overrides the model's stacked layer count (0 = model default).
+	Layers int `json:"layers,omitempty"`
+	// Batch overrides the model's micro-batch (0 = model default).
+	Batch int `json:"batch,omitempty"`
+	// BudgetMS, when positive, runs the anytime beam-autotuned search
+	// (OptimizeBudget) under this wall-clock budget; zero is the exact
+	// search.
+	BudgetMS int `json:"budget_ms,omitempty"`
+	// Beam, when positive, fixes an approximate beam width for the plain
+	// search (ignored when BudgetMS is set).
+	Beam int `json:"beam,omitempty"`
+	// TimeoutMS overrides the server's default per-request timeout,
+	// clamped to its maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// PlanNode is one node of the strategy with its cost breakdown.
+type PlanNode struct {
+	Name string `json:"name"`
+	// Seq is the partition sequence in the paper's 𝒫 notation.
+	Seq         string  `json:"seq"`
+	Compute     float64 `json:"compute_s"`
+	RingTotal   float64 `json:"ring_total_s"`
+	AllReduce   float64 `json:"all_reduce_s"`
+	MemoryBytes float64 `json:"memory_bytes"`
+}
+
+// PlanResponse is the /plan output: the chosen strategy, its cost breakdown,
+// the search instrumentation, and the golden-compatible digest.
+type PlanResponse struct {
+	Model     string           `json:"model"`
+	Devices   int              `json:"devices"`
+	Layers    int              `json:"layers"`
+	Alpha     float64          `json:"alpha"`
+	LayerCost float64          `json:"layer_cost"`
+	TotalCost float64          `json:"total_cost"`
+	Digest    string           `json:"digest"`
+	Nodes     []PlanNode       `json:"nodes"`
+	Stats     core.SearchStats `json:"stats"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	// Deduped marks a response served by waiting on an identical in-flight
+	// request instead of searching.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server is the planner daemon: one shared search cache, one singleflight
+// group, and monotonically growing counters for /stats.
+type server struct {
+	cache          *core.SearchCache
+	cacheDir       string // "" = no persistence
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	start          time.Time
+	flight         flightGroup
+
+	requests      atomic.Int64
+	plansServed   atomic.Int64
+	planErrors    atomic.Int64
+	dedupHits     atomic.Int64
+	cancellations atomic.Int64
+	crossNodeHits atomic.Int64
+	crossEdgeHits atomic.Int64
+	saves         atomic.Int64
+	saveErrors    atomic.Int64
+	lastSaveUnix  atomic.Int64
+}
+
+func newServer(cache *core.SearchCache, cacheDir string, defaultTimeout, maxTimeout time.Duration) *server {
+	return &server{
+		cache:          cache,
+		cacheDir:       cacheDir,
+		defaultTimeout: defaultTimeout,
+		maxTimeout:     maxTimeout,
+		start:          time.Now(),
+	}
+}
+
+// handler builds the daemon's mux with panic containment: a panic escaping a
+// request (e.g. a core.TaskPanic re-thrown from a worker pool) becomes a 500
+// for that request instead of killing the process.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.planErrors.Add(1)
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("internal panic: %v", rec)})
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the /stats payload: cumulative service counters plus the
+// live cache sizes, expvar-style (flat JSON, monotone counters).
+type statsResponse struct {
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	Requests          int64   `json:"requests"`
+	PlansServed       int64   `json:"plans_served"`
+	PlanErrors        int64   `json:"plan_errors"`
+	DedupHits         int64   `json:"dedup_hits"`
+	Cancellations     int64   `json:"cancellations"`
+	CrossCallNodeHits int64   `json:"cross_call_node_hits"`
+	CrossCallEdgeHits int64   `json:"cross_call_edge_hits"`
+	CacheNodes        int     `json:"cache_nodes"`
+	CacheEdges        int     `json:"cache_edges"`
+	CacheSaves        int64   `json:"cache_saves"`
+	CacheSaveErrors   int64   `json:"cache_save_errors"`
+	LastSaveUnix      int64   `json:"last_save_unix,omitempty"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	nodes, edges := s.cache.Sizes()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Requests:          s.requests.Load(),
+		PlansServed:       s.plansServed.Load(),
+		PlanErrors:        s.planErrors.Load(),
+		DedupHits:         s.dedupHits.Load(),
+		Cancellations:     s.cancellations.Load(),
+		CrossCallNodeHits: s.crossNodeHits.Load(),
+		CrossCallEdgeHits: s.crossEdgeHits.Load(),
+		CacheNodes:        nodes,
+		CacheEdges:        edges,
+		CacheSaves:        s.saves.Load(),
+		CacheSaveErrors:   s.saveErrors.Load(),
+		LastSaveUnix:      s.lastSaveUnix.Load(),
+	})
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a PlanRequest JSON body"})
+		return
+	}
+	var req PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.planErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+
+	timeout := s.defaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.maxTimeout {
+		timeout = s.maxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp, status, err := s.plan(ctx, &req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			s.cancellations.Add(1)
+			status = 499 // client closed request (nginx convention)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.cancellations.Add(1)
+			status = http.StatusGatewayTimeout
+		}
+		s.planErrors.Add(1)
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.plansServed.Add(1)
+	s.crossNodeHits.Add(int64(resp.Stats.CrossCallNodeHits))
+	s.crossEdgeHits.Add(int64(resp.Stats.CrossCallEdgeHits))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// plan validates the request and runs (or joins) the search. The returned
+// status is only meaningful when err is non-nil and not a cancellation.
+func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, int, error) {
+	cfg, err := model.ByName(req.Model)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if req.Batch > 0 {
+		cfg = cfg.WithBatch(req.Batch)
+	}
+	perNode := req.DevicesPerNode
+	if perNode == 0 {
+		perNode = 4
+	}
+	cl, err := device.NewCluster(req.Devices, perNode, device.V100Profile())
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 1e-12
+	}
+	layers := req.Layers
+	if layers == 0 {
+		layers = cfg.Layers
+	}
+	if layers < 1 {
+		return nil, http.StatusBadRequest, fmt.Errorf("layers must be ≥ 1, got %d", layers)
+	}
+
+	// A fresh optimizer per request (OptimizeBudget mutates its options);
+	// the shared cache is what makes repeats and warm restarts ~free.
+	m := cost.NewModel(cl)
+	m.Alpha = alpha
+	o := core.NewOptimizer(m)
+	o.Cache = s.cache
+	o.Opts.SearchBudget = time.Duration(req.BudgetMS) * time.Millisecond
+	if req.Beam > 0 {
+		o.Opts.Beam = req.Beam
+	}
+
+	key := o.RequestKey(fmt.Sprintf("%s|layers=%d|batch=%d", cfg.Name, layers, cfg.Batch))
+	resp, err, shared := s.flight.Do(ctx, key, func() (*PlanResponse, error) {
+		return s.search(ctx, req, cfg, o, layers)
+	})
+	if shared {
+		s.dedupHits.Add(1)
+	}
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if shared {
+		// Shallow-copy so the flag never races with another waiter's copy.
+		dup := *resp
+		dup.Deduped = true
+		resp = &dup
+	}
+	return resp, 0, nil
+}
+
+// search runs one search end to end and shapes the response.
+func (s *server) search(ctx context.Context, req *PlanRequest, cfg model.Config, o *core.Optimizer, layers int) (*PlanResponse, error) {
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	strat, err := o.OptimizeBudgetCtx(ctx, g, layers)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	nodes := make([]PlanNode, len(g.Nodes))
+	for i, op := range g.Nodes {
+		names := make([]string, len(op.Axes))
+		for j, ax := range op.Axes {
+			names[j] = ax.Name
+		}
+		nodes[i] = PlanNode{
+			Name:        op.Name,
+			Seq:         strat.Seqs[i].Format(names),
+			Compute:     strat.Intra[i].Compute,
+			RingTotal:   strat.Intra[i].RingTotal,
+			AllReduce:   strat.Intra[i].AllReduce,
+			MemoryBytes: strat.Intra[i].MemoryBytes,
+		}
+	}
+	return &PlanResponse{
+		Model:     cfg.Name,
+		Devices:   req.Devices,
+		Layers:    layers,
+		Alpha:     o.Cost.Alpha,
+		LayerCost: strat.LayerCost,
+		TotalCost: strat.TotalCost,
+		Digest:    experiments.StrategyDigest(strat),
+		Nodes:     nodes,
+		Stats:     strat.Stats,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+// saveCache persists the shared cache (periodic ticks and shutdown). Errors
+// are counted, not fatal: the service keeps serving from memory.
+func (s *server) saveCache() error {
+	if s.cacheDir == "" {
+		return nil
+	}
+	s.saves.Add(1)
+	if err := s.cache.Save(s.cacheDir); err != nil {
+		s.saveErrors.Add(1)
+		return err
+	}
+	s.lastSaveUnix.Store(time.Now().Unix())
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// flightGroup deduplicates identical in-flight plan requests, keyed by
+// core.(*Optimizer).RequestKey — the same byte encoding family the
+// cross-call cache uses, so "identical" means bit-identical searches. The
+// leader computes under its own context; followers wait under theirs. A
+// follower whose leader was cancelled (but who is itself still live) retries
+// as the new leader rather than inheriting the cancellation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *PlanResponse
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. The bool reports whether
+// this caller's answer came from another caller's run.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*PlanResponse, error)) (*PlanResponse, error, bool) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err != nil && isCancellation(c.err) && ctx.Err() == nil {
+					continue // the leader died of cancellation, not us: retry
+				}
+				return c.resp, c.err, true
+			case <-ctx.Done():
+				return nil, ctx.Err(), false
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.resp, c.err = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.resp, c.err, false
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

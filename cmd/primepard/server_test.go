@@ -1,0 +1,340 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// newTestServer builds a server over a private cache (never the process-wide
+// default, so tests stay independent).
+func newTestServer(t *testing.T, cacheDir string) *server {
+	t.Helper()
+	return newServer(core.NewSearchCache(), cacheDir, time.Minute, 5*time.Minute)
+}
+
+func postPlan(t *testing.T, ts *httptest.Server, req PlanRequest) (*PlanResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e errorResponse
+		json.NewDecoder(httpResp.Body).Decode(&e)
+		return nil, &http.Response{StatusCode: httpResp.StatusCode, Status: e.Error}
+	}
+	var resp PlanResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp, httpResp
+}
+
+// TestPlanColdThenWarm is the service's core contract: the first request
+// searches, an identical repeat is served entirely from the shared cache
+// (zero node/edge work, nonzero cross-call hits) with an identical digest.
+func TestPlanColdThenWarm(t *testing.T) {
+	s := newTestServer(t, "")
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := PlanRequest{Model: "OPT-6.7B", Devices: 4}
+	cold, _ := postPlan(t, ts, req)
+	if cold == nil {
+		t.Fatal("cold plan failed")
+	}
+	if cold.Stats.NodeEvals == 0 || cold.Stats.EdgeMatsBuilt == 0 {
+		t.Fatalf("cold plan reports no work: %+v", cold.Stats)
+	}
+	if cold.Digest == "" || len(cold.Nodes) == 0 || cold.TotalCost <= 0 {
+		t.Fatalf("cold plan response incomplete: digest=%q nodes=%d total=%v",
+			cold.Digest, len(cold.Nodes), cold.TotalCost)
+	}
+
+	warm, _ := postPlan(t, ts, req)
+	if warm == nil {
+		t.Fatal("warm plan failed")
+	}
+	if warm.Stats.NodeEvals != 0 || warm.Stats.EdgeMatsBuilt != 0 {
+		t.Fatalf("warm plan recomputed: %d node evals, %d edge builds",
+			warm.Stats.NodeEvals, warm.Stats.EdgeMatsBuilt)
+	}
+	if warm.Stats.CrossCallNodeHits == 0 || warm.Stats.CrossCallEdgeHits == 0 {
+		t.Fatalf("warm plan reports no cross-call hits: %+v", warm.Stats)
+	}
+	if warm.Digest != cold.Digest || warm.TotalCost != cold.TotalCost {
+		t.Fatalf("warm plan diverged: digest %s vs %s, total %v vs %v",
+			warm.Digest, cold.Digest, warm.TotalCost, cold.TotalCost)
+	}
+
+	// /stats reflects both requests and the warm hits.
+	httpResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PlansServed != 2 || st.CrossCallNodeHits == 0 || st.CacheNodes == 0 || st.CacheEdges == 0 {
+		t.Fatalf("stats inconsistent after cold+warm: %+v", st)
+	}
+
+	// /healthz answers while all of the above is in flight-able state.
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", h.StatusCode)
+	}
+}
+
+// TestPlanTimeoutThenRecover pins the acceptance criterion: a request with a
+// deliberately generous search budget but a tiny timeout is cancelled
+// promptly (504), and the shared cache stays fully usable for the next
+// request.
+func TestPlanTimeoutThenRecover(t *testing.T) {
+	s := newTestServer(t, "")
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, httpResp := postPlan(t, ts, PlanRequest{
+		Model: "OPT-175B", Devices: 8, BudgetMS: 600_000, TimeoutMS: 1,
+	})
+	elapsed := time.Since(start)
+	if resp != nil {
+		t.Fatalf("expected a timeout, got a plan (digest %s)", resp.Digest)
+	}
+	if httpResp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", httpResp.StatusCode, httpResp.Status)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled request took %s, not prompt", elapsed)
+	}
+
+	// The same server must still serve a normal request from a clean cache.
+	ok, _ := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if ok == nil {
+		t.Fatal("plan after a cancelled request failed")
+	}
+	if ok.Stats.NodeEvals == 0 {
+		t.Fatalf("post-cancel plan claims to be warm; the cancelled request must not publish partial entries: %+v", ok.Stats)
+	}
+}
+
+// TestPlanCancelledContext drives s.plan directly with an already-cancelled
+// context: it must return context.Canceled without publishing anything.
+func TestPlanCancelledContext(t *testing.T) {
+	s := newTestServer(t, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := s.plan(ctx, &PlanRequest{Model: "OPT-6.7B", Devices: 4, BudgetMS: 600_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n, e := s.cache.Sizes(); n != 0 || e != 0 {
+		t.Fatalf("cancelled plan published %d nodes, %d edges", n, e)
+	}
+	// And the cache is usable afterwards.
+	resp, _, err := s.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if err != nil || resp == nil {
+		t.Fatalf("plan after cancellation: %v", err)
+	}
+}
+
+// TestPlanValidation covers the 4xx paths.
+func TestPlanValidation(t *testing.T) {
+	s := newTestServer(t, "")
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		want   int
+	}{
+		{"wrong method", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"bad json", http.MethodPost, "{", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, `{"model":"OPT-6.7B","devices":4,"warp":9}`, http.StatusBadRequest},
+		{"unknown model", http.MethodPost, `{"model":"GPT-9","devices":4}`, http.StatusBadRequest},
+		{"bad devices", http.MethodPost, `{"model":"OPT-6.7B","devices":3}`, http.StatusBadRequest},
+		{"bad layers", http.MethodPost, `{"model":"OPT-6.7B","devices":4,"layers":-2}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+"/plan", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestFlightGroupDedup exercises the singleflight directly: a follower that
+// arrives while the leader is in flight gets the leader's response without a
+// second computation.
+func TestFlightGroupDedup(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	var computed int
+	leaderDone := make(chan *PlanResponse, 1)
+	go func() {
+		resp, err, shared := g.Do(context.Background(), "k", func() (*PlanResponse, error) {
+			computed++
+			<-release
+			return &PlanResponse{Digest: "d1"}, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: err=%v shared=%v", err, shared)
+		}
+		leaderDone <- resp
+	}()
+
+	// Wait until the leader holds the key.
+	for {
+		g.mu.Lock()
+		_, inFlight := g.m["k"]
+		g.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	followerDone := make(chan *PlanResponse, 1)
+	go func() {
+		resp, err, shared := g.Do(context.Background(), "k", func() (*PlanResponse, error) {
+			t.Error("follower must not compute")
+			return nil, nil
+		})
+		if err != nil || !shared {
+			t.Errorf("follower: err=%v shared=%v", err, shared)
+		}
+		followerDone <- resp
+	}()
+	time.Sleep(10 * time.Millisecond) // let the follower block on done
+	close(release)
+
+	l, f := <-leaderDone, <-followerDone
+	if l.Digest != "d1" || f.Digest != "d1" {
+		t.Fatalf("responses diverged: %q vs %q", l.Digest, f.Digest)
+	}
+	if computed != 1 {
+		t.Fatalf("computed %d times, want 1", computed)
+	}
+}
+
+// TestFlightGroupLeaderCancelled: a follower whose leader died of
+// cancellation — but whose own context is live — retries as the new leader
+// instead of inheriting the error.
+func TestFlightGroupLeaderCancelled(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	var mu sync.Mutex
+	calls := 0
+	go g.Do(context.Background(), "k", func() (*PlanResponse, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		<-release
+		return nil, context.Canceled // the leader's request was cancelled
+	})
+	for {
+		g.mu.Lock()
+		_, inFlight := g.m["k"]
+		g.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	type out struct {
+		resp   *PlanResponse
+		err    error
+		shared bool
+	}
+	followerDone := make(chan out, 1)
+	go func() {
+		resp, err, shared := g.Do(context.Background(), "k", func() (*PlanResponse, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return &PlanResponse{Digest: "retry"}, nil
+		})
+		followerDone <- out{resp, err, shared}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	f := <-followerDone
+	if f.err != nil || f.shared || f.resp.Digest != "retry" {
+		t.Fatalf("follower retry: resp=%+v err=%v shared=%v", f.resp, f.err, f.shared)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (cancelled leader + retrying follower)", calls)
+	}
+}
+
+// TestSaveCache covers the persistence hook the periodic saver and shutdown
+// path share.
+func TestSaveCache(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	if _, _, err := s.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.saveCache(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, core.CacheFileName)); err != nil {
+		t.Fatalf("cache file missing after save: %v", err)
+	}
+	if s.lastSaveUnix.Load() == 0 || s.saves.Load() != 1 {
+		t.Fatalf("save counters not updated: last=%d saves=%d", s.lastSaveUnix.Load(), s.saves.Load())
+	}
+
+	// A fresh server loading the directory serves the same plan warm.
+	loaded := core.NewSearchCache()
+	if err := loaded.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newServer(loaded, dir, time.Minute, 5*time.Minute)
+	resp, _, err := s2.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.NodeEvals != 0 || resp.Stats.CrossCallNodeHits == 0 {
+		t.Fatalf("restart was not warm: %+v", resp.Stats)
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/graph"
@@ -31,16 +32,30 @@ const budgetStartBeam = 16
 // The final strategy's Stats describe the LAST search run; Opts.Beam is
 // restored on return.
 func (o *Optimizer) OptimizeBudget(g *graph.Graph, layers int) (*Strategy, error) {
+	return o.OptimizeBudgetCtx(context.Background(), g, layers)
+}
+
+// OptimizeBudgetCtx is OptimizeBudget under a cancellation context: the
+// context is consulted before each beam width (on top of OptimizeCtx's own
+// in-search checks), so a cancelled request stops growing the beam instead
+// of running to the wall-clock budget.
+func (o *Optimizer) OptimizeBudgetCtx(ctx context.Context, g *graph.Graph, layers int) (*Strategy, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if o.Opts.SearchBudget <= 0 {
-		return o.Optimize(g, layers)
+		return o.OptimizeCtx(ctx, g, layers)
 	}
 	start := time.Now()
 	saved := o.Opts.Beam
 	defer func() { o.Opts.Beam = saved }()
 	var prev *Strategy
 	for beam := budgetStartBeam; ; beam *= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o.Opts.Beam = beam
-		strat, err := o.Optimize(g, layers)
+		strat, err := o.OptimizeCtx(ctx, g, layers)
 		if err != nil {
 			return nil, err
 		}

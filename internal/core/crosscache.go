@@ -63,13 +63,18 @@ type SearchCache struct {
 	nodes     map[string]*nodeEntry
 	edges     map[string]*edgeMat
 	edgeCells int64
+	// edgeCellCap bounds edgeCells; inserts past it trigger the epoch
+	// flush. Defaults to maxCachedEdgeCells; tests shrink it to exercise
+	// the flush without half-gigabyte payloads.
+	edgeCellCap int64
 }
 
 // NewSearchCache returns an empty cross-call cache.
 func NewSearchCache() *SearchCache {
 	return &SearchCache{
-		nodes: make(map[string]*nodeEntry),
-		edges: make(map[string]*edgeMat),
+		nodes:       make(map[string]*nodeEntry),
+		edges:       make(map[string]*edgeMat),
+		edgeCellCap: maxCachedEdgeCells,
 	}
 }
 
@@ -109,20 +114,29 @@ func (c *SearchCache) getEdge(key string) *edgeMat {
 }
 
 func (c *SearchCache) putEdge(key string, m *edgeMat) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertEdgeLocked(key, m)
+}
+
+// insertEdgeLocked adds one edge matrix under the cell cap's epoch-flush
+// policy (flush wholesale rather than LRU; the cache rebuilds in one sweep
+// pass). Shared by in-process inserts and disk-cache merges so both respect
+// the same memory bound. Caller holds c.mu.
+func (c *SearchCache) insertEdgeLocked(key string, m *edgeMat) {
+	if _, ok := c.edges[key]; ok {
+		return
+	}
 	var cells int64
 	if len(m.vals) > 0 {
 		cells = int64(len(m.vals)) * int64(len(m.vals[0]))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.edgeCells+cells > maxCachedEdgeCells {
+	if c.edgeCells+cells > c.edgeCellCap {
 		c.edges = make(map[string]*edgeMat)
 		c.edgeCells = 0
 	}
-	if _, ok := c.edges[key]; !ok {
-		c.edges[key] = m
-		c.edgeCells += cells
-	}
+	c.edges[key] = m
+	c.edgeCells += cells
 }
 
 // crossCache returns the cache to consult for this search, or nil when the
@@ -203,4 +217,20 @@ func (o *Optimizer) appendEdgeCrossKey(b []byte, g *graph.Graph, e *graph.Edge) 
 		b = appendOpSig(b, dst)
 	}
 	return b
+}
+
+// RequestKey identifies a whole plan request for in-flight deduplication:
+// the environment signature the cross-call cache keys share, plus the inputs
+// that signature deliberately leaves out (α, beam, search budget, reference
+// modes), plus a caller tag naming the graph (model name, layer count). Two
+// requests with equal keys run bit-identical searches, so a singleflight
+// leader's answer serves every concurrent duplicate.
+func (o *Optimizer) RequestKey(tag string) string {
+	b := o.appendEnvSig(nil)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Cost.Alpha))
+	b = binary.AppendVarint(b, int64(o.Opts.Beam))
+	b = binary.AppendVarint(b, int64(o.Opts.SearchBudget))
+	b = append(b, boolByte(o.Opts.DisableTreeDP), boolByte(o.Opts.DisableCache))
+	b = append(b, tag...)
+	return string(b)
 }

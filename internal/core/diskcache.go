@@ -78,7 +78,14 @@ func (c *SearchCache) Save(dir string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, CacheFileName))
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, CacheFileName)); err != nil {
+		// The rename can fail even after a clean write (target replaced by
+		// a directory, permission change); without cleanup every failed
+		// Save would strand a full-size temp file in the cache directory.
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Load reads dir/CacheFileName into the cache, merging with (and never
@@ -119,15 +126,18 @@ func (c *SearchCache) Load(dir string) error {
 			c.nodes[k] = v
 		}
 	}
-	for k, v := range edges {
-		if _, ok := c.edges[k]; !ok {
-			var cells int64
-			if len(v.vals) > 0 {
-				cells = int64(len(v.vals)) * int64(len(v.vals[0]))
-			}
-			c.edges[k] = v
-			c.edgeCells += cells
-		}
+	// Merged edge matrices go through the same epoch-flush policy as
+	// in-process inserts: a disk cache written under a larger cap (or an
+	// accumulation of several runs) must not blow past this process's
+	// memory bound just because it arrived via Load. Sorted key order keeps
+	// which entries survive a flush deterministic.
+	edgeKeys := make([]string, 0, len(edges))
+	for k := range edges {
+		edgeKeys = append(edgeKeys, k)
+	}
+	sort.Strings(edgeKeys)
+	for _, k := range edgeKeys {
+		c.insertEdgeLocked(k, edges[k])
 	}
 	return nil
 }

@@ -161,3 +161,101 @@ func TestDiskCacheRejectsDamage(t *testing.T) {
 		t.Errorf("missing file: want os.IsNotExist, got %v", err)
 	}
 }
+
+// TestSaveCleansTempOnRenameFailure: when the final rename fails (here the
+// target name is occupied by a non-empty directory), Save must surface the
+// error AND remove its temp file — a periodic saver hitting a persistent
+// rename failure must not strand one full-size temp file per interval.
+func TestSaveCleansTempOnRenameFailure(t *testing.T) {
+	c, _ := warmCache(t)
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, CacheFileName)
+	if err := os.MkdirAll(filepath.Join(blocker, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err == nil {
+		t.Fatal("Save succeeded with the target name held by a non-empty directory")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != CacheFileName {
+			t.Errorf("failed Save left %q behind", e.Name())
+		}
+	}
+
+	// Clearing the obstruction lets the next periodic save succeed.
+	if err := os.RemoveAll(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatalf("Save after clearing the obstruction: %v", err)
+	}
+}
+
+// TestLoadRespectsEdgeCellCap: merging a disk cache must run through the same
+// epoch-flush policy as in-process inserts. A payload larger than the target
+// cache's cell cap loads without error, ends under the cap, and — because
+// Load merges in sorted key order — lands on a deterministic surviving set.
+func TestLoadRespectsEdgeCellCap(t *testing.T) {
+	c, _ := warmCache(t)
+	_, savedEdges := c.Sizes()
+	if savedEdges < 2 {
+		t.Fatalf("warm cache has %d edge matrices; need ≥2 to observe a flush", savedEdges)
+	}
+	dir := t.TempDir()
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func() *SearchCache {
+		small := NewSearchCache()
+		// Half the saved payload's cells: Load must flush at least once.
+		small.edgeCellCap = c.edgeCells / 2
+		if err := small.Load(dir); err != nil {
+			t.Fatal(err)
+		}
+		return small
+	}
+	small := load()
+	if small.edgeCells > small.edgeCellCap {
+		t.Fatalf("edgeCells = %d after Load, cap %d", small.edgeCells, small.edgeCellCap)
+	}
+	nodes, edges := small.Sizes()
+	if nodes == 0 || edges == 0 {
+		t.Fatalf("capped Load kept nothing: %d nodes, %d edges", nodes, edges)
+	}
+	if edges >= savedEdges {
+		t.Fatalf("capped Load kept all %d edge matrices; expected an epoch flush", edges)
+	}
+	// Determinism of the surviving set: a second capped load byte-matches.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := small.Save(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := load().Save(dirB); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := os.ReadFile(filepath.Join(dirA, CacheFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(dirB, CacheFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fa, fb) {
+		t.Fatal("two capped loads of the same file kept different entries")
+	}
+
+	// The uncapped default still takes the whole payload.
+	full := NewSearchCache()
+	if err := full.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, e := full.Sizes(); e != savedEdges {
+		t.Fatalf("default-cap Load kept %d of %d edge matrices", e, savedEdges)
+	}
+}

@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -132,7 +133,10 @@ type table struct {
 // of every extended edge a→j, so the joint refinement of those row-group
 // vectors is computed once and each Bellman step runs per class instead of
 // per candidate.
-func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int, st *SearchStats) *table {
+// Cancellation is checked once per Bellman step — coarse enough that the
+// uncancelled fast path is untouched, fine enough that a cancelled search
+// stops within one step.
+func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int, st *SearchStats) (*table, error) {
 	sumEdges := func(j int, from int) *edgeMat {
 		var ms []*edgeMat
 		for _, e := range g.InEdges(j) {
@@ -191,6 +195,9 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 	// so we first fold C over each group, then scan groups per column with
 	// bucketed early exit.
 	for j := a + 2; j <= b; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		totals := cands[j].total
 		nj := len(totals)
 		nprev := len(cands[j-1].seqs)
@@ -343,7 +350,7 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 		t.chainArgs = append(t.chainArgs, args)
 	}
 	t.cost = cur
-	return t
+	return t, nil
 }
 
 // merge combines adjacent tables per Eqs. 13–14:
@@ -363,7 +370,13 @@ func (o *Optimizer) segmentDP(g *graph.Graph, cands []*nodeCands, edgeMats map[*
 // stacking merges midTotal is the zero vector and delta re-adds the
 // boundary anchor's own cost. A cross edge refines the OUTPUT classes but
 // never moves the argmin, so refined classes share argmid rows.
-func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat, st *SearchStats) *table {
+// Cancellation is checked once at entry — one merge is a single bounded
+// scan pass, so per-merge granularity keeps cancelled stacking loops prompt
+// without touching the scan kernels.
+func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []float64, cross *edgeMat, st *SearchStats) (*table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nm := len(midTotal)
 	nR := right.nCls
 	nb := len(right.cost[0])
@@ -425,7 +438,7 @@ func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat
 		t.nCls = nL
 		t.cost = base
 		t.argmid = argPM
-		return t
+		return t, nil
 	}
 	outCls, reps := refineClasses(len(left.rowCls), left.rowCls, cross.rows)
 	t.rowCls = outCls
@@ -446,13 +459,29 @@ func (o *Optimizer) merge(left, right *table, midTotal []float64, cross *edgeMat
 			t.argmid[ro] = argPM[rL] // shared: cross shifts values, not argmins
 		}
 	})
-	return t
+	return t, nil
 }
 
 // Optimize searches the layer graph g and stacks `layers` identical layers,
 // returning the optimal strategy for a representative layer and the total
 // stacked cost.
 func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
+	return o.OptimizeCtx(context.Background(), g, layers)
+}
+
+// OptimizeCtx is Optimize under a cancellation context. Cancellation is
+// checked at coarse, value-independent points — between pool task pulls,
+// per Bellman step, per merge, between stages — so an uncancelled search
+// executes bit-identically to Optimize, while a cancelled one returns
+// ctx.Err() promptly and publishes nothing partial to the shared
+// cross-call cache (the cache stays fully usable).
+func (o *Optimizer) OptimizeCtx(ctx context.Context, g *graph.Graph, layers int) (*Strategy, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if layers < 1 {
 		return nil, fmt.Errorf("core: layers must be ≥ 1, got %d", layers)
 	}
@@ -518,10 +547,12 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 			}
 		}
 	}
-	runTasks(stats.Workers, len(evalSlots), func(i int) {
+	if err := runTasks(ctx, stats.Workers, len(evalSlots), func(i int) {
 		s := evalSlots[i]
 		slotCands[s] = o.evalNode(g.Nodes[slotNode[s]])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if ccache != nil {
 		for _, s := range evalSlots {
 			nc := slotCands[s]
@@ -592,10 +623,12 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 			}
 		}
 	}
-	runTasks(stats.Workers, len(buildSlots), func(i int) {
+	if err := runTasks(ctx, stats.Workers, len(buildSlots), func(i int) {
 		e := uniqEdges[buildSlots[i]]
 		mats[buildSlots[i]] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if ccache != nil {
 		for _, s := range buildSlots {
 			ccache.putEdge(edgeKeys[s], mats[s])
@@ -621,14 +654,20 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	}
 	var acc *table
 	for s := 0; s+1 < len(cuts); s++ {
-		seg := o.segmentTable(g, cands, edgeMats, cuts[s], cuts[s+1], &stats)
+		seg, err := o.segmentTable(ctx, g, cands, edgeMats, cuts[s], cuts[s+1], &stats)
+		if err != nil {
+			return nil, err
+		}
 		stats.DPRowClasses += int64(seg.nCls)
 		if acc == nil {
 			acc = seg
 			continue
 		}
 		cross := o.crossEdges(g, edgeMats, acc.a, seg.b)
-		acc = o.merge(acc, seg, cands[seg.a].total, cross, &stats)
+		acc, err = o.merge(ctx, acc, seg, cands[seg.a].total, cross, &stats)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	layerTable := acc
@@ -662,12 +701,19 @@ func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
 	remaining := layers - 1
 	doubled := layerTable
 	for remaining > 0 {
+		var err error
 		if remaining&1 == 1 {
-			full = o.merge(full, doubled, zeroMid, nil, &stats)
+			full, err = o.merge(ctx, full, doubled, zeroMid, nil, &stats)
+			if err != nil {
+				return nil, err
+			}
 		}
 		remaining >>= 1
 		if remaining > 0 {
-			doubled = o.merge(doubled, doubled, zeroMid, nil, &stats)
+			doubled, err = o.merge(ctx, doubled, doubled, zeroMid, nil, &stats)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	totalCost := full.minTotal()

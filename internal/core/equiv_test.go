@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/cost"
@@ -123,8 +124,10 @@ func TestSearchDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestWorkersEnvOverride covers the PRIMEPAR_WORKERS resolution order:
-// Opts.Parallelism wins, then the environment, then GOMAXPROCS.
+// TestWorkersEnvOverride covers the PRIMEPAR_WORKERS resolution order
+// (Opts.Parallelism wins, then the environment, then GOMAXPROCS) and the
+// invalid-override diagnostic: a bad value falls back to GOMAXPROCS AND is
+// reported once, never silently ignored.
 func TestWorkersEnvOverride(t *testing.T) {
 	o := optimizerFor(t, 4, 4)
 	t.Setenv(WorkersEnv, "3")
@@ -135,10 +138,42 @@ func TestWorkersEnvOverride(t *testing.T) {
 	if got := o.workers(); got != 2 {
 		t.Fatalf("workers() = %d, Opts.Parallelism must take precedence", got)
 	}
-	o.Opts.Parallelism = 0
-	t.Setenv(WorkersEnv, "not-a-number")
-	if got := o.workers(); got < 1 {
-		t.Fatalf("workers() = %d with garbage override", got)
+
+	def := runtime.GOMAXPROCS(0)
+	for _, bad := range []string{"not-a-number", "0", "-3", "1.5", ""} {
+		o.Opts.Parallelism = 0
+		workersEnvWarned.Store(false)
+		t.Setenv(WorkersEnv, bad)
+		if got := o.workers(); got != def {
+			t.Fatalf("workers() = %d with %s=%q, want GOMAXPROCS fallback %d", got, WorkersEnv, bad, def)
+		}
+		if bad == "" {
+			// Unset is not a misconfiguration; no warning.
+			if workersEnvWarned.Load() {
+				t.Fatalf("empty %s warned", WorkersEnv)
+			}
+			continue
+		}
+		if !workersEnvWarned.Load() {
+			t.Fatalf("invalid %s=%q was silently ignored", WorkersEnv, bad)
+		}
+		// Opts.Parallelism still wins over a broken environment.
+		o.Opts.Parallelism = 5
+		if got := o.workers(); got != 5 {
+			t.Fatalf("workers() = %d with %s=%q and Parallelism=5", got, WorkersEnv, bad)
+		}
+	}
+}
+
+// TestParseWorkersEnv pins the diagnostics themselves.
+func TestParseWorkersEnv(t *testing.T) {
+	if n, warn := parseWorkersEnv("8"); n != 8 || warn != "" {
+		t.Fatalf("parseWorkersEnv(8) = %d, %q", n, warn)
+	}
+	for _, bad := range []string{"x", "0", "-1", "2.0", " 3"} {
+		if n, warn := parseWorkersEnv(bad); warn == "" {
+			t.Fatalf("parseWorkersEnv(%q) = %d with no diagnostic", bad, n)
+		}
 	}
 }
 

@@ -2,11 +2,23 @@
 // evaluation across nodes, edge-matrix builds across edges, and row fills
 // inside one matrix. All task functions write to disjoint slots, so results
 // are deterministic regardless of worker count or schedule.
+//
+// Two long-lived-service concerns live here too. Cancellation: runTasks
+// polls its context once per task pull (a lock-free channel read), so an
+// aborted search stops issuing work promptly while an uncancelled run
+// executes exactly the schedule it always did. Panic containment: a panic
+// inside any pool goroutine used to kill the whole process with a stack
+// pointing at the pool; now the first panic is captured with its task index
+// and original stack and re-panicked from the CALLER's goroutine as a
+// *TaskPanic, so a serving caller (primepard) can recover it per request.
 package core
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -16,58 +28,161 @@ import (
 // unset, so benchmarks and CI can pin parallelism without code changes.
 const WorkersEnv = "PRIMEPAR_WORKERS"
 
+// workersEnvWarned dedups the invalid-PRIMEPAR_WORKERS warning: workers() is
+// on the search hot path and a misconfigured environment should be reported
+// once per process, not once per parallel loop.
+var workersEnvWarned atomic.Bool
+
+// parseWorkersEnv validates a PRIMEPAR_WORKERS value. It returns the worker
+// count, or a non-empty diagnostic when the value must be ignored
+// (non-numeric, zero or negative).
+func parseWorkersEnv(s string) (int, string) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Sprintf("%s=%q is not an integer", WorkersEnv, s)
+	}
+	if n <= 0 {
+		return 0, fmt.Sprintf("%s=%d is not a positive worker count", WorkersEnv, n)
+	}
+	return n, ""
+}
+
 // workers resolves the worker count: Opts.Parallelism when positive, then
-// the PRIMEPAR_WORKERS environment override, then GOMAXPROCS. A count of 1
-// degrades every parallel loop to inline serial execution.
+// the PRIMEPAR_WORKERS environment override, then GOMAXPROCS. An invalid
+// override is reported once on stderr instead of being silently ignored. A
+// count of 1 degrades every parallel loop to inline serial execution.
 func (o *Optimizer) workers() int {
 	if o.Opts.Parallelism > 0 {
 		return o.Opts.Parallelism
 	}
 	if s := os.Getenv(WorkersEnv); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+		n, warn := parseWorkersEnv(s)
+		if warn == "" {
 			return n
+		}
+		if workersEnvWarned.CompareAndSwap(false, true) {
+			fmt.Fprintf(os.Stderr, "primepar: ignoring %s; falling back to GOMAXPROCS\n", warn)
 		}
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// TaskPanic is a panic recovered inside a worker-pool goroutine, re-panicked
+// on the caller's goroutine with the task identity and the ORIGINAL stack
+// attached (the re-panic's own stack points at the pool, which is useless).
+type TaskPanic struct {
+	// Task is the index of the panicking task: the item index in runTasks
+	// and parallelRows, the band start in parallelChunks.
+	Task int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("core: pool task %d panicked: %v", p.Task, p.Value)
+}
+
+// firstPanic captures the first panic observed across a pool's goroutines.
+// Later panics are dropped: concurrent tasks may fail together, and the
+// first is the one whose stack the caller needs.
+type firstPanic struct {
+	mu sync.Mutex
+	p  *TaskPanic
+}
+
+// record must be called from the deferred recover of the panicking
+// goroutine, so debug.Stack still sees the panic frames.
+func (f *firstPanic) record(task int, v any) {
+	st := debug.Stack()
+	f.mu.Lock()
+	if f.p == nil {
+		f.p = &TaskPanic{Task: task, Value: v, Stack: st}
+	}
+	f.mu.Unlock()
+}
+
+// rethrow re-panics on the calling goroutine if any task panicked. Callers
+// invoke it after the pool's WaitGroup settles, so every worker has exited.
+func (f *firstPanic) rethrow() {
+	if f.p != nil {
+		panic(f.p)
+	}
 }
 
 // runTasks runs f(i) for i in [0, n) on up to w workers pulling from a
 // shared atomic counter (better load balance than static chunking when task
 // sizes vary, e.g. edge matrices of very different dimensions). w ≤ 1 runs
 // inline.
-func runTasks(w, n int, f func(i int)) {
+//
+// Cancellation is coarse — checked once per task pull, never inside f — so
+// an in-flight task always completes and an uncancelled run is untouched.
+// Returns ctx.Err() when the context was cancelled; a nil ctx never cancels.
+func runTasks(ctx context.Context, w, n int, f func(i int)) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
 			f(i)
 		}
-		return
+		return nil
 	}
+	var fp firstPanic
+	var stop atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() && !cancelled() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fp.record(i, r)
+							stop.Store(true)
+						}
+					}()
+					f(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	fp.rethrow()
+	if cancelled() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // parallelChunks splits [0, n) into one contiguous band per worker and runs
 // f(lo, hi) on each. Use it when the per-band closure carries expensive
 // private state (memo tables, scratch buffers) that should be built once per
 // goroutine rather than once per item; with one worker the whole range shares
-// a single state instance.
+// a single state instance. A panicking band re-panics from the caller as a
+// *TaskPanic carrying the band's start index.
 func (o *Optimizer) parallelChunks(n int, f func(lo, hi int)) {
 	w := o.workers()
 	if w > n {
@@ -79,6 +194,7 @@ func (o *Optimizer) parallelChunks(n int, f func(lo, hi int)) {
 		}
 		return
 	}
+	var fp firstPanic
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	for start := 0; start < n; start += chunk {
@@ -89,13 +205,21 @@ func (o *Optimizer) parallelChunks(n int, f func(lo, hi int)) {
 		wg.Add(1)
 		go func(s, e int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fp.record(s, r)
+				}
+			}()
 			f(s, e)
 		}(start, end)
 	}
 	wg.Wait()
+	fp.rethrow()
 }
 
-// parallelRows runs f(i) for i in [0, n) across the worker pool.
+// parallelRows runs f(i) for i in [0, n) across the worker pool. A
+// panicking row re-panics from the caller as a *TaskPanic carrying the
+// exact row index.
 func (o *Optimizer) parallelRows(n int, f func(i int)) {
 	w := o.workers()
 	if w > n {
@@ -107,6 +231,7 @@ func (o *Optimizer) parallelRows(n int, f func(i int)) {
 		}
 		return
 	}
+	var fp firstPanic
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	for start := 0; start < n; start += chunk {
@@ -117,10 +242,17 @@ func (o *Optimizer) parallelRows(n int, f func(i int)) {
 		wg.Add(1)
 		go func(s, e int) {
 			defer wg.Done()
-			for i := s; i < e; i++ {
+			i := s
+			defer func() {
+				if r := recover(); r != nil {
+					fp.record(i, r)
+				}
+			}()
+			for ; i < e; i++ {
 				f(i)
 			}
 		}(start, end)
 	}
 	wg.Wait()
+	fp.rethrow()
 }

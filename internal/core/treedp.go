@@ -23,7 +23,11 @@
 // harness compares against.
 package core
 
-import "repro/internal/graph"
+import (
+	"context"
+
+	"repro/internal/graph"
+)
 
 // segPlan is the planned execution shape of one segment range: a chain leaf
 // (m < 0) or a binary merge at split node m.
@@ -36,28 +40,34 @@ type segPlan struct {
 // segmentTable computes the DP table of segment [a, b]: the left-to-right
 // Bellman chain for short segments (or under Options.DisableTreeDP), a
 // planned tree of binary merges otherwise.
-func (o *Optimizer) segmentTable(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int, st *SearchStats) *table {
+func (o *Optimizer) segmentTable(ctx context.Context, g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, a, b int, st *SearchStats) (*table, error) {
 	if o.Opts.DisableTreeDP || b-a <= 2 {
-		return o.segmentDP(g, cands, edgeMats, a, b, st)
+		return o.segmentDP(ctx, g, cands, edgeMats, a, b, st)
 	}
 	d := newSegDims(g, cands, edgeMats, a, b)
 	e := d.plan(a, b, make(map[[2]int]planEntry))
-	return o.execSegPlan(e.plan, g, cands, edgeMats, st)
+	return o.execSegPlan(ctx, e.plan, g, cands, edgeMats, st)
 }
 
 // execSegPlan materializes a planned shape: chain leaves via segmentDP,
 // split nodes via merge with the segment head's extended edges to exactly
 // p.b as the cross matrix.
-func (o *Optimizer) execSegPlan(p *segPlan, g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, st *SearchStats) *table {
+func (o *Optimizer) execSegPlan(ctx context.Context, p *segPlan, g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*edgeMat, st *SearchStats) (*table, error) {
 	if p.m < 0 {
-		return o.segmentDP(g, cands, edgeMats, p.a, p.b, st)
+		return o.segmentDP(ctx, g, cands, edgeMats, p.a, p.b, st)
 	}
-	left := o.execSegPlan(p.left, g, cands, edgeMats, st)
-	right := o.execSegPlan(p.right, g, cands, edgeMats, st)
+	left, err := o.execSegPlan(ctx, p.left, g, cands, edgeMats, st)
+	if err != nil {
+		return nil, err
+	}
+	right, err := o.execSegPlan(ctx, p.right, g, cands, edgeMats, st)
+	if err != nil {
+		return nil, err
+	}
 	if st != nil {
 		st.DPTreeMerges++
 	}
-	return o.merge(left, right, cands[p.m].total, o.crossEdges(g, edgeMats, p.a, p.b), st)
+	return o.merge(ctx, left, right, cands[p.m].total, o.crossEdges(g, edgeMats, p.a, p.b), st)
 }
 
 // segDims caches the dimensions the split planner's work estimate reads:
