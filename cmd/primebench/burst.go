@@ -1,0 +1,278 @@
+// Closed-loop burst mode (-burst, with -serve-addr): the admission-control
+// demo from DESIGN.md §5.5. N concurrent clients each fire cold /v1/plan
+// requests (every request a distinct micro-batch, so none share cache entries
+// or a singleflight key) at a daemon whose -max-concurrent/-max-queue are
+// deliberately small. A well-behaved daemon admits what fits, queues a
+// bounded tail, and sheds the rest IMMEDIATELY with 503 + Retry-After —
+// while a warm-cache probe running throughout the burst keeps being served
+// with zero node/edge work. The run fails (nonzero exit) on any protocol
+// violation: a shed without Retry-After or a known code, a warm probe or
+// warm repeat that recomputed, or an admitted digest that is not stable on
+// repeat.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// burstOutcome is one cold request's fate.
+type burstOutcome struct {
+	req    planRequest
+	status int
+	resp   *planResponse
+	env    errorEnvelope
+	header http.Header
+	err    error
+}
+
+// shedCodes are the daemon's documented admission-shedding codes.
+var shedCodes = map[string]bool{
+	"queue_full":          true,
+	"queue_timeout":       true,
+	"deadline_unmeetable": true,
+	"memory_pressure":     true,
+}
+
+// admissionCounters mirrors the admission section of /v1/stats.
+type admissionCounters struct {
+	Running          int   `json:"running"`
+	QueueDepth       int   `json:"queue_depth"`
+	Queued           int64 `json:"queued"`
+	Admitted         int64 `json:"admitted"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout"`
+	ShedDeadline     int64 `json:"shed_deadline"`
+	ShedMemory       int64 `json:"shed_memory"`
+}
+
+func (c admissionCounters) shedTotal() int64 {
+	return c.ShedQueueFull + c.ShedQueueTimeout + c.ShedDeadline + c.ShedMemory
+}
+
+// runBurst drives the burst and verifies the daemon's admission contract.
+func runBurst(addr string, clients, iters int) error {
+	addr = normalizeAddr(addr)
+	client := &http.Client{Timeout: 20 * time.Minute}
+	total := clients * iters
+
+	// Prewarm the probe request so warm latency is measurable during the
+	// burst; it uses the model's default batch, which no burst request does.
+	probe := planRequest{Model: "OPT-6.7B", Devices: 8}
+	if _, err := postPlan(client, addr, probe); err != nil {
+		return fmt.Errorf("burst prewarm: %w", err)
+	}
+
+	// The warm prober hammers the prewarmed request for the whole burst;
+	// admission must keep serving it (warm requests bypass the gate).
+	proberStop := make(chan struct{})
+	var proberWG sync.WaitGroup
+	var proberMu sync.Mutex
+	var warmLatencies []time.Duration
+	var proberViolations []string
+	proberWG.Add(1)
+	go func() {
+		defer proberWG.Done()
+		for {
+			select {
+			case <-proberStop:
+				return
+			default:
+			}
+			start := time.Now()
+			resp, err := postPlan(client, addr, probe)
+			rtt := time.Since(start)
+			proberMu.Lock()
+			switch {
+			case err != nil:
+				proberViolations = append(proberViolations,
+					fmt.Sprintf("warm probe failed during burst: %v", err))
+			case resp.Stats.NodeEvals != 0 || resp.Stats.EdgeMatsBuilt != 0:
+				proberViolations = append(proberViolations,
+					fmt.Sprintf("warm probe recomputed: %d node evals, %d edge builds",
+						resp.Stats.NodeEvals, resp.Stats.EdgeMatsBuilt))
+			default:
+				warmLatencies = append(warmLatencies, rtt)
+			}
+			proberMu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Closed loop: `clients` workers drain `total` distinct cold requests.
+	// Distinct micro-batches give every request its own search (node
+	// signatures fold the batch axis), so the burst is honestly cold.
+	outcomes := make([]burstOutcome, total)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := planRequest{Model: "OPT-6.7B", Devices: 8, Batch: 8 + i}
+				out := burstOutcome{req: req}
+				out.status, out.header, out.resp, out.env, out.err = exchange(client, addr, req)
+				outcomes[i] = out
+			}
+		}()
+	}
+	burstStart := time.Now()
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	burstElapsed := time.Since(burstStart)
+	close(proberStop)
+	proberWG.Wait()
+
+	// Classify and verify the shed contract.
+	var violations []string
+	admitted, shed := 0, 0
+	shedBy := map[string]int{}
+	for _, out := range outcomes {
+		switch {
+		case out.err != nil:
+			violations = append(violations, fmt.Sprintf("batch %d: %v", out.req.Batch, out.err))
+		case out.status == http.StatusOK:
+			admitted++
+		case out.status == http.StatusServiceUnavailable:
+			shed++
+			shedBy[out.env.Code]++
+			if !shedCodes[out.env.Code] {
+				violations = append(violations,
+					fmt.Sprintf("batch %d: shed with unknown code %q", out.req.Batch, out.env.Code))
+			}
+			if !out.env.Retryable || out.env.RetryAfterMS <= 0 || out.header.Get("Retry-After") == "" {
+				violations = append(violations,
+					fmt.Sprintf("batch %d: shed without a usable Retry-After (%+v)", out.req.Batch, out.env))
+			}
+		default:
+			violations = append(violations,
+				fmt.Sprintf("batch %d: unexpected status %d (%s)", out.req.Batch, out.status, out.env.Message))
+		}
+	}
+
+	// Warm repeats: every admitted request, asked again, must be served from
+	// the shared cache with zero work and an identical digest.
+	warmRepeats, warmZero := 0, 0
+	for _, out := range outcomes {
+		if out.status != http.StatusOK || out.resp == nil {
+			continue
+		}
+		warmRepeats++
+		rep, err := postPlan(client, addr, out.req)
+		switch {
+		case err != nil:
+			violations = append(violations,
+				fmt.Sprintf("batch %d: warm repeat failed: %v", out.req.Batch, err))
+		case rep.Stats.NodeEvals != 0 || rep.Stats.EdgeMatsBuilt != 0:
+			violations = append(violations,
+				fmt.Sprintf("batch %d: warm repeat recomputed: %+v", out.req.Batch, rep.Stats))
+		case rep.Digest != out.resp.Digest:
+			violations = append(violations,
+				fmt.Sprintf("batch %d: digest changed on repeat: %s vs %s",
+					out.req.Batch, out.resp.Digest, rep.Digest))
+		default:
+			warmZero++
+		}
+	}
+
+	counters, err := fetchAdmissionCounters(client, addr)
+	if err != nil {
+		violations = append(violations, fmt.Sprintf("stats fetch: %v", err))
+	}
+
+	// Report.
+	fmt.Printf("Burst: %d clients × %d cold /v1/plan requests against %s (%.2fs)\n",
+		clients, iters, addr, burstElapsed.Seconds())
+	fmt.Printf("  admitted %d, shed %d", admitted, shed)
+	for code, n := range shedBy {
+		fmt.Printf("  %s=%d", code, n)
+	}
+	fmt.Println()
+	proberMu.Lock()
+	if len(warmLatencies) > 0 {
+		fmt.Printf("  warm probe during burst: %d probes, p50 %.1fms, p95 %.1fms, all zero-work\n",
+			len(warmLatencies),
+			quantile(warmLatencies, 0.50).Seconds()*1000,
+			quantile(warmLatencies, 0.95).Seconds()*1000)
+	}
+	violations = append(violations, proberViolations...)
+	proberMu.Unlock()
+	fmt.Printf("  warm repeats of admitted requests: %d/%d zero-work with stable digests\n",
+		warmZero, warmRepeats)
+	if err == nil {
+		fmt.Printf("  daemon counters: admitted=%d queued=%d shed_queue_full=%d shed_queue_timeout=%d shed_deadline=%d shed_memory=%d queue_depth=%d\n",
+			counters.Admitted, counters.Queued, counters.ShedQueueFull, counters.ShedQueueTimeout,
+			counters.ShedDeadline, counters.ShedMemory, counters.QueueDepth)
+		if shed > 0 && counters.shedTotal() == 0 {
+			violations = append(violations, "clients saw sheds but the daemon's shed_* counters are zero")
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("  VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("burst found %d admission-contract violations", len(violations))
+	}
+	if admitted == 0 {
+		return fmt.Errorf("burst admitted nothing — the gate is over-shedding")
+	}
+	fmt.Println("  admission contract held")
+	return nil
+}
+
+// exchange performs one cold burst request, decoding either side of the
+// response.
+func exchange(client *http.Client, addr string, req planRequest) (int, http.Header, *planResponse, errorEnvelope, error) {
+	status, header, data, err := postPlanRaw(client, addr, req)
+	if err != nil {
+		return 0, nil, nil, errorEnvelope{}, err
+	}
+	if status != http.StatusOK {
+		var env errorEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return status, header, nil, env, fmt.Errorf("non-200 body is not an error envelope: %w", err)
+		}
+		return status, header, nil, env, nil
+	}
+	var resp planResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return status, header, nil, errorEnvelope{}, fmt.Errorf("bad /v1/plan response: %w", err)
+	}
+	return status, header, &resp, errorEnvelope{}, nil
+}
+
+func fetchAdmissionCounters(client *http.Client, addr string) (admissionCounters, error) {
+	var payload struct {
+		Admission admissionCounters `json:"admission"`
+	}
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return admissionCounters{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return admissionCounters{}, err
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return admissionCounters{}, err
+	}
+	return payload.Admission, nil
+}
+
+func quantile(ds []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,9 +1,10 @@
 // Remote client mode: -serve-addr points the table2 sweep at a running
 // primepard daemon instead of searching in-process. Each (structure, scale)
-// cell becomes a POST /plan; the daemon's shared cross-call cache then plays
-// the role DefaultSearchCache plays locally, so the second sweep against one
-// daemon is fully warm. The rows carry the daemon's digests and search stats,
-// so -check-golden and -require-warm work unchanged against a remote server.
+// cell becomes a POST /v1/plan; the daemon's shared cross-call cache then
+// plays the role DefaultSearchCache plays locally, so the second sweep
+// against one daemon is fully warm. The rows carry the daemon's digests and
+// search stats, so -check-golden and -require-warm work unchanged against a
+// remote server.
 package main
 
 import (
@@ -31,6 +32,9 @@ type planRequest struct {
 	DevicesPerNode int     `json:"devices_per_node,omitempty"`
 	Alpha          float64 `json:"alpha,omitempty"`
 	BudgetMS       int     `json:"budget_ms,omitempty"`
+	Batch          int     `json:"batch,omitempty"`
+	Priority       int     `json:"priority,omitempty"`
+	DeadlineMS     int     `json:"deadline_ms,omitempty"`
 }
 
 type planResponse struct {
@@ -40,14 +44,28 @@ type planResponse struct {
 	Deduped   bool             `json:"deduped,omitempty"`
 }
 
+// errorEnvelope mirrors the daemon's uniform non-200 body.
+type errorEnvelope struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	Retryable    bool   `json:"retryable"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// normalizeAddr accepts host:port or a full URL.
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		return "http://" + addr
+	}
+	return addr
+}
+
 // remoteTable2 runs the Table 2 sweep (the same three structures
 // experiments.Table2 uses, at setup's scales) against a primepard daemon.
 // Time is the SERVER's search wall time, not the round trip, so the table
 // stays comparable with local runs.
 func remoteTable2(addr string, setup experiments.Setup) ([]experiments.Table2Row, string, error) {
-	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
-	}
+	addr = normalizeAddr(addr)
 	structures := []model.Config{model.OPT175B(), model.Llama2_70B(), model.BLOOM176B()}
 	client := &http.Client{Timeout: 20 * time.Minute}
 	var rows []experiments.Table2Row
@@ -83,32 +101,42 @@ func remoteTable2(addr string, setup experiments.Setup) ([]experiments.Table2Row
 	return rows, t.String(), nil
 }
 
-func postPlan(client *http.Client, addr string, req planRequest) (*planResponse, error) {
+// postPlanRaw performs one /v1/plan exchange and returns the undecoded
+// pieces: status, headers and body.
+func postPlanRaw(client *http.Client, addr string, req planRequest) (int, http.Header, []byte, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return 0, nil, nil, err
 	}
-	httpResp, err := client.Post(addr+"/plan", "application/json", bytes.NewReader(body))
+	httpResp, err := client.Post(addr+"/v1/plan", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return 0, nil, nil, err
 	}
 	defer httpResp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 8<<20))
 	if err != nil {
+		return 0, nil, nil, err
+	}
+	return httpResp.StatusCode, httpResp.Header, data, nil
+}
+
+// postPlan is the simple success-or-error client the sweep uses: any non-200
+// becomes an error carrying the envelope's code and message.
+func postPlan(client *http.Client, addr string, req planRequest) (*planResponse, error) {
+	status, _, data, err := postPlanRaw(client, addr, req)
+	if err != nil {
 		return nil, err
 	}
-	if httpResp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
+	if status != http.StatusOK {
+		var e errorEnvelope
+		if json.Unmarshal(data, &e) == nil && e.Code != "" {
+			return nil, fmt.Errorf("server returned %d %s: %s", status, e.Code, e.Message)
 		}
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("server returned %d: %s", httpResp.StatusCode, e.Error)
-		}
-		return nil, fmt.Errorf("server returned %d", httpResp.StatusCode)
+		return nil, fmt.Errorf("server returned %d", status)
 	}
 	var resp planResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
-		return nil, fmt.Errorf("bad /plan response: %w", err)
+		return nil, fmt.Errorf("bad /v1/plan response: %w", err)
 	}
 	return &resp, nil
 }

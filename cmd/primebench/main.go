@@ -7,6 +7,8 @@
 //	primebench                 # run everything (several minutes at 32 GPUs)
 //	primebench -exp fig7       # one experiment
 //	primebench -exp fig7 -quick
+//	primebench -serve-addr localhost:7133 -exp table2   # sweep via a daemon
+//	primebench -serve-addr localhost:7133 -burst 16     # admission burst demo
 //
 // Experiments: fig2a fig2b fig4 table1 fig7 fig8 fig9 fig10 table2 ablations
 package main
@@ -37,12 +39,26 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		cacheDir   = flag.String("cache-dir", "", "persist the cross-call search cache in this directory: load it (if present and valid) before running, save it back after; stale or corrupt files fall back to a cold cache")
 		reqWarm    = flag.Bool("require-warm", false, "with -exp table2: fail unless every search was served entirely from the cross-call cache (used by CI's warm-restart check)")
-		serveAddr  = flag.String("serve-addr", "", "with -exp table2: run the sweep against a primepard daemon at this address instead of searching in-process")
+		serveAddr  = flag.String("serve-addr", "", "with -exp table2 or -burst: talk to a primepard daemon at this address instead of searching in-process")
+		burst      = flag.Int("burst", 0, "with -serve-addr: closed-loop burst mode — this many concurrent clients fire cold /v1/plan requests and the run verifies the daemon's admission contract (sheds carry 503 + Retry-After, warm traffic stays zero-work)")
+		burstIters = flag.Int("burst-iters", 1, "cold requests per burst client")
 	)
 	flag.Parse()
 
+	if *burst > 0 {
+		if *serveAddr == "" {
+			fmt.Fprintln(os.Stderr, "primebench: -burst requires -serve-addr")
+			os.Exit(2)
+		}
+		if *burstIters < 1 {
+			fmt.Fprintln(os.Stderr, "primebench: -burst-iters must be ≥ 1")
+			os.Exit(2)
+		}
+		check(runBurst(*serveAddr, *burst, *burstIters))
+		return
+	}
 	if *serveAddr != "" && *exp != "table2" {
-		fmt.Fprintln(os.Stderr, "primebench: -serve-addr requires -exp table2")
+		fmt.Fprintln(os.Stderr, "primebench: -serve-addr requires -exp table2 (or -burst)")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,452 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// burstAdmission is the acceptance-scenario gate: 2 slots, 4 queue places.
+func burstAdmission() admissionConfig {
+	return admissionConfig{MaxConcurrent: 2, MaxQueue: 4, QueueTimeout: 30 * time.Second}
+}
+
+// occupySlots takes every slot of s's gate directly, returning a release-all.
+func occupySlots(t *testing.T, s *server) func() {
+	t.Helper()
+	releases := make([]func(), 0, s.adm.cfg.MaxConcurrent)
+	for i := 0; i < s.adm.cfg.MaxConcurrent; i++ {
+		rel, aerr := s.adm.admit(context.Background(), false, 0, time.Time{})
+		if aerr != nil || rel == nil {
+			t.Fatalf("slot %d: %+v", i, aerr)
+		}
+		releases = append(releases, rel)
+	}
+	return func() {
+		for _, rel := range releases {
+			rel()
+		}
+	}
+}
+
+// waitQueued polls until n requests are waiting in s's queue.
+func waitQueued(t *testing.T, s *server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued := s.adm.depth(); queued >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, queued := s.adm.depth()
+			t.Fatalf("queue depth %d, want ≥ %d", queued, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueFullShedding: with every slot held and the queue at capacity, the
+// next cold request is shed immediately — 503, code queue_full, Retry-After
+// set — and completes once capacity returns.
+func TestQueueFullShedding(t *testing.T) {
+	s := newTestServer(t, "", admissionConfig{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	releaseAll := occupySlots(t, s)
+
+	queuedDone := make(chan planOutcome, 1)
+	go func() {
+		queuedDone <- postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16})
+	}()
+	waitQueued(t, s, 1)
+
+	shed := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 17})
+	if shed.status != http.StatusServiceUnavailable || shed.env.Code != "queue_full" {
+		t.Fatalf("overflow request: status=%d code=%q, want 503 queue_full", shed.status, shed.env.Code)
+	}
+	if !shed.env.Retryable || shed.env.RetryAfterMS <= 0 {
+		t.Fatalf("queue_full envelope not retryable-with-hint: %+v", shed.env)
+	}
+	if shed.header.Get("Retry-After") == "" {
+		t.Fatal("queue_full response missing Retry-After header")
+	}
+
+	releaseAll()
+	if out := <-queuedDone; out.resp == nil {
+		t.Fatalf("queued request failed after release: %d %s", out.status, out.env.Message)
+	}
+	st := getStats(t, ts)
+	if st.Admission.ShedQueueFull != 1 || st.Admission.Queued != 1 {
+		t.Fatalf("admission counters: %+v", st.Admission)
+	}
+	if h := st.Admission.QueueWaitMS; h.LE1ms+h.LE10ms+h.LE100ms+h.LE1s+h.LE10s+h.Inf == 0 {
+		t.Fatal("queue-wait histogram recorded nothing")
+	}
+}
+
+// TestQueueTimeoutVsClientCancel distinguishes the two ways a wait can end
+// early: the SERVER's queue timeout sheds with 503 queue_timeout (retryable
+// — the server gave up), while the CLIENT vanishing maps to 499
+// client_closed (nothing to retry; the caller left).
+func TestQueueTimeoutVsClientCancel(t *testing.T) {
+	s := newTestServer(t, "", admissionConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	releaseAll := occupySlots(t, s)
+	defer releaseAll()
+
+	out := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16})
+	if out.status != http.StatusServiceUnavailable || out.env.Code != "queue_timeout" {
+		t.Fatalf("status=%d code=%q, want 503 queue_timeout", out.status, out.env.Code)
+	}
+	if !out.env.Retryable {
+		t.Fatal("queue_timeout must be retryable")
+	}
+
+	// Client cancellation while queued: drive s.plan directly so the
+	// context is ours to cancel.
+	s2 := newTestServer(t, "", admissionConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 30 * time.Second})
+	release2 := occupySlots(t, s2)
+	defer release2()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *apiError, 1)
+	go func() {
+		_, aerr := s2.plan(ctx, &PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16})
+		done <- aerr
+	}()
+	waitQueued(t, s2, 1)
+	cancel()
+	aerr := <-done
+	if aerr == nil || aerr.status != 499 || aerr.code != "client_closed" {
+		t.Fatalf("cancelled-while-queued: %+v, want 499 client_closed", aerr)
+	}
+	if _, queued := s2.adm.depth(); queued != 0 {
+		t.Fatalf("abandoned waiter still queued: depth=%d", queued)
+	}
+	if s2.adm.shedQueueTimeout.Load() != 0 {
+		t.Fatal("client cancellation must not count as a server shed")
+	}
+}
+
+// TestDeadlineShedding: a request whose predicted search cost exceeds its
+// deadline is shed on arrival with 503 deadline_unmeetable — but a
+// warm-cache request sails through the same predictor because it does no
+// quadratic work.
+func TestDeadlineShedding(t *testing.T) {
+	s := newTestServer(t, "", burstAdmission())
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Warm one configuration under the honest (seed) predictor.
+	warmReq := PlanRequest{Model: "OPT-6.7B", Devices: 4}
+	if out := postPlan(t, ts, warmReq); out.resp == nil {
+		t.Fatalf("prewarm failed: %d %s", out.status, out.env.Message)
+	}
+
+	// Poison the predictor: every cold search now "costs" ~17 minutes.
+	s.adm.pred.mu.Lock()
+	s.adm.pred.nsPerWork = 1e9
+	s.adm.pred.mu.Unlock()
+
+	cold := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16, DeadlineMS: 2000})
+	if cold.status != http.StatusServiceUnavailable || cold.env.Code != "deadline_unmeetable" {
+		t.Fatalf("cold: status=%d code=%q, want 503 deadline_unmeetable", cold.status, cold.env.Code)
+	}
+	if cold.env.RetryAfterMS <= 0 || cold.header.Get("Retry-After") == "" {
+		t.Fatalf("deadline shed must hint a retry: %+v", cold.env)
+	}
+
+	warm := postPlan(t, ts, warmReq)
+	if warm.resp == nil {
+		t.Fatalf("warm request shed despite bypass: %d %s", warm.status, warm.env.Message)
+	}
+	if warm.resp.Stats.NodeEvals != 0 || warm.resp.Stats.EdgeMatsBuilt != 0 {
+		t.Fatalf("warm request did work: %+v", warm.resp.Stats)
+	}
+	st := getStats(t, ts)
+	if st.Admission.ShedDeadline != 1 {
+		t.Fatalf("shed_deadline = %d, want 1", st.Admission.ShedDeadline)
+	}
+}
+
+// TestMemoryPressureShedding: above the soft watermark cold requests are
+// shed (503 memory_pressure) while warm ones are still admitted — shedding
+// protects exactly the work that allocates.
+func TestMemoryPressureShedding(t *testing.T) {
+	cfg := burstAdmission()
+	cfg.MemSoftLimit = 1 << 30
+	s := newTestServer(t, "", cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	warmReq := PlanRequest{Model: "OPT-6.7B", Devices: 4}
+	if out := postPlan(t, ts, warmReq); out.resp == nil {
+		t.Fatalf("prewarm failed: %d", out.status)
+	}
+
+	s.adm.memUsage = func() uint64 { return 2 << 30 } // heap "above" watermark
+
+	cold := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16})
+	if cold.status != http.StatusServiceUnavailable || cold.env.Code != "memory_pressure" {
+		t.Fatalf("cold: status=%d code=%q, want 503 memory_pressure", cold.status, cold.env.Code)
+	}
+	warm := postPlan(t, ts, warmReq)
+	if warm.resp == nil {
+		t.Fatalf("warm request shed under memory pressure: %d", warm.status)
+	}
+	st := getStats(t, ts)
+	if st.Admission.ShedMemory != 1 {
+		t.Fatalf("shed_memory = %d, want 1", st.Admission.ShedMemory)
+	}
+
+	s.adm.memUsage = func() uint64 { return 1 } // pressure clears
+	if out := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16}); out.resp == nil {
+		t.Fatalf("cold request still shed after pressure cleared: %d", out.status)
+	}
+}
+
+// waitGateQueued polls the bare gate until n waiters are queued.
+func waitGateQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued := a.depth(); queued >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, queued := a.depth()
+			t.Fatalf("gate queue depth %d, want ≥ %d", queued, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionPriorityOrder: on release, the highest-priority waiter drains
+// first regardless of arrival order; equal priorities drain FIFO.
+func TestAdmissionPriorityOrder(t *testing.T) {
+	a := newAdmission(admissionConfig{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 30 * time.Second})
+	rel, aerr := a.admit(context.Background(), false, 0, time.Time{})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+
+	order := make(chan string, 3)
+	// Enqueue waiters one at a time (waiting for each to be queued) so
+	// arrival order — and with it FIFO tie-breaking — is deterministic.
+	enqueue := func(label string, pri, wantDepth int) {
+		ctx := context.WithValue(context.Background(), priorityCtxKey{}, pri)
+		go func() {
+			r, aerr := a.admit(ctx, false, 0, time.Time{})
+			if aerr != nil {
+				t.Errorf("%s: %+v", label, aerr)
+				return
+			}
+			order <- label
+			r()
+		}()
+		waitGateQueued(t, a, wantDepth)
+	}
+	enqueue("low-1", 0, 1)
+	enqueue("high", 5, 2)
+	enqueue("low-2", 0, 3)
+
+	rel() // slot cascades: high, then low-1, then low-2
+	want := []string{"high", "low-1", "low-2"}
+	for i, w := range want {
+		select {
+		case got := <-order:
+			if got != w {
+				t.Fatalf("drain %d: got %s, want %s", i, got, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("drain %d (%s) never happened", i, w)
+		}
+	}
+}
+
+// TestDedupWaiterCancelWhileLeaderQueued: a singleflight follower can give
+// up (its client left) while the leader is still waiting for a slot — the
+// follower gets 499 promptly, the leader keeps its queue place and completes
+// once capacity frees.
+func TestDedupWaiterCancelWhileLeaderQueued(t *testing.T) {
+	s := newTestServer(t, "", admissionConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 30 * time.Second})
+	releaseAll := occupySlots(t, s)
+
+	req := PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 16}
+	leaderDone := make(chan *apiError, 1)
+	var leaderResp *PlanResponse
+	go func() {
+		resp, aerr := s.plan(context.Background(), &req)
+		leaderResp = resp
+		leaderDone <- aerr
+	}()
+	waitQueued(t, s, 1)
+
+	followerCtx, cancelFollower := context.WithCancel(context.Background())
+	followerDone := make(chan *apiError, 1)
+	go func() {
+		_, aerr := s.plan(followerCtx, &req)
+		followerDone <- aerr
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower join the flight
+	cancelFollower()
+
+	select {
+	case aerr := <-followerDone:
+		if aerr == nil || aerr.status != 499 {
+			t.Fatalf("follower: %+v, want 499", aerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower did not return promptly")
+	}
+	select {
+	case aerr := <-leaderDone:
+		t.Fatalf("leader finished while its slot was still held: %+v", aerr)
+	default:
+	}
+
+	releaseAll()
+	select {
+	case aerr := <-leaderDone:
+		if aerr != nil || leaderResp == nil {
+			t.Fatalf("leader after release: %+v", aerr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("leader never completed")
+	}
+}
+
+// TestBurstSheddingRace is the acceptance burst run under -race: 16
+// concurrent cold requests against 2 slots + 4 queue places over ONE shared
+// SearchCache. Both slots are pre-occupied while the burst arrives, so the
+// outcome is deterministic — exactly 4 requests queue and 12 shed — and the
+// queued 4 only run (concurrently, via slot handoff) once the slots free.
+// Every admitted answer must be bit-identical to an uncontended reference
+// search, and repeating an admitted request afterwards must be warm (zero
+// node/edge work).
+func TestBurstSheddingRace(t *testing.T) {
+	s := newTestServer(t, "", burstAdmission())
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	releaseAll := occupySlots(t, s)
+
+	const n = 16
+	outs := make([]planOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 8 + i})
+		}(i)
+	}
+	// With the slots held, every request either queues (the first 4) or is
+	// shed (the other 12). Wait for that steady state, then free the slots.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, queued := s.adm.depth()
+		if queued == 4 && s.adm.shedQueueFull.Load() == 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("burst never settled: queued=%d shed=%d", queued, s.adm.shedQueueFull.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	releaseAll()
+	wg.Wait()
+
+	admitted, shed := 0, 0
+	for i, out := range outs {
+		switch {
+		case out.resp != nil:
+			admitted++
+		case out.status == http.StatusServiceUnavailable:
+			shed++
+			if out.env.Code != "queue_full" {
+				t.Errorf("burst %d: shed code %q", i, out.env.Code)
+			}
+			if out.header.Get("Retry-After") == "" {
+				t.Errorf("burst %d: shed without Retry-After", i)
+			}
+		default:
+			t.Errorf("burst %d: unexpected status %d (%s)", i, out.status, out.env.Message)
+		}
+	}
+	if admitted != 4 || shed != 12 {
+		t.Fatalf("burst admitted=%d shed=%d; want 4 and 12", admitted, shed)
+	}
+
+	// Golden digests: admitted answers equal an uncontended reference.
+	ref := newTestServer(t, "", noAdmission)
+	for i, out := range outs {
+		if out.resp == nil {
+			continue
+		}
+		want, aerr := ref.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 8 + i})
+		if aerr != nil {
+			t.Fatalf("reference plan %d: %+v", i, aerr)
+		}
+		if out.resp.Digest != want.Digest {
+			t.Errorf("burst %d: digest %s != reference %s", i, out.resp.Digest, want.Digest)
+		}
+	}
+
+	// Warm repeats of admitted requests do zero quadratic work.
+	for i, out := range outs {
+		if out.resp == nil {
+			continue
+		}
+		rep := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4, Batch: 8 + i})
+		if rep.resp == nil {
+			t.Fatalf("warm repeat %d failed: %d", i, rep.status)
+		}
+		if rep.resp.Stats.NodeEvals != 0 || rep.resp.Stats.EdgeMatsBuilt != 0 {
+			t.Fatalf("warm repeat %d did work: %+v", i, rep.resp.Stats)
+		}
+	}
+
+	st := getStats(t, ts)
+	if st.Admission.ShedQueueFull+st.Admission.ShedQueueTimeout == 0 {
+		t.Fatalf("stats show no sheds after burst: %+v", st.Admission)
+	}
+	if st.Admission.Running != 0 || st.Admission.QueueDepth != 0 {
+		t.Fatalf("gate not drained: %+v", st.Admission)
+	}
+}
+
+// TestCostPredictorLearns: observations move the EWMA toward the measured
+// scale; trivial work totals are ignored.
+func TestCostPredictorLearns(t *testing.T) {
+	p := newCostPredictor()
+	before := p.predict(1e6)
+	p.observe(1e6, 10*time.Millisecond) // 10 ns/unit, far below the seed
+	after := p.predict(1e6)
+	if after >= before {
+		t.Fatalf("predictor did not learn downward: %v -> %v", before, after)
+	}
+	snap := p.predict(1e6)
+	p.observe(10, time.Hour) // tiny work: must be ignored
+	if p.predict(1e6) != snap {
+		t.Fatal("trivial-work observation moved the predictor")
+	}
+}
+
+// TestAdmissionDisabledPassThrough: MaxConcurrent <= 0 admits everything
+// inline — the gate must be invisible.
+func TestAdmissionDisabledPassThrough(t *testing.T) {
+	a := newAdmission(noAdmission)
+	for i := 0; i < 50; i++ {
+		rel, aerr := a.admit(context.Background(), false, time.Hour, time.Now().Add(time.Millisecond))
+		if aerr != nil || rel == nil {
+			t.Fatalf("disabled gate interfered: %+v", aerr)
+		}
+		rel()
+	}
+	if a.shedDeadline.Load() != 0 || a.shedQueueFull.Load() != 0 {
+		t.Fatal("disabled gate shed something")
+	}
+}

@@ -1,5 +1,5 @@
 // Command primepard is a long-lived planner service over the PrimePar
-// strategy search (paper §4–5): POST a model/cluster description to /plan
+// strategy search (paper §4–5): POST a model/cluster description to /v1/plan
 // and get back the optimal spatial-temporal partition strategy, its cost
 // breakdown and the search instrumentation. All requests share one
 // cross-call search cache, so repeated and near-identical plans are served
@@ -9,19 +9,29 @@
 // Usage:
 //
 //	primepard -addr 127.0.0.1:7133 -cache-dir /var/cache/primepar
-//	curl -s localhost:7133/plan -d '{"model":"OPT-6.7B","devices":8}'
-//	curl -s localhost:7133/stats
+//	curl -s localhost:7133/v1/plan -d '{"model":"OPT-6.7B","devices":8}'
+//	curl -s localhost:7133/v1/stats
 //
-// Endpoints:
+// Endpoints (see server.go; the unversioned paths are deprecated aliases):
 //
-//	POST /plan     — search (or serve from cache); see PlanRequest/PlanResponse
-//	GET  /healthz  — liveness
-//	GET  /stats    — cumulative counters + cache sizes
+//	POST /v1/plan     — search (or serve from cache); see PlanRequest/PlanResponse
+//	GET  /v1/healthz  — liveness
+//	GET  /v1/stats    — cumulative counters + cache sizes + admission state
 //
-// Each request runs under a timeout (its own timeout_ms, clamped to
+// Each request runs under a deadline (its own deadline_ms, clamped to
 // -max-timeout, defaulting to -request-timeout) and is cancelled when the
-// client disconnects; identical in-flight requests are deduplicated. SIGINT
-// or SIGTERM drains in-flight requests and saves the cache before exiting.
+// client disconnects; identical in-flight requests are deduplicated.
+//
+// Admission control bounds the blast radius of bursts: at most
+// -max-concurrent cold searches run, -max-queue more wait (priority, then
+// FIFO, for at most -queue-timeout), and everything beyond — or whose
+// deadline provably cannot be met, or arriving while the heap exceeds
+// -mem-soft-limit-mb — is shed immediately with 503 + Retry-After.
+// Warm-cache requests bypass the gate: they do no quadratic work. Set
+// -max-concurrent 0 to disable admission entirely.
+//
+// SIGINT or SIGTERM drains in-flight requests and saves the cache before
+// exiting.
 package main
 
 import (
@@ -31,19 +41,35 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 )
 
+// defaultMaxConcurrent leaves headroom for the search worker pools: each
+// admitted search parallelizes internally, so admitting GOMAXPROCS searches
+// would oversubscribe the machine by a quadratic factor.
+func defaultMaxConcurrent() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7133", "listen address")
-		cacheDir   = flag.String("cache-dir", "", "persist the search cache in this directory: load at startup (stale/corrupt files fall back cold), save periodically and on shutdown")
-		saveEvery  = flag.Duration("save-every", 5*time.Minute, "periodic cache-save interval (0 disables; shutdown always saves)")
-		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "default per-request search timeout")
-		maxTimeout = flag.Duration("max-timeout", 15*time.Minute, "upper bound on a request's timeout_ms override")
+		addr          = flag.String("addr", "127.0.0.1:7133", "listen address")
+		cacheDir      = flag.String("cache-dir", "", "persist the search cache in this directory: load at startup (stale/corrupt files fall back cold), save periodically and on shutdown")
+		saveEvery     = flag.Duration("save-every", 5*time.Minute, "periodic cache-save interval (0 disables; shutdown always saves)")
+		reqTimeout    = flag.Duration("request-timeout", 2*time.Minute, "default per-request deadline (queue wait + search)")
+		maxTimeout    = flag.Duration("max-timeout", 15*time.Minute, "upper bound on a request's deadline_ms override")
+		maxConcurrent = flag.Int("max-concurrent", defaultMaxConcurrent(), "max concurrently running cold searches (0 disables admission control)")
+		maxQueue      = flag.Int("max-queue", 64, "max requests waiting for a search slot before shedding with 503 queue_full")
+		queueTimeout  = flag.Duration("queue-timeout", 30*time.Second, "max time a request may wait for a slot before shedding with 503 queue_timeout")
+		memSoftMB     = flag.Int("mem-soft-limit-mb", 0, "soft heap watermark in MiB: above it, cold requests are shed with 503 memory_pressure while warm-cache requests keep flowing (0 disables)")
 	)
 	flag.Parse()
 
@@ -59,7 +85,13 @@ func main() {
 		}
 	}
 
-	s := newServer(cache, *cacheDir, *reqTimeout, *maxTimeout)
+	adm := admissionConfig{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+		MemSoftLimit:  uint64(*memSoftMB) << 20,
+	}
+	s := newServer(cache, *cacheDir, *reqTimeout, *maxTimeout, adm)
 	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

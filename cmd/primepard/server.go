@@ -1,7 +1,19 @@
 // The planner service proper: request decoding, per-request optimizers over
-// one shared SearchCache, singleflight dedup of identical in-flight plans,
-// and the JSON endpoints. Kept separate from main.go so the whole request
-// lifecycle is exercisable from httptest without sockets or signals.
+// one shared SearchCache, admission control (admission.go), singleflight
+// dedup of identical in-flight plans, and the JSON endpoints. Kept separate
+// from main.go so the whole request lifecycle is exercisable from httptest
+// without sockets or signals.
+//
+// The HTTP surface is versioned under /v1:
+//
+//	POST /v1/plan     — search (or serve from cache)
+//	GET  /v1/healthz  — liveness
+//	GET  /v1/stats    — cumulative counters, cache sizes, admission state
+//
+// The unversioned paths survive as deprecated aliases answering identically
+// plus a Deprecation header. Every non-200 answer carries one uniform
+// envelope — {code, message, retryable, retry_after_ms} — with the legacy
+// top-level "error" string kept for pre-v1 clients.
 package main
 
 import (
@@ -10,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,7 +34,7 @@ import (
 	"repro/internal/model"
 )
 
-// PlanRequest is the /plan input. Zero-valued optional fields take the
+// PlanRequest is the /v1/plan input. Zero-valued optional fields take the
 // model's or the server's defaults.
 type PlanRequest struct {
 	// Model is a paper model name (OPT-6.7B, Llama2-70B, ...; see
@@ -37,15 +50,22 @@ type PlanRequest struct {
 	Layers int `json:"layers,omitempty"`
 	// Batch overrides the model's micro-batch (0 = model default).
 	Batch int `json:"batch,omitempty"`
-	// BudgetMS, when positive, runs the anytime beam-autotuned search
-	// (OptimizeBudget) under this wall-clock budget; zero is the exact
-	// search.
+	// BudgetMS, when positive, runs the anytime beam-autotuned search under
+	// this wall-clock budget; zero is the exact search.
 	BudgetMS int `json:"budget_ms,omitempty"`
 	// Beam, when positive, fixes an approximate beam width for the plain
 	// search (ignored when BudgetMS is set).
 	Beam int `json:"beam,omitempty"`
-	// TimeoutMS overrides the server's default per-request timeout,
-	// clamped to its maximum.
+	// Priority orders the admission queue: higher drains first among
+	// waiting requests (default 0). It never preempts a running search.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS is the client's total patience — queue wait plus search —
+	// in milliseconds. A request whose predicted search cost cannot fit in
+	// it is shed immediately with 503 deadline_unmeetable. Clamped to the
+	// server's -max-timeout.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// TimeoutMS is the pre-v1 name for DeadlineMS and is honored when
+	// DeadlineMS is unset.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
@@ -60,8 +80,8 @@ type PlanNode struct {
 	MemoryBytes float64 `json:"memory_bytes"`
 }
 
-// PlanResponse is the /plan output: the chosen strategy, its cost breakdown,
-// the search instrumentation, and the golden-compatible digest.
+// PlanResponse is the /v1/plan output: the chosen strategy, its cost
+// breakdown, the search instrumentation, and the golden-compatible digest.
 type PlanResponse struct {
 	Model     string           `json:"model"`
 	Devices   int              `json:"devices"`
@@ -78,13 +98,53 @@ type PlanResponse struct {
 	Deduped bool `json:"deduped,omitempty"`
 }
 
-// errorResponse is the JSON body of every non-200 answer.
-type errorResponse struct {
-	Error string `json:"error"`
+// apiError is the service's uniform failure: an HTTP status, a stable
+// machine-readable code, and (for shed requests) a Retry-After hint.
+type apiError struct {
+	status     int
+	code       string
+	message    string
+	retryable  bool
+	retryAfter time.Duration
+}
+
+func (e *apiError) Error() string { return e.message }
+
+// errorEnvelope is the JSON body of every non-200 answer. Error mirrors
+// Message for pre-v1 clients that parse {"error": ...}.
+type errorEnvelope struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	Retryable    bool   `json:"retryable"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Error        string `json:"error"`
+}
+
+// writeError renders err as the uniform envelope (plus a Retry-After header
+// when the error carries a hint).
+func writeError(w http.ResponseWriter, err *apiError) {
+	if err.retryAfter > 0 {
+		secs := int64((err.retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, err.status, errorEnvelope{
+		Code:         err.code,
+		Message:      err.message,
+		Retryable:    err.retryable,
+		RetryAfterMS: err.retryAfter.Milliseconds(),
+		Error:        err.message,
+	})
+}
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_request",
+		message: fmt.Sprintf(format, args...)}
 }
 
 // server is the planner daemon: one shared search cache, one singleflight
-// group, and monotonically growing counters for /stats.
+// group, one admission gate, and monotonically growing counters for /stats.
+// Counters are atomics: they are bumped from concurrent request goroutines
+// and read lock-free by the stats handler.
 type server struct {
 	cache          *core.SearchCache
 	cacheDir       string // "" = no persistence
@@ -92,6 +152,7 @@ type server struct {
 	maxTimeout     time.Duration
 	start          time.Time
 	flight         flightGroup
+	adm            *admission
 
 	requests      atomic.Int64
 	plansServed   atomic.Int64
@@ -100,18 +161,20 @@ type server struct {
 	cancellations atomic.Int64
 	crossNodeHits atomic.Int64
 	crossEdgeHits atomic.Int64
+	warmServed    atomic.Int64
 	saves         atomic.Int64
 	saveErrors    atomic.Int64
 	lastSaveUnix  atomic.Int64
 }
 
-func newServer(cache *core.SearchCache, cacheDir string, defaultTimeout, maxTimeout time.Duration) *server {
+func newServer(cache *core.SearchCache, cacheDir string, defaultTimeout, maxTimeout time.Duration, adm admissionConfig) *server {
 	return &server{
 		cache:          cache,
 		cacheDir:       cacheDir,
 		defaultTimeout: defaultTimeout,
 		maxTimeout:     maxTimeout,
 		start:          time.Now(),
+		adm:            newAdmission(adm),
 	}
 }
 
@@ -120,45 +183,78 @@ func newServer(cache *core.SearchCache, cacheDir string, defaultTimeout, maxTime
 // for that request instead of killing the process.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/plan", s.handlePlan)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	// Unversioned paths: deprecated aliases of their /v1 successors.
+	mux.HandleFunc("/plan", deprecated("/v1/plan", s.handlePlan))
+	mux.HandleFunc("/healthz", deprecated("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("/stats", deprecated("/v1/stats", s.handleStats))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.planErrors.Add(1)
-				writeJSON(w, http.StatusInternalServerError,
-					errorResponse{Error: fmt.Sprintf("internal panic: %v", rec)})
+				writeError(w, &apiError{status: http.StatusInternalServerError,
+					code: "internal", message: fmt.Sprintf("internal panic: %v", rec)})
 			}
 		}()
 		mux.ServeHTTP(w, r)
 	})
 }
 
+// deprecated wraps a legacy route: same behavior, plus RFC 8594-style
+// deprecation headers pointing at the v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// statsResponse is the /stats payload: cumulative service counters plus the
-// live cache sizes, expvar-style (flat JSON, monotone counters).
+// admissionStats is the admission section of /v1/stats.
+type admissionStats struct {
+	MaxConcurrent    int                `json:"max_concurrent"`
+	MaxQueue         int                `json:"max_queue"`
+	Running          int                `json:"running"`
+	QueueDepth       int                `json:"queue_depth"`
+	Queued           int64              `json:"queued"`
+	Admitted         int64              `json:"admitted"`
+	ShedQueueFull    int64              `json:"shed_queue_full"`
+	ShedQueueTimeout int64              `json:"shed_queue_timeout"`
+	ShedDeadline     int64              `json:"shed_deadline"`
+	ShedMemory       int64              `json:"shed_memory"`
+	QueueWaitMS      queueWaitHistogram `json:"queue_wait_ms"`
+}
+
+// statsResponse is the /v1/stats payload: cumulative service counters plus
+// the live cache sizes and admission state, expvar-style (flat JSON,
+// monotone counters).
 type statsResponse struct {
-	UptimeSeconds     float64 `json:"uptime_seconds"`
-	Requests          int64   `json:"requests"`
-	PlansServed       int64   `json:"plans_served"`
-	PlanErrors        int64   `json:"plan_errors"`
-	DedupHits         int64   `json:"dedup_hits"`
-	Cancellations     int64   `json:"cancellations"`
-	CrossCallNodeHits int64   `json:"cross_call_node_hits"`
-	CrossCallEdgeHits int64   `json:"cross_call_edge_hits"`
-	CacheNodes        int     `json:"cache_nodes"`
-	CacheEdges        int     `json:"cache_edges"`
-	CacheSaves        int64   `json:"cache_saves"`
-	CacheSaveErrors   int64   `json:"cache_save_errors"`
-	LastSaveUnix      int64   `json:"last_save_unix,omitempty"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+	Requests          int64          `json:"requests"`
+	PlansServed       int64          `json:"plans_served"`
+	PlanErrors        int64          `json:"plan_errors"`
+	DedupHits         int64          `json:"dedup_hits"`
+	Cancellations     int64          `json:"cancellations"`
+	WarmServed        int64          `json:"warm_served"`
+	CrossCallNodeHits int64          `json:"cross_call_node_hits"`
+	CrossCallEdgeHits int64          `json:"cross_call_edge_hits"`
+	CacheNodes        int            `json:"cache_nodes"`
+	CacheEdges        int            `json:"cache_edges"`
+	CacheSaves        int64          `json:"cache_saves"`
+	CacheSaveErrors   int64          `json:"cache_save_errors"`
+	LastSaveUnix      int64          `json:"last_save_unix,omitempty"`
+	Admission         admissionStats `json:"admission"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	nodes, edges := s.cache.Sizes()
+	running, depth := s.adm.depth()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Requests:          s.requests.Load(),
@@ -166,6 +262,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanErrors:        s.planErrors.Load(),
 		DedupHits:         s.dedupHits.Load(),
 		Cancellations:     s.cancellations.Load(),
+		WarmServed:        s.warmServed.Load(),
 		CrossCallNodeHits: s.crossNodeHits.Load(),
 		CrossCallEdgeHits: s.crossEdgeHits.Load(),
 		CacheNodes:        nodes,
@@ -173,13 +270,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheSaves:        s.saves.Load(),
 		CacheSaveErrors:   s.saveErrors.Load(),
 		LastSaveUnix:      s.lastSaveUnix.Load(),
+		Admission: admissionStats{
+			MaxConcurrent:    s.adm.cfg.MaxConcurrent,
+			MaxQueue:         s.adm.cfg.MaxQueue,
+			Running:          running,
+			QueueDepth:       depth,
+			Queued:           s.adm.queued.Load(),
+			Admitted:         s.adm.admitted.Load(),
+			ShedQueueFull:    s.adm.shedQueueFull.Load(),
+			ShedQueueTimeout: s.adm.shedQueueTimeout.Load(),
+			ShedDeadline:     s.adm.shedDeadline.Load(),
+			ShedMemory:       s.adm.shedMemory.Load(),
+			QueueWaitMS:      s.adm.waits.snapshot(),
+		},
 	})
 }
 
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a PlanRequest JSON body"})
+		writeError(w, &apiError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", message: "POST a PlanRequest JSON body"})
 		return
 	}
 	var req PlanRequest
@@ -187,32 +298,27 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.planErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		writeError(w, badRequest("bad request: %v", err))
 		return
 	}
 
-	timeout := s.defaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	deadline := s.defaultTimeout
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	} else if req.TimeoutMS > 0 {
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	if timeout > s.maxTimeout {
-		timeout = s.maxTimeout
+	if deadline > s.maxTimeout {
+		deadline = s.maxTimeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
+	ctx = context.WithValue(ctx, priorityCtxKey{}, req.Priority)
 
-	resp, status, err := s.plan(ctx, &req)
-	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled):
-			s.cancellations.Add(1)
-			status = 499 // client closed request (nginx convention)
-		case errors.Is(err, context.DeadlineExceeded):
-			s.cancellations.Add(1)
-			status = http.StatusGatewayTimeout
-		}
+	resp, aerr := s.plan(ctx, &req)
+	if aerr != nil {
 		s.planErrors.Add(1)
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, aerr)
 		return
 	}
 	s.plansServed.Add(1)
@@ -221,12 +327,35 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// plan validates the request and runs (or joins) the search. The returned
-// status is only meaningful when err is non-nil and not a cancellation.
-func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, int, error) {
+// asAPIError maps any failure from the plan pipeline onto the uniform
+// envelope: admission sheds pass through, context ends become 499 (client
+// closed first) or 504 (the server's deadline fired mid-search), everything
+// else is a 500.
+func (s *server) asAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.cancellations.Add(1)
+		return &apiError{status: 499, code: "client_closed", message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.cancellations.Add(1)
+		return &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+			retryable: true, message: err.Error()}
+	}
+	return &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+}
+
+// plan validates the request, predicts its cost against the shared cache,
+// and runs (or joins) the search under admission control. Admission happens
+// INSIDE the singleflight closure: concurrent duplicates share the leader's
+// queue slot instead of each holding one.
+func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *apiError) {
 	cfg, err := model.ByName(req.Model)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, badRequest("%v", err)
 	}
 	if req.Batch > 0 {
 		cfg = cfg.WithBatch(req.Batch)
@@ -237,7 +366,7 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, int
 	}
 	cl, err := device.NewCluster(req.Devices, perNode, device.V100Profile())
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, badRequest("%v", err)
 	}
 	alpha := req.Alpha
 	if alpha == 0 {
@@ -248,11 +377,12 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, int
 		layers = cfg.Layers
 	}
 	if layers < 1 {
-		return nil, http.StatusBadRequest, fmt.Errorf("layers must be ≥ 1, got %d", layers)
+		return nil, badRequest("layers must be ≥ 1, got %d", layers)
 	}
 
-	// A fresh optimizer per request (OptimizeBudget mutates its options);
-	// the shared cache is what makes repeats and warm restarts ~free.
+	// A fresh optimizer per request (budget search and estimation mutate
+	// options); the shared cache is what makes repeats and warm restarts
+	// ~free.
 	m := cost.NewModel(cl)
 	m.Alpha = alpha
 	o := core.NewOptimizer(m)
@@ -262,15 +392,36 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, int
 		o.Opts.Beam = req.Beam
 	}
 
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	planReq := core.PlanRequest{Graph: g, Layers: layers, Budget: o.Opts.SearchBudget}
+	est, err := o.EstimatePlan(planReq)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
 	key := o.RequestKey(fmt.Sprintf("%s|layers=%d|batch=%d", cfg.Name, layers, cfg.Batch))
 	resp, err, shared := s.flight.Do(ctx, key, func() (*PlanResponse, error) {
-		return s.search(ctx, req, cfg, o, layers)
+		release, aerr := s.adm.admit(ctx, est.Warm, s.adm.pred.predict(est.Work), ctxDeadline(ctx))
+		if aerr != nil {
+			return nil, aerr
+		}
+		if release == nil {
+			return nil, ctx.Err() // admission wait ended by the request context
+		}
+		defer release()
+		return s.search(ctx, req, cfg, o, planReq, est)
 	})
 	if shared {
 		s.dedupHits.Add(1)
 	}
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, s.asAPIError(err)
+	}
+	if est.Warm {
+		s.warmServed.Add(1)
 	}
 	if shared {
 		// Shallow-copy so the flag never races with another waiter's copy.
@@ -278,22 +429,30 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, int
 		dup.Deduped = true
 		resp = &dup
 	}
-	return resp, 0, nil
+	return resp, nil
 }
 
-// search runs one search end to end and shapes the response.
-func (s *server) search(ctx context.Context, req *PlanRequest, cfg model.Config, o *core.Optimizer, layers int) (*PlanResponse, error) {
-	g, err := model.BuildBlock(cfg)
-	if err != nil {
-		return nil, err
+func ctxDeadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
 	}
+	return time.Time{}
+}
+
+// search runs one search end to end, teaches the cost predictor, and shapes
+// the response.
+func (s *server) search(ctx context.Context, req *PlanRequest, cfg model.Config, o *core.Optimizer, planReq core.PlanRequest, est core.SearchEstimate) (*PlanResponse, error) {
 	start := time.Now()
-	strat, err := o.OptimizeBudgetCtx(ctx, g, layers)
+	strat, err := o.Plan(ctx, planReq)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	if !est.Warm {
+		s.adm.pred.observe(est.Work, elapsed)
+	}
 
+	g := planReq.Graph
 	nodes := make([]PlanNode, len(g.Nodes))
 	for i, op := range g.Nodes {
 		names := make([]string, len(op.Axes))
@@ -312,7 +471,7 @@ func (s *server) search(ctx context.Context, req *PlanRequest, cfg model.Config,
 	return &PlanResponse{
 		Model:     cfg.Name,
 		Devices:   req.Devices,
-		Layers:    layers,
+		Layers:    planReq.Layers,
 		Alpha:     o.Cost.Alpha,
 		LayerCost: strat.LayerCost,
 		TotalCost: strat.TotalCost,
@@ -351,7 +510,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // cross-call cache uses, so "identical" means bit-identical searches. The
 // leader computes under its own context; followers wait under theirs. A
 // follower whose leader was cancelled (but who is itself still live) retries
-// as the new leader rather than inheriting the cancellation.
+// as the new leader rather than inheriting the cancellation. Because
+// admission runs inside the leader's closure, all waiters of one key consume
+// ONE queue slot between them.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall

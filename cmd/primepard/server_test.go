@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,75 +16,120 @@ import (
 	"repro/internal/core"
 )
 
+// noAdmission disables the gate: the pre-admission request lifecycle
+// (timeouts, cancellation, dedup) is tested pass-through, and the admission
+// policies get their own dedicated tests.
+var noAdmission = admissionConfig{}
+
 // newTestServer builds a server over a private cache (never the process-wide
 // default, so tests stay independent).
-func newTestServer(t *testing.T, cacheDir string) *server {
+func newTestServer(t *testing.T, cacheDir string, adm admissionConfig) *server {
 	t.Helper()
-	return newServer(core.NewSearchCache(), cacheDir, time.Minute, 5*time.Minute)
+	return newServer(core.NewSearchCache(), cacheDir, time.Minute, 5*time.Minute, adm)
 }
 
-func postPlan(t *testing.T, ts *httptest.Server, req PlanRequest) (*PlanResponse, *http.Response) {
+// planOutcome is one /v1/plan exchange: either a decoded PlanResponse or the
+// error envelope, plus the raw status and headers.
+type planOutcome struct {
+	resp   *PlanResponse
+	status int
+	env    errorEnvelope
+	header http.Header
+}
+
+func doPlan(t *testing.T, ts *httptest.Server, path string, req PlanRequest) planOutcome {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	httpResp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+	httpResp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer httpResp.Body.Close()
+	out := planOutcome{status: httpResp.StatusCode, header: httpResp.Header}
 	if httpResp.StatusCode != http.StatusOK {
-		var e errorResponse
-		json.NewDecoder(httpResp.Body).Decode(&e)
-		return nil, &http.Response{StatusCode: httpResp.StatusCode, Status: e.Error}
+		if err := json.NewDecoder(httpResp.Body).Decode(&out.env); err != nil {
+			t.Fatalf("non-200 body is not an error envelope: %v", err)
+		}
+		return out
 	}
-	var resp PlanResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+	out.resp = &PlanResponse{}
+	if err := json.NewDecoder(httpResp.Body).Decode(out.resp); err != nil {
 		t.Fatal(err)
 	}
-	return &resp, httpResp
+	return out
+}
+
+func postPlan(t *testing.T, ts *httptest.Server, req PlanRequest) planOutcome {
+	t.Helper()
+	return doPlan(t, ts, "/v1/plan", req)
 }
 
 // TestPlanColdThenWarm is the service's core contract: the first request
 // searches, an identical repeat is served entirely from the shared cache
 // (zero node/edge work, nonzero cross-call hits) with an identical digest.
 func TestPlanColdThenWarm(t *testing.T) {
-	s := newTestServer(t, "")
+	s := newTestServer(t, "", noAdmission)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
 	req := PlanRequest{Model: "OPT-6.7B", Devices: 4}
-	cold, _ := postPlan(t, ts, req)
-	if cold == nil {
-		t.Fatal("cold plan failed")
+	cold := postPlan(t, ts, req)
+	if cold.resp == nil {
+		t.Fatalf("cold plan failed: %d %s", cold.status, cold.env.Message)
 	}
-	if cold.Stats.NodeEvals == 0 || cold.Stats.EdgeMatsBuilt == 0 {
-		t.Fatalf("cold plan reports no work: %+v", cold.Stats)
+	if cold.resp.Stats.NodeEvals == 0 || cold.resp.Stats.EdgeMatsBuilt == 0 {
+		t.Fatalf("cold plan reports no work: %+v", cold.resp.Stats)
 	}
-	if cold.Digest == "" || len(cold.Nodes) == 0 || cold.TotalCost <= 0 {
+	if cold.resp.Digest == "" || len(cold.resp.Nodes) == 0 || cold.resp.TotalCost <= 0 {
 		t.Fatalf("cold plan response incomplete: digest=%q nodes=%d total=%v",
-			cold.Digest, len(cold.Nodes), cold.TotalCost)
+			cold.resp.Digest, len(cold.resp.Nodes), cold.resp.TotalCost)
 	}
 
-	warm, _ := postPlan(t, ts, req)
-	if warm == nil {
-		t.Fatal("warm plan failed")
+	warm := postPlan(t, ts, req)
+	if warm.resp == nil {
+		t.Fatalf("warm plan failed: %d", warm.status)
 	}
-	if warm.Stats.NodeEvals != 0 || warm.Stats.EdgeMatsBuilt != 0 {
+	if warm.resp.Stats.NodeEvals != 0 || warm.resp.Stats.EdgeMatsBuilt != 0 {
 		t.Fatalf("warm plan recomputed: %d node evals, %d edge builds",
-			warm.Stats.NodeEvals, warm.Stats.EdgeMatsBuilt)
+			warm.resp.Stats.NodeEvals, warm.resp.Stats.EdgeMatsBuilt)
 	}
-	if warm.Stats.CrossCallNodeHits == 0 || warm.Stats.CrossCallEdgeHits == 0 {
-		t.Fatalf("warm plan reports no cross-call hits: %+v", warm.Stats)
+	if warm.resp.Stats.CrossCallNodeHits == 0 || warm.resp.Stats.CrossCallEdgeHits == 0 {
+		t.Fatalf("warm plan reports no cross-call hits: %+v", warm.resp.Stats)
 	}
-	if warm.Digest != cold.Digest || warm.TotalCost != cold.TotalCost {
+	if warm.resp.Digest != cold.resp.Digest || warm.resp.TotalCost != cold.resp.TotalCost {
 		t.Fatalf("warm plan diverged: digest %s vs %s, total %v vs %v",
-			warm.Digest, cold.Digest, warm.TotalCost, cold.TotalCost)
+			warm.resp.Digest, cold.resp.Digest, warm.resp.TotalCost, cold.resp.TotalCost)
 	}
 
-	// /stats reflects both requests and the warm hits.
-	httpResp, err := http.Get(ts.URL + "/stats")
+	// /v1/stats reflects both requests and the warm hits.
+	st := getStats(t, ts)
+	if st.PlansServed != 2 || st.CrossCallNodeHits == 0 || st.CacheNodes == 0 || st.CacheEdges == 0 {
+		t.Fatalf("stats inconsistent after cold+warm: %+v", st)
+	}
+	if st.WarmServed != 1 {
+		t.Fatalf("warm_served = %d, want 1", st.WarmServed)
+	}
+
+	// /v1/healthz answers while all of the above is in flight-able state.
+	h, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", h.StatusCode)
+	}
+	if h.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1/healthz must not carry a Deprecation header")
+	}
+}
+
+func getStats(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	httpResp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,78 +138,111 @@ func TestPlanColdThenWarm(t *testing.T) {
 	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.PlansServed != 2 || st.CrossCallNodeHits == 0 || st.CacheNodes == 0 || st.CacheEdges == 0 {
-		t.Fatalf("stats inconsistent after cold+warm: %+v", st)
-	}
+	return st
+}
 
-	// /healthz answers while all of the above is in flight-able state.
-	h, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+// TestLegacyAliasesDeprecated: the unversioned endpoints answer identically
+// to their /v1 successors but advertise their deprecation (RFC 8594 style).
+func TestLegacyAliasesDeprecated(t *testing.T) {
+	s := newTestServer(t, "", noAdmission)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	legacy := doPlan(t, ts, "/plan", PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if legacy.resp == nil {
+		t.Fatalf("legacy /plan failed: %d %s", legacy.status, legacy.env.Message)
 	}
-	h.Body.Close()
-	if h.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", h.StatusCode)
+	if legacy.header.Get("Deprecation") != "true" {
+		t.Fatalf("legacy /plan Deprecation header = %q, want true", legacy.header.Get("Deprecation"))
+	}
+	if link := legacy.header.Get("Link"); !strings.Contains(link, "/v1/plan") ||
+		!strings.Contains(link, "successor-version") {
+		t.Fatalf("legacy /plan Link header = %q", link)
+	}
+	for _, path := range []string{"/healthz", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
+			t.Fatalf("%s: status=%d Deprecation=%q", path, resp.StatusCode, resp.Header.Get("Deprecation"))
+		}
+	}
+	v1 := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if v1.resp == nil || v1.header.Get("Deprecation") != "" {
+		t.Fatalf("/v1/plan: resp=%v Deprecation=%q", v1.resp, v1.header.Get("Deprecation"))
+	}
+	if v1.resp.Digest != legacy.resp.Digest {
+		t.Fatalf("alias diverged from successor: %s vs %s", legacy.resp.Digest, v1.resp.Digest)
 	}
 }
 
 // TestPlanTimeoutThenRecover pins the acceptance criterion: a request with a
-// deliberately generous search budget but a tiny timeout is cancelled
-// promptly (504), and the shared cache stays fully usable for the next
-// request.
+// deliberately generous search budget but a tiny deadline is cancelled
+// promptly (504 once the search overruns it), and the shared cache stays
+// fully usable for the next request. Admission is disabled so the tiny
+// deadline reaches the search instead of being shed up front.
 func TestPlanTimeoutThenRecover(t *testing.T) {
-	s := newTestServer(t, "")
+	s := newTestServer(t, "", noAdmission)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
 	start := time.Now()
-	resp, httpResp := postPlan(t, ts, PlanRequest{
+	out := postPlan(t, ts, PlanRequest{
 		Model: "OPT-175B", Devices: 8, BudgetMS: 600_000, TimeoutMS: 1,
 	})
 	elapsed := time.Since(start)
-	if resp != nil {
-		t.Fatalf("expected a timeout, got a plan (digest %s)", resp.Digest)
+	if out.resp != nil {
+		t.Fatalf("expected a timeout, got a plan (digest %s)", out.resp.Digest)
 	}
-	if httpResp.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("status = %d (%s), want 504", httpResp.StatusCode, httpResp.Status)
+	if out.status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", out.status, out.env.Message)
+	}
+	if out.env.Code != "deadline_exceeded" || !out.env.Retryable {
+		t.Fatalf("envelope = %+v, want retryable deadline_exceeded", out.env)
+	}
+	if out.env.Error == "" {
+		t.Fatal("legacy error field empty")
 	}
 	if elapsed > 30*time.Second {
 		t.Fatalf("cancelled request took %s, not prompt", elapsed)
 	}
 
 	// The same server must still serve a normal request from a clean cache.
-	ok, _ := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4})
-	if ok == nil {
+	ok := postPlan(t, ts, PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if ok.resp == nil {
 		t.Fatal("plan after a cancelled request failed")
 	}
-	if ok.Stats.NodeEvals == 0 {
-		t.Fatalf("post-cancel plan claims to be warm; the cancelled request must not publish partial entries: %+v", ok.Stats)
+	if ok.resp.Stats.NodeEvals == 0 {
+		t.Fatalf("post-cancel plan claims to be warm; the cancelled request must not publish partial entries: %+v", ok.resp.Stats)
 	}
 }
 
 // TestPlanCancelledContext drives s.plan directly with an already-cancelled
-// context: it must return context.Canceled without publishing anything.
+// context: it must return the client_closed mapping without publishing
+// anything.
 func TestPlanCancelledContext(t *testing.T) {
-	s := newTestServer(t, "")
+	s := newTestServer(t, "", noAdmission)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := s.plan(ctx, &PlanRequest{Model: "OPT-6.7B", Devices: 4, BudgetMS: 600_000})
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	_, aerr := s.plan(ctx, &PlanRequest{Model: "OPT-6.7B", Devices: 4, BudgetMS: 600_000})
+	if aerr == nil || aerr.status != 499 || aerr.code != "client_closed" {
+		t.Fatalf("aerr = %+v, want 499 client_closed", aerr)
 	}
 	if n, e := s.cache.Sizes(); n != 0 || e != 0 {
 		t.Fatalf("cancelled plan published %d nodes, %d edges", n, e)
 	}
 	// And the cache is usable afterwards.
-	resp, _, err := s.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4})
-	if err != nil || resp == nil {
-		t.Fatalf("plan after cancellation: %v", err)
+	resp, aerr := s.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if aerr != nil || resp == nil {
+		t.Fatalf("plan after cancellation: %+v", aerr)
 	}
 }
 
-// TestPlanValidation covers the 4xx paths.
+// TestPlanValidation covers the 4xx paths and the error envelope shape.
 func TestPlanValidation(t *testing.T) {
-	s := newTestServer(t, "")
+	s := newTestServer(t, "", noAdmission)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -183,7 +260,7 @@ func TestPlanValidation(t *testing.T) {
 		{"bad layers", http.MethodPost, `{"model":"OPT-6.7B","devices":4,"layers":-2}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
-		req, err := http.NewRequest(c.method, ts.URL+"/plan", strings.NewReader(c.body))
+		req, err := http.NewRequest(c.method, ts.URL+"/v1/plan", strings.NewReader(c.body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,9 +268,14 @@ func TestPlanValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var env errorEnvelope
+		json.NewDecoder(resp.Body).Decode(&env)
 		resp.Body.Close()
 		if resp.StatusCode != c.want {
 			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+		if env.Code == "" || env.Message == "" || env.Error != env.Message {
+			t.Errorf("%s: malformed envelope %+v", c.name, env)
 		}
 	}
 }
@@ -310,9 +392,9 @@ func TestFlightGroupLeaderCancelled(t *testing.T) {
 // path share.
 func TestSaveCache(t *testing.T) {
 	dir := t.TempDir()
-	s := newTestServer(t, dir)
-	if _, _, err := s.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4}); err != nil {
-		t.Fatal(err)
+	s := newTestServer(t, dir, noAdmission)
+	if _, aerr := s.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4}); aerr != nil {
+		t.Fatal(aerr)
 	}
 	if err := s.saveCache(); err != nil {
 		t.Fatal(err)
@@ -329,10 +411,10 @@ func TestSaveCache(t *testing.T) {
 	if err := loaded.Load(dir); err != nil {
 		t.Fatal(err)
 	}
-	s2 := newServer(loaded, dir, time.Minute, 5*time.Minute)
-	resp, _, err := s2.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4})
-	if err != nil {
-		t.Fatal(err)
+	s2 := newServer(loaded, dir, time.Minute, 5*time.Minute, noAdmission)
+	resp, aerr := s2.plan(context.Background(), &PlanRequest{Model: "OPT-6.7B", Devices: 4})
+	if aerr != nil {
+		t.Fatal(aerr)
 	}
 	if resp.Stats.NodeEvals != 0 || resp.Stats.CrossCallNodeHits == 0 {
 		t.Fatalf("restart was not warm: %+v", resp.Stats)

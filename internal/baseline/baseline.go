@@ -12,6 +12,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -137,12 +138,12 @@ func BestMegatron(m *cost.Model, g *graph.Graph) (*Result, error) {
 func Alpa(m *cost.Model, g *graph.Graph, layers int) (*core.Strategy, error) {
 	o := core.NewOptimizer(m)
 	o.Opts.AllowPrime = false
-	return o.Optimize(g, layers)
+	return o.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: layers})
 }
 
 // PrimePar runs the full spatial-temporal search (for symmetry with the
 // baselines).
 func PrimePar(m *cost.Model, g *graph.Graph, layers int) (*core.Strategy, error) {
 	o := core.NewOptimizer(m)
-	return o.Optimize(g, layers)
+	return o.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: layers})
 }

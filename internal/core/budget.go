@@ -1,5 +1,5 @@
-// Beam autotuning: OptimizeBudget replaces hand-picked beam widths with a
-// wall-clock budget. The beam grows geometrically; each width is a full
+// Beam autotuning: Plan's budget mode replaces hand-picked beam widths with
+// a wall-clock budget. The beam grows geometrically; each width is a full
 // (approximate) search, and widths stop growing as soon as the chosen
 // strategy stops changing, the beam stops cutting anything (the search was
 // exact), or the budget is spent. Cross-call caching (crosscache.go) makes
@@ -14,38 +14,25 @@ import (
 	"repro/internal/graph"
 )
 
-// budgetStartBeam is the first beam width OptimizeBudget tries. Small enough
+// budgetStartBeam is the first beam width the budget mode tries. Small enough
 // that the first probe is nearly free, large enough that tiny spaces are
 // exact on the first try.
 const budgetStartBeam = 16
 
-// OptimizeBudget runs the search under Opts.SearchBudget. With a zero (or
-// negative) budget it is exactly Optimize. Otherwise it searches at beam
-// widths budgetStartBeam, 2·budgetStartBeam, ... and returns the newest
-// strategy when
+// searchBudget runs the anytime beam-autotuned search (the Plan entrypoint's
+// budget mode): it searches at beam widths budgetStartBeam,
+// 2·budgetStartBeam, ... and returns the newest strategy when
 //
 //   - no node's candidate space was actually cut (the result is the exact
 //     optimum and wider beams cannot change it),
 //   - two consecutive widths choose the same strategy (stabilized), or
 //   - the budget is exhausted.
 //
-// The final strategy's Stats describe the LAST search run; Opts.Beam is
-// restored on return.
-func (o *Optimizer) OptimizeBudget(g *graph.Graph, layers int) (*Strategy, error) {
-	return o.OptimizeBudgetCtx(context.Background(), g, layers)
-}
-
-// OptimizeBudgetCtx is OptimizeBudget under a cancellation context: the
-// context is consulted before each beam width (on top of OptimizeCtx's own
-// in-search checks), so a cancelled request stops growing the beam instead
-// of running to the wall-clock budget.
-func (o *Optimizer) OptimizeBudgetCtx(ctx context.Context, g *graph.Graph, layers int) (*Strategy, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if o.Opts.SearchBudget <= 0 {
-		return o.OptimizeCtx(ctx, g, layers)
-	}
+// The context is consulted before each beam width (on top of searchOnce's
+// own in-search checks), so a cancelled request stops growing the beam
+// instead of running to the wall-clock budget. The final strategy's Stats
+// describe the LAST search run; Opts.Beam is restored on return.
+func (o *Optimizer) searchBudget(ctx context.Context, g *graph.Graph, layers int, budget time.Duration) (*Strategy, error) {
 	start := time.Now()
 	saved := o.Opts.Beam
 	defer func() { o.Opts.Beam = saved }()
@@ -55,12 +42,12 @@ func (o *Optimizer) OptimizeBudgetCtx(ctx context.Context, g *graph.Graph, layer
 			return nil, err
 		}
 		o.Opts.Beam = beam
-		strat, err := o.OptimizeCtx(ctx, g, layers)
+		strat, err := o.searchOnce(ctx, g, layers)
 		if err != nil {
 			return nil, err
 		}
 		if uncut(strat.SpaceSizes, beam) || stableSeqs(prev, strat) ||
-			time.Since(start) >= o.Opts.SearchBudget {
+			time.Since(start) >= budget {
 			return strat, nil
 		}
 		prev = strat

@@ -462,23 +462,14 @@ func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []fl
 	return t, nil
 }
 
-// Optimize searches the layer graph g and stacks `layers` identical layers,
-// returning the optimal strategy for a representative layer and the total
-// stacked cost.
-func (o *Optimizer) Optimize(g *graph.Graph, layers int) (*Strategy, error) {
-	return o.OptimizeCtx(context.Background(), g, layers)
-}
-
-// OptimizeCtx is Optimize under a cancellation context. Cancellation is
+// searchOnce runs one full search of the layer graph at the currently
+// configured options (the Plan entrypoint's non-budget mode). Cancellation is
 // checked at coarse, value-independent points — between pool task pulls,
 // per Bellman step, per merge, between stages — so an uncancelled search
-// executes bit-identically to Optimize, while a cancelled one returns
-// ctx.Err() promptly and publishes nothing partial to the shared
+// executes bit-identically to an uncancellable one, while a cancelled one
+// returns ctx.Err() promptly and publishes nothing partial to the shared
 // cross-call cache (the cache stays fully usable).
-func (o *Optimizer) OptimizeCtx(ctx context.Context, g *graph.Graph, layers int) (*Strategy, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) (*Strategy, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+func estimateOptimizer(t *testing.T, cache *SearchCache) *Optimizer {
+	t.Helper()
+	m := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	m.Alpha = 1e-12
+	o := NewOptimizer(m)
+	o.Cache = cache
+	return o
+}
+
+// TestEstimatePlanColdThenWarm pins the estimator's contract: a cold cache
+// predicts node and edge work; after one real Plan call the SAME request must
+// estimate Warm — and a Warm promise must be sound (the search re-run does
+// zero node evaluations and zero edge builds).
+func TestEstimatePlanColdThenWarm(t *testing.T) {
+	cfg := model.OPT6B7()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSearchCache()
+	o := estimateOptimizer(t, cache)
+	req := PlanRequest{Graph: g, Layers: cfg.Layers}
+
+	cold, err := o.EstimatePlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm {
+		t.Fatal("empty cache estimated Warm")
+	}
+	if cold.NodeEvals == 0 || cold.CandidatesEvaluated == 0 {
+		t.Fatalf("cold estimate predicts no node work: %+v", cold)
+	}
+	if cold.EdgeBuilds == 0 || cold.EdgeCells == 0 {
+		t.Fatalf("cold estimate predicts no edge work: %+v", cold)
+	}
+	if cold.Work <= 0 {
+		t.Fatalf("cold Work = %v", cold.Work)
+	}
+
+	if _, err := o.Plan(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := o.EstimatePlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Fatalf("repeat request not estimated Warm: %+v", warm)
+	}
+	if warm.NodeEvals != 0 || warm.EdgeBuilds != 0 {
+		t.Fatalf("warm estimate still predicts cache misses: %+v", warm)
+	}
+	if warm.Work <= 0 {
+		t.Fatal("warm Work must stay positive (the DP still runs)")
+	}
+	if warm.Work >= cold.Work {
+		t.Fatalf("warm Work %v not below cold Work %v", warm.Work, cold.Work)
+	}
+
+	// Soundness: the promised-warm search really does no quadratic work.
+	strat, err := o.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strat.Stats.NodeEvals != 0 || strat.Stats.EdgeMatsBuilt != 0 {
+		t.Fatalf("Warm estimate was unsound: search did work %+v", strat.Stats)
+	}
+}
+
+// TestEstimatePlanDisableCacheNeverWarm: configurations that bypass the
+// cross-call cache can never be Warm, no matter how often they repeat.
+func TestEstimatePlanDisableCacheNeverWarm(t *testing.T) {
+	cfg := model.OPT6B7()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := estimateOptimizer(t, NewSearchCache())
+	o.Opts.DisableCache = true
+	req := PlanRequest{Graph: g, Layers: 1}
+	if _, err := o.Plan(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	est, err := o.EstimatePlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Warm {
+		t.Fatal("DisableCache estimated Warm")
+	}
+	if est.NodeEvals == 0 || est.EdgeBuilds == 0 {
+		t.Fatalf("DisableCache estimate must predict full work: %+v", est)
+	}
+}
+
+// TestEstimatePlanBudgetProbesFirstBeam: a budget-mode request is costed at
+// budgetStartBeam. A cache warmed by the SAME budget request estimates Warm;
+// a cache warmed only by an exact (unpruned) search does not, because pruned
+// edge matrices live under beam-dependent keys. Opts.Beam is restored.
+func TestEstimatePlanBudgetProbesFirstBeam(t *testing.T) {
+	cfg := model.OPT6B7()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := PlanRequest{Graph: g, Layers: cfg.Layers, Budget: time.Minute}
+
+	exactWarmed := NewSearchCache()
+	oe := estimateOptimizer(t, exactWarmed)
+	if _, err := oe.Plan(context.Background(), PlanRequest{Graph: g, Layers: cfg.Layers}); err != nil {
+		t.Fatal(err)
+	}
+	est, err := oe.EstimatePlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ProbeBeam != budgetStartBeam {
+		t.Fatalf("budget estimate probed beam %d, want %d", est.ProbeBeam, budgetStartBeam)
+	}
+	if est.Warm {
+		t.Fatal("exact-warmed cache must not be Warm for a pruned probe")
+	}
+	if est.NodeEvals != 0 {
+		t.Fatalf("node entries are beam-independent, want 0 evals: %+v", est)
+	}
+	if oe.Opts.Beam != 0 {
+		t.Fatalf("EstimatePlan left Opts.Beam = %d", oe.Opts.Beam)
+	}
+
+	budgetWarmed := NewSearchCache()
+	ob := estimateOptimizer(t, budgetWarmed)
+	if _, err := ob.Plan(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	est2, err := ob.EstimatePlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est2.Warm {
+		t.Fatalf("budget-warmed cache not Warm for the same budget request: %+v", est2)
+	}
+}
+
+// TestEstimatePlanRejectsBadRequests mirrors Plan's input validation.
+func TestEstimatePlanRejectsBadRequests(t *testing.T) {
+	o := estimateOptimizer(t, NewSearchCache())
+	if _, err := o.EstimatePlan(PlanRequest{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g, err := model.BuildBlock(model.OPT6B7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.EstimatePlan(PlanRequest{Graph: g, Layers: 0}); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}

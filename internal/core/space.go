@@ -39,11 +39,12 @@ type Options struct {
 	// candidate sets so layer stacking stays sound.
 	Beam int
 
-	// SearchBudget, when positive, makes OptimizeBudget autotune Beam: it
-	// runs the search at geometrically growing beam widths until the chosen
-	// strategy stabilizes, the beam covers every candidate space (exact), or
-	// the wall-clock budget is spent — replacing hand-picked beam widths.
-	// Plain Optimize ignores it.
+	// SearchBudget, when positive, makes a Plan request with
+	// PlanRequest.Budget set autotune Beam: it runs the search at
+	// geometrically growing beam widths until the chosen strategy
+	// stabilizes, the beam covers every candidate space (exact), or the
+	// wall-clock budget is spent — replacing hand-picked beam widths. A
+	// Plan with a zero Budget ignores it.
 	SearchBudget time.Duration
 
 	// DisableCache switches the search to its reference mode: the

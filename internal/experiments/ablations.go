@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/device"
 	"repro/internal/model"
@@ -122,7 +124,7 @@ func AblationSegmentedVsExhaustive(s Setup, cfg model.Config) (string, error) {
 	for _, scale := range []int{2, 4} {
 		o := s.optimizer(s.cluster(scale))
 		start := time.Now()
-		dp, err := o.Optimize(g, 1)
+		dp, err := o.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: 1})
 		if err != nil {
 			return "", err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -40,7 +41,8 @@ func Table2(s Setup) ([]Table2Row, string, error) {
 		for _, scale := range s.Scales {
 			o := s.optimizer(s.cluster(scale))
 			start := time.Now()
-			strat, err := o.OptimizeBudget(g, cfg.Layers)
+			strat, err := o.Plan(context.Background(), core.PlanRequest{
+				Graph: g, Layers: cfg.Layers, Budget: o.Opts.SearchBudget})
 			if err != nil {
 				return nil, "", err
 			}

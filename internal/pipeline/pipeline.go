@@ -19,6 +19,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -155,7 +156,7 @@ func Evaluate(cfg model.Config, full *device.Cluster, c3 Config3D, system System
 	case PrimePar:
 		o := core.NewOptimizer(cost.NewModel(sub))
 		o.Opts.AllowBatchSplit = false // d is controlled externally (§6.4)
-		strat, err := o.Optimize(g, layersPerStage)
+		strat, err := o.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: layersPerStage})
 		if err != nil {
 			return nil, err
 		}

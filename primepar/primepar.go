@@ -21,6 +21,7 @@
 package primepar
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -126,9 +127,13 @@ type Plan struct {
 }
 
 // Search finds the optimal spatial-temporal partition strategy for cfg on
-// the cluster (the PrimePar system).
+// the cluster (the PrimePar system). At most one Options value may be
+// passed; passing more returns an error.
 func Search(cfg Config, cluster *Cluster, opts ...Options) (*Plan, error) {
-	o := searchOptions(opts)
+	o, err := searchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	g, err := model.BuildBlock(cfg)
 	if err != nil {
 		return nil, err
@@ -141,7 +146,7 @@ func Search(cfg Config, cluster *Cluster, opts ...Options) (*Plan, error) {
 	if o.MaxPrimeK > 0 {
 		opt.Opts.MaxPrimeK = o.MaxPrimeK
 	}
-	strat, err := opt.Optimize(g, cfg.Layers)
+	strat, err := opt.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: cfg.Layers})
 	if err != nil {
 		return nil, err
 	}
@@ -160,15 +165,15 @@ func Search(cfg Config, cluster *Cluster, opts ...Options) (*Plan, error) {
 	}, nil
 }
 
-func searchOptions(opts []Options) Options {
+func searchOptions(opts []Options) (Options, error) {
 	if len(opts) > 1 {
-		panic("primepar: pass at most one Options value")
+		return Options{}, fmt.Errorf("primepar: pass at most one Options value, got %d", len(opts))
 	}
 	o := Options{Alpha: 1e-12}
 	if len(opts) == 1 {
 		o = opts[0]
 	}
-	return o
+	return o, nil
 }
 
 // MegatronPlan builds the Megatron-LM baseline strategy with 2^dBits-way

@@ -146,14 +146,11 @@ func TestEvaluate3D(t *testing.T) {
 	}
 }
 
-func TestSearchPanicsOnMultipleOptions(t *testing.T) {
+func TestSearchRejectsMultipleOptions(t *testing.T) {
 	cluster, _ := NewCluster(4, 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("multiple Options accepted")
-		}
-	}()
-	_, _ = Search(OPT6B7(), cluster, Options{}, Options{})
+	if _, err := Search(OPT6B7(), cluster, Options{}, Options{}); err == nil {
+		t.Fatal("multiple Options accepted")
+	}
 }
 
 func TestVerifyTraining(t *testing.T) {
