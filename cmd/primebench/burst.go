@@ -58,7 +58,7 @@ func (c admissionCounters) shedTotal() int64 {
 // runBurst drives the burst and verifies the daemon's admission contract.
 func runBurst(addr string, clients, iters int) error {
 	addr = normalizeAddr(addr)
-	client := &http.Client{Timeout: 20 * time.Minute}
+	client := httpClient
 	total := clients * iters
 
 	// Prewarm the probe request so warm latency is measurable during the

@@ -52,6 +52,22 @@ type errorEnvelope struct {
 	RetryAfterMS int64  `json:"retry_after_ms"`
 }
 
+// httpClient is the one client every remote mode shares. A fresh
+// &http.Client{} per call rides http.DefaultTransport, whose
+// DefaultMaxIdleConnsPerHost of 2 forces a burst of N concurrent clients to
+// churn TCP connections — the handshakes then pollute warm-probe latency
+// percentiles with connection setup that has nothing to do with the daemon.
+// One shared transport with a per-host idle pool sized for -burst keeps every
+// worker on a kept-alive connection.
+var httpClient = newHTTPClient()
+
+func newHTTPClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 0 // no global cap; the per-host pool is the limit
+	tr.MaxIdleConnsPerHost = 64
+	return &http.Client{Timeout: 20 * time.Minute, Transport: tr}
+}
+
 // normalizeAddr accepts host:port or a full URL.
 func normalizeAddr(addr string) string {
 	if !strings.Contains(addr, "://") {
@@ -67,7 +83,7 @@ func normalizeAddr(addr string) string {
 func remoteTable2(addr string, setup experiments.Setup) ([]experiments.Table2Row, string, error) {
 	addr = normalizeAddr(addr)
 	structures := []model.Config{model.OPT175B(), model.Llama2_70B(), model.BLOOM176B()}
-	client := &http.Client{Timeout: 20 * time.Minute}
+	client := httpClient
 	var rows []experiments.Table2Row
 	t := report.NewTable(fmt.Sprintf("Table 2 — Optimization time (ms, served by %s)", addr),
 		"model", "4", "8", "16", "32")

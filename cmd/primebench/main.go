@@ -9,6 +9,7 @@
 //	primebench -exp fig7 -quick
 //	primebench -serve-addr localhost:7133 -exp table2   # sweep via a daemon
 //	primebench -serve-addr localhost:7133 -burst 16     # admission burst demo
+//	primebench -serve-addr localhost:7133 -sweep 4,8    # portfolio-vs-individual check
 //
 // Experiments: fig2a fig2b fig4 table1 fig7 fig8 fig9 fig10 table2 ablations
 package main
@@ -42,6 +43,8 @@ func main() {
 		serveAddr  = flag.String("serve-addr", "", "with -exp table2 or -burst: talk to a primepard daemon at this address instead of searching in-process")
 		burst      = flag.Int("burst", 0, "with -serve-addr: closed-loop burst mode — this many concurrent clients fire cold /v1/plan requests and the run verifies the daemon's admission contract (sheds carry 503 + Retry-After, warm traffic stays zero-work)")
 		burstIters = flag.Int("burst-iters", 1, "cold requests per burst client")
+		sweepSpec  = flag.String("sweep", "", "with -serve-addr: comma-separated device counts (e.g. \"4,8,16,32\") — plan each individually, then as one /v1/plan/sweep portfolio, and fail unless every digest matches with less total search work")
+		sweepModel = flag.String("sweep-model", "Llama2-7B", "model the -sweep check plans (pick one the daemon has not already cached so the individual plans are honestly cold)")
 	)
 	flag.Parse()
 
@@ -57,8 +60,16 @@ func main() {
 		check(runBurst(*serveAddr, *burst, *burstIters))
 		return
 	}
+	if *sweepSpec != "" {
+		if *serveAddr == "" {
+			fmt.Fprintln(os.Stderr, "primebench: -sweep requires -serve-addr")
+			os.Exit(2)
+		}
+		check(runSweep(*serveAddr, *sweepModel, *sweepSpec))
+		return
+	}
 	if *serveAddr != "" && *exp != "table2" {
-		fmt.Fprintln(os.Stderr, "primebench: -serve-addr requires -exp table2 (or -burst)")
+		fmt.Fprintln(os.Stderr, "primebench: -serve-addr requires -exp table2 (or -burst/-sweep)")
 		os.Exit(2)
 	}
 

@@ -21,6 +21,14 @@
 // straight on. Warm requests bypass the gate entirely: they are ~free, so
 // making them wait behind cold searches would only add latency and would
 // starve the one class of traffic shedding is meant to protect.
+//
+// A /v1/plan/sweep portfolio is admitted as ONE unit: the whole scale curve
+// holds one slot, costed at the sum of its per-point estimates, because the
+// points deliberately share cache intermediates — interleaving other cold
+// traffic between them would only evict what they share. Between points the
+// sweep re-checks the deadline policy via unmeetable(), so a portfolio that
+// outlives its client's patience sheds its remaining points instead of
+// searching them into the void.
 package main
 
 import (
@@ -203,17 +211,8 @@ func (a *admission) admit(ctx ctxDone, warm bool, expectedCost time.Duration, de
 			message:    "server under memory pressure; only warm-cache requests are admitted",
 		}
 	}
-	shedForDeadline := func(wait time.Duration) *apiError {
-		a.shedDeadline.Add(1)
-		return &apiError{
-			status: 503, code: "deadline_unmeetable", retryable: true,
-			retryAfter: retryHint(expectedCost + wait),
-			message: fmt.Sprintf("expected search cost %v cannot meet the request deadline (%v remaining)",
-				expectedCost.Round(time.Millisecond), time.Until(deadline).Round(time.Millisecond)),
-		}
-	}
 	if !deadline.IsZero() && time.Until(deadline) < expectedCost {
-		return nil, shedForDeadline(0)
+		return nil, a.deadlineShed(expectedCost, 0, deadline)
 	}
 
 	a.mu.Lock()
@@ -254,7 +253,7 @@ func (a *admission) admit(ctx ctxDone, warm bool, expectedCost time.Duration, de
 		// The slot is ours, but the wait may have eaten the deadline.
 		if !deadline.IsZero() && time.Until(deadline) < expectedCost {
 			a.release()
-			return nil, shedForDeadline(time.Since(start))
+			return nil, a.deadlineShed(expectedCost, time.Since(start), deadline)
 		}
 		return a.release, nil
 	case <-timeout:
@@ -274,6 +273,30 @@ func (a *admission) admit(ctx ctxDone, warm bool, expectedCost time.Duration, de
 		}
 		return nil, nil // caller maps ctx.Err() (499 vs 504)
 	}
+}
+
+// deadlineShed counts and describes one deadline_unmeetable shed: the
+// predicted remaining cost cannot fit before the request deadline. wait is
+// any queue time already spent (folded into the Retry-After hint).
+func (a *admission) deadlineShed(expectedCost, wait time.Duration, deadline time.Time) *apiError {
+	a.shedDeadline.Add(1)
+	return &apiError{
+		status: 503, code: "deadline_unmeetable", retryable: true,
+		retryAfter: retryHint(expectedCost + wait),
+		message: fmt.Sprintf("expected search cost %v cannot meet the request deadline (%v remaining)",
+			expectedCost.Round(time.Millisecond), time.Until(deadline).Round(time.Millisecond)),
+	}
+}
+
+// unmeetable applies the same deadline policy admit enforces on arrival, for
+// callers that hold a slot across several searches and re-check between them
+// (a /v1/plan/sweep between points). Nil when the gate is disabled, there is
+// no deadline, or the predicted cost still fits.
+func (a *admission) unmeetable(expectedCost time.Duration, deadline time.Time) *apiError {
+	if a.cfg.MaxConcurrent <= 0 || deadline.IsZero() || time.Until(deadline) >= expectedCost {
+		return nil
+	}
+	return a.deadlineShed(expectedCost, 0, deadline)
 }
 
 // release frees one slot: the best waiter (highest priority, then FIFO)

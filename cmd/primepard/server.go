@@ -6,9 +6,10 @@
 //
 // The HTTP surface is versioned under /v1:
 //
-//	POST /v1/plan     — search (or serve from cache)
-//	GET  /v1/healthz  — liveness
-//	GET  /v1/stats    — cumulative counters, cache sizes, admission state
+//	POST /v1/plan        — search (or serve from cache)
+//	POST /v1/plan/sweep  — portfolio planning over a scale curve (sweep.go)
+//	GET  /v1/healthz     — liveness
+//	GET  /v1/stats       — cumulative counters, cache sizes, admission state
 //
 // The unversioned paths survive as deprecated aliases answering identically
 // plus a Deprecation header. Every non-200 answer carries one uniform
@@ -161,10 +162,18 @@ type server struct {
 	cancellations atomic.Int64
 	crossNodeHits atomic.Int64
 	crossEdgeHits atomic.Int64
-	warmServed    atomic.Int64
-	saves         atomic.Int64
-	saveErrors    atomic.Int64
-	lastSaveUnix  atomic.Int64
+	// crossTableHits counts segment DP tables served whole from the cache
+	// (the delta re-planner's skipped frontier).
+	crossTableHits atomic.Int64
+	warmServed     atomic.Int64
+	// Sweep counters are separate from plansServed: one sweep serves many
+	// points, and /v1/plan's counters must keep their one-request meaning.
+	sweeps             atomic.Int64
+	sweepPointsPlanned atomic.Int64
+	sweepPointsFailed  atomic.Int64
+	saves              atomic.Int64
+	saveErrors         atomic.Int64
+	lastSaveUnix       atomic.Int64
 }
 
 func newServer(cache *core.SearchCache, cacheDir string, defaultTimeout, maxTimeout time.Duration, adm admissionConfig) *server {
@@ -184,6 +193,7 @@ func newServer(cache *core.SearchCache, cacheDir string, defaultTimeout, maxTime
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/plan/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	// Unversioned paths: deprecated aliases of their /v1 successors.
@@ -235,41 +245,51 @@ type admissionStats struct {
 // the live cache sizes and admission state, expvar-style (flat JSON,
 // monotone counters).
 type statsResponse struct {
-	UptimeSeconds     float64        `json:"uptime_seconds"`
-	Requests          int64          `json:"requests"`
-	PlansServed       int64          `json:"plans_served"`
-	PlanErrors        int64          `json:"plan_errors"`
-	DedupHits         int64          `json:"dedup_hits"`
-	Cancellations     int64          `json:"cancellations"`
-	WarmServed        int64          `json:"warm_served"`
-	CrossCallNodeHits int64          `json:"cross_call_node_hits"`
-	CrossCallEdgeHits int64          `json:"cross_call_edge_hits"`
-	CacheNodes        int            `json:"cache_nodes"`
-	CacheEdges        int            `json:"cache_edges"`
-	CacheSaves        int64          `json:"cache_saves"`
-	CacheSaveErrors   int64          `json:"cache_save_errors"`
-	LastSaveUnix      int64          `json:"last_save_unix,omitempty"`
-	Admission         admissionStats `json:"admission"`
+	UptimeSeconds      float64        `json:"uptime_seconds"`
+	Requests           int64          `json:"requests"`
+	PlansServed        int64          `json:"plans_served"`
+	PlanErrors         int64          `json:"plan_errors"`
+	DedupHits          int64          `json:"dedup_hits"`
+	Cancellations      int64          `json:"cancellations"`
+	WarmServed         int64          `json:"warm_served"`
+	SweepsServed       int64          `json:"sweeps_served"`
+	SweepPointsPlanned int64          `json:"sweep_points_planned"`
+	SweepPointsFailed  int64          `json:"sweep_points_failed"`
+	CrossCallNodeHits  int64          `json:"cross_call_node_hits"`
+	CrossCallEdgeHits  int64          `json:"cross_call_edge_hits"`
+	CrossCallTableHits int64          `json:"cross_call_table_hits"`
+	CacheNodes         int            `json:"cache_nodes"`
+	CacheEdges         int            `json:"cache_edges"`
+	CacheTables        int            `json:"cache_tables"`
+	CacheSaves         int64          `json:"cache_saves"`
+	CacheSaveErrors    int64          `json:"cache_save_errors"`
+	LastSaveUnix       int64          `json:"last_save_unix,omitempty"`
+	Admission          admissionStats `json:"admission"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	nodes, edges := s.cache.Sizes()
 	running, depth := s.adm.depth()
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds:     time.Since(s.start).Seconds(),
-		Requests:          s.requests.Load(),
-		PlansServed:       s.plansServed.Load(),
-		PlanErrors:        s.planErrors.Load(),
-		DedupHits:         s.dedupHits.Load(),
-		Cancellations:     s.cancellations.Load(),
-		WarmServed:        s.warmServed.Load(),
-		CrossCallNodeHits: s.crossNodeHits.Load(),
-		CrossCallEdgeHits: s.crossEdgeHits.Load(),
-		CacheNodes:        nodes,
-		CacheEdges:        edges,
-		CacheSaves:        s.saves.Load(),
-		CacheSaveErrors:   s.saveErrors.Load(),
-		LastSaveUnix:      s.lastSaveUnix.Load(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Requests:           s.requests.Load(),
+		PlansServed:        s.plansServed.Load(),
+		PlanErrors:         s.planErrors.Load(),
+		DedupHits:          s.dedupHits.Load(),
+		Cancellations:      s.cancellations.Load(),
+		WarmServed:         s.warmServed.Load(),
+		SweepsServed:       s.sweeps.Load(),
+		SweepPointsPlanned: s.sweepPointsPlanned.Load(),
+		SweepPointsFailed:  s.sweepPointsFailed.Load(),
+		CrossCallNodeHits:  s.crossNodeHits.Load(),
+		CrossCallEdgeHits:  s.crossEdgeHits.Load(),
+		CrossCallTableHits: s.crossTableHits.Load(),
+		CacheNodes:         nodes,
+		CacheEdges:         edges,
+		CacheTables:        s.cache.TableEntries(),
+		CacheSaves:         s.saves.Load(),
+		CacheSaveErrors:    s.saveErrors.Load(),
+		LastSaveUnix:       s.lastSaveUnix.Load(),
 		Admission: admissionStats{
 			MaxConcurrent:    s.adm.cfg.MaxConcurrent,
 			MaxQueue:         s.adm.cfg.MaxQueue,
@@ -324,6 +344,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.plansServed.Add(1)
 	s.crossNodeHits.Add(int64(resp.Stats.CrossCallNodeHits))
 	s.crossEdgeHits.Add(int64(resp.Stats.CrossCallEdgeHits))
+	s.crossTableHits.Add(int64(resp.Stats.CrossCallTableHits))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -348,11 +369,22 @@ func (s *server) asAPIError(err error) *apiError {
 	return &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
 }
 
-// plan validates the request, predicts its cost against the shared cache,
-// and runs (or joins) the search under admission control. Admission happens
-// INSIDE the singleflight closure: concurrent duplicates share the leader's
-// queue slot instead of each holding one.
-func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *apiError) {
+// planJob is one fully resolved plan unit: the normalized request (defaults
+// applied), its model config, a fresh optimizer wired to the shared cache,
+// the core request, the cache-state estimate and the singleflight key. Built
+// by preparePlan; consumed by plan (one job) and sweep (a portfolio).
+type planJob struct {
+	req  PlanRequest
+	cfg  model.Config
+	opt  *core.Optimizer
+	core core.PlanRequest
+	est  core.SearchEstimate
+	key  string
+}
+
+// preparePlan validates req, applies the server defaults and predicts the
+// request's cost against the shared cache. It does not search.
+func (s *server) preparePlan(req *PlanRequest) (*planJob, *apiError) {
 	cfg, err := model.ByName(req.Model)
 	if err != nil {
 		return nil, badRequest("%v", err)
@@ -402,9 +434,32 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *ap
 		return nil, badRequest("%v", err)
 	}
 
-	key := o.RequestKey(fmt.Sprintf("%s|layers=%d|batch=%d", cfg.Name, layers, cfg.Batch))
-	resp, err, shared := s.flight.Do(ctx, key, func() (*PlanResponse, error) {
-		release, aerr := s.adm.admit(ctx, est.Warm, s.adm.pred.predict(est.Work), ctxDeadline(ctx))
+	normalized := *req
+	normalized.DevicesPerNode = perNode
+	normalized.Alpha = alpha
+	normalized.Layers = layers
+	normalized.Batch = cfg.Batch
+	return &planJob{
+		req:  normalized,
+		cfg:  cfg,
+		opt:  o,
+		core: planReq,
+		est:  est,
+		key:  o.RequestKey(fmt.Sprintf("%s|layers=%d|batch=%d", cfg.Name, layers, cfg.Batch)),
+	}, nil
+}
+
+// plan validates the request, predicts its cost against the shared cache,
+// and runs (or joins) the search under admission control. Admission happens
+// INSIDE the singleflight closure: concurrent duplicates share the leader's
+// queue slot instead of each holding one.
+func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *apiError) {
+	job, aerr := s.preparePlan(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	resp, err, shared := s.flight.Do(ctx, job.key, func() (*PlanResponse, error) {
+		release, aerr := s.adm.admit(ctx, job.est.Warm, s.adm.pred.predict(job.est.Work), ctxDeadline(ctx))
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -412,7 +467,7 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *ap
 			return nil, ctx.Err() // admission wait ended by the request context
 		}
 		defer release()
-		return s.search(ctx, req, cfg, o, planReq, est)
+		return s.search(ctx, &job.req, job.cfg, job.opt, job.core, job.est)
 	})
 	if shared {
 		s.dedupHits.Add(1)
@@ -420,7 +475,7 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *ap
 	if err != nil {
 		return nil, s.asAPIError(err)
 	}
-	if est.Warm {
+	if job.est.Warm {
 		s.warmServed.Add(1)
 	}
 	if shared {

@@ -1,8 +1,9 @@
-// Cross-call search cache: node evaluations and edge matrices persist
-// ACROSS Optimize calls, so a sweep that revisits the same model structure —
-// other experiments, other α values, repeated scales — pays the quadratic
-// stages once. The within-call signature memo (dp.go) dedups work inside one
-// search; this cache dedups work between searches.
+// Cross-call search cache: node evaluations, edge matrices and (delta.go)
+// whole segment DP tables persist ACROSS Optimize calls, so a sweep that
+// revisits the same model structure — other experiments, other α values,
+// repeated scales — pays the quadratic stages once and re-runs the DP only
+// over its changed frontier. The within-call signature memo (dp.go) dedups
+// work inside one search; this cache dedups work between searches.
 //
 // Keys are exact byte encodings, like sig.go's: an environment prefix (every
 // cluster, cost-model and search-option field the cached value depends on)
@@ -56,8 +57,9 @@ func (e *nodeEntry) withAlpha(alpha float64) *nodeCands {
 	return &nodeCands{seqs: e.seqs, intra: e.intra, total: total, out: e.out, in: e.in}
 }
 
-// SearchCache carries node evaluations and edge matrices across Optimize
-// calls. Safe for concurrent use; all cached values are read-only.
+// SearchCache carries node evaluations, edge matrices and segment DP tables
+// across Optimize calls. Safe for concurrent use; all cached values are
+// read-only.
 type SearchCache struct {
 	mu        sync.Mutex
 	nodes     map[string]*nodeEntry
@@ -67,14 +69,24 @@ type SearchCache struct {
 	// flush. Defaults to maxCachedEdgeCells; tests shrink it to exercise
 	// the flush without half-gigabyte payloads.
 	edgeCellCap int64
+	// tables is the third tier (delta.go): whole segment DP tables, keyed
+	// by environment + α + beam + segment structure. In-memory only — the
+	// disk cache (diskcache.go) persists nodes and edges; tables rebuild
+	// from them in one DP pass.
+	tables     map[string]*table
+	tableCells int64
+	// tableCellCap mirrors edgeCellCap for the table tier.
+	tableCellCap int64
 }
 
 // NewSearchCache returns an empty cross-call cache.
 func NewSearchCache() *SearchCache {
 	return &SearchCache{
-		nodes:       make(map[string]*nodeEntry),
-		edges:       make(map[string]*edgeMat),
-		edgeCellCap: maxCachedEdgeCells,
+		nodes:        make(map[string]*nodeEntry),
+		edges:        make(map[string]*edgeMat),
+		edgeCellCap:  maxCachedEdgeCells,
+		tables:       make(map[string]*table),
+		tableCellCap: maxCachedTableCells,
 	}
 }
 
@@ -91,6 +103,8 @@ func (c *SearchCache) Reset() {
 	c.nodes = make(map[string]*nodeEntry)
 	c.edges = make(map[string]*edgeMat)
 	c.edgeCells = 0
+	c.tables = make(map[string]*table)
+	c.tableCells = 0
 }
 
 func (c *SearchCache) getNode(key string) *nodeEntry {

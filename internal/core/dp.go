@@ -643,21 +643,52 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 	if len(cuts) < 2 {
 		return nil, fmt.Errorf("core: graph needs at least two nodes")
 	}
+	// Delta re-planning (delta.go): segments whose table key was published
+	// by an earlier call are served whole; only the changed frontier runs
+	// segmentTable. Built tables are published after the loop completes, so
+	// a cancellation mid-DP leaves no partial state in the shared cache.
 	var acc *table
+	var builtTables []int // indices into tableKeys/segTables of fresh builds
+	var tableKeys []string
+	var segTables []*table
 	for s := 0; s+1 < len(cuts); s++ {
-		seg, err := o.segmentTable(ctx, g, cands, edgeMats, cuts[s], cuts[s+1], &stats)
-		if err != nil {
-			return nil, err
+		var seg *table
+		var key string
+		if ccache != nil {
+			key = string(o.appendTableCrossKey(envSig, g, cuts[s], cuts[s+1]))
+			if t := ccache.getTable(key); t != nil {
+				seg = t
+				stats.CrossCallTableHits++
+			}
 		}
+		if seg == nil {
+			var err error
+			seg, err = o.segmentTable(ctx, g, cands, edgeMats, cuts[s], cuts[s+1], &stats)
+			if err != nil {
+				return nil, err
+			}
+			stats.SegTablesBuilt++
+			if ccache != nil {
+				builtTables = append(builtTables, len(tableKeys))
+			}
+		}
+		tableKeys = append(tableKeys, key)
+		segTables = append(segTables, seg)
 		stats.DPRowClasses += int64(seg.nCls)
 		if acc == nil {
 			acc = seg
 			continue
 		}
 		cross := o.crossEdges(g, edgeMats, acc.a, seg.b)
+		var err error
 		acc, err = o.merge(ctx, acc, seg, cands[seg.a].total, cross, &stats)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if ccache != nil {
+		for _, i := range builtTables {
+			ccache.putTable(tableKeys[i], segTables[i])
 		}
 	}
 

@@ -7,7 +7,8 @@
 //
 // Soundness rests on key fidelity: the estimator probes the cache with the
 // SAME byte keys the search computes — appendEnvSig + appendNodeCrossKey for
-// node slots, appendEnvSig + appendEdgeCrossKey for edge matrices, after the
+// node slots, appendEnvSig + appendEdgeCrossKey for edge matrices, and
+// appendEnvSig + appendTableCrossKey for whole segment DP tables, after the
 // same within-call signature dedup (sigInterner / edgeKeyOf). A request the
 // estimator calls Warm therefore hits on every node evaluation and edge
 // matrix when it actually runs. The reverse is conservative by design: a
@@ -45,6 +46,13 @@ type SearchEstimate struct {
 	// the matrix cells they imply.
 	EdgeBuilds int
 	EdgeCells  int64
+	// SegTables counts the graph's DP segments; SegTableHits counts those
+	// whose whole segment table is already cached (delta.go), so the DP
+	// will skip them. Table hits reduce Work but do not define Warm: Warm
+	// keeps its node+edge meaning so the admission gate's warm-bypass
+	// semantics are unchanged by the table tier.
+	SegTables    int
+	SegTableHits int
 	// ProbeBeam is the beam width the cache was probed at: budgetStartBeam
 	// for budget-mode requests, Opts.Beam otherwise.
 	ProbeBeam int
@@ -69,6 +77,9 @@ func (o *Optimizer) EstimatePlan(req PlanRequest) (SearchEstimate, error) {
 	g := req.Graph
 	if err := g.Validate(); err != nil {
 		return SearchEstimate{}, err
+	}
+	if len(g.Nodes) < 2 {
+		return SearchEstimate{}, fmt.Errorf("core: graph needs at least two nodes")
 	}
 
 	saved := o.Opts.Beam
@@ -157,13 +168,27 @@ func (o *Optimizer) EstimatePlan(req PlanRequest) (SearchEstimate, error) {
 		}
 	}
 
-	// DP term: Bellman scans over the effective spaces, plus the
-	// logarithmic stacking merges over the boundary space. Runs cached or
-	// not, so even a Warm request has nonzero Work.
+	// DP term: Bellman scans over the effective spaces of every segment
+	// whose table is NOT already cached (probed with the same byte keys the
+	// search uses, delta.go), plus the cross-segment merges, the final
+	// argmin scan and the logarithmic stacking merges — those run cached or
+	// not, so even a fully table-warm request has nonzero Work.
 	dp := 0.0
-	for i := range g.Nodes {
-		dp += estScan * float64(eff(i))
+	cuts := g.SegmentCuts()
+	for s := 0; s+1 < len(cuts); s++ {
+		est.SegTables++
+		if ccache != nil {
+			key := string(o.appendTableCrossKey(envSig, g, cuts[s], cuts[s+1]))
+			if ccache.getTable(key) != nil {
+				est.SegTableHits++
+				continue
+			}
+		}
+		for i := cuts[s]; i <= cuts[s+1]; i++ {
+			dp += estScan * float64(eff(i))
+		}
 	}
+	dp += float64(len(cuts)-1) * estScan * float64(eff(len(g.Nodes)-1))
 	if req.Layers > 1 {
 		nb := float64(eff(len(g.Nodes) - 1))
 		merges := float64(2 * bits.Len(uint(req.Layers-1)))

@@ -155,6 +155,77 @@ func TestEstimatePlanBudgetProbesFirstBeam(t *testing.T) {
 	}
 }
 
+// TestEstimateWarmAfterSweep pins the sweep→estimate contract the portfolio
+// endpoint relies on: after planning a scale curve (device counts, α values,
+// layer counts) against ONE shared cache, EVERY point must subsequently
+// estimate Warm with all segment tables hit — proving the estimator probes
+// with byte-identical keys to the ones the sweep's searches inserted — and a
+// re-plan of any point must do zero node, edge or table work.
+func TestEstimateWarmAfterSweep(t *testing.T) {
+	cfg := model.OPT6B7()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []struct {
+		devices int
+		alpha   float64
+		layers  int
+	}{
+		{8, 1e-12, 2},
+		{8, 1e-10, 2}, // α shift off the first point
+		{4, 1e-12, 2}, // device-count change
+		{8, 1e-12, 4}, // layer-count change
+	}
+	shared := NewSearchCache()
+	optFor := func(p struct {
+		devices int
+		alpha   float64
+		layers  int
+	}) *Optimizer {
+		m := cost.NewModel(device.MustCluster(p.devices, 4, device.V100Profile()))
+		m.Alpha = p.alpha
+		o := NewOptimizer(m)
+		o.Cache = shared
+		return o
+	}
+	// The sweep: plan every point against the shared cache.
+	for _, p := range points {
+		if _, err := optFor(p).Plan(context.Background(), PlanRequest{Graph: g, Layers: p.layers}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The property: every swept point is now warm at every tier.
+	for i, p := range points {
+		o := optFor(p)
+		req := PlanRequest{Graph: g, Layers: p.layers}
+		est, err := o.EstimatePlan(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !est.Warm {
+			t.Errorf("point %d (%+v) not Warm after sweep: %+v", i, p, est)
+		}
+		if est.NodeEvals != 0 || est.EdgeBuilds != 0 {
+			t.Errorf("point %d predicts quadratic work after sweep: %+v", i, est)
+		}
+		if est.SegTables == 0 || est.SegTableHits != est.SegTables {
+			t.Errorf("point %d tables not all hit: %d/%d", i, est.SegTableHits, est.SegTables)
+		}
+		strat, err := o.Plan(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := strat.Stats
+		if s.NodeEvals != 0 || s.EdgeMatsBuilt != 0 || s.SegTablesBuilt != 0 {
+			t.Errorf("point %d re-plan did work after sweep: %+v", i, s)
+		}
+		if s.CrossCallTableHits == 0 {
+			t.Errorf("point %d re-plan missed the table tier: %+v", i, s)
+		}
+	}
+}
+
 // TestEstimatePlanRejectsBadRequests mirrors Plan's input validation.
 func TestEstimatePlanRejectsBadRequests(t *testing.T) {
 	o := estimateOptimizer(t, NewSearchCache())

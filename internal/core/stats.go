@@ -39,6 +39,13 @@ type SearchStats struct {
 	// left-to-right chain).
 	DPTreeMerges int `json:"dp_tree_merges"`
 
+	// SegTablesBuilt counts segment DP tables actually computed this call;
+	// CrossCallTableHits counts segments served whole from the cross-call
+	// table cache (delta.go) — the "changed frontier" of a delta re-plan is
+	// exactly the SegTablesBuilt segments.
+	SegTablesBuilt     int `json:"seg_tables_built"`
+	CrossCallTableHits int `json:"cross_call_table_hits"`
+
 	// MinPlusScanned sums the entries visited by the sorted-scan min-plus
 	// kernels across segment chains, in-segment merges and layer stacking —
 	// the measured DP floor (DESIGN.md §5.2/§5.3) the binary-split tree

@@ -17,9 +17,9 @@ import (
 // where the tree planner may cut. Dimension sizes stay small powers of two so
 // each case searches in milliseconds at 4 devices.
 func chainFromBytes(r *byteReader) (*graph.Graph, int) {
-	b := 2 << r.intn(2)  // batch: 2 or 4
-	m := 4 << r.intn(2)  // sequence: 4, 8 or 16
-	k := 4 << r.intn(2)  // hidden: 4, 8 or 16
+	b := 2 << r.intn(2) // batch: 2 or 4
+	m := 4 << r.intn(2) // sequence: 4, 8 or 16
+	k := 4 << r.intn(2) // hidden: 4, 8 or 16
 	length := 1 + r.intn(8)
 
 	g := &graph.Graph{Name: "fuzz-chain"}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/device"
+	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
@@ -117,6 +118,9 @@ type Plan struct {
 	Seqs []Seq
 	// PredictedCost is the optimizer's Eq. 10 objective for all layers.
 	PredictedCost float64
+	// LayerCost is the optimal single-layer DP cost (zero for baseline
+	// plans, which report only the overall objective).
+	LayerCost float64
 	// SpaceSizes records the per-node candidate-space sizes |P|.
 	SpaceSizes []int
 	// Stats instruments the search that produced the plan (zero for
@@ -159,6 +163,7 @@ func Search(cfg Config, cluster *Cluster, opts ...Options) (*Plan, error) {
 		Cluster:       cluster,
 		Seqs:          strat.Seqs,
 		PredictedCost: strat.TotalCost,
+		LayerCost:     strat.LayerCost,
 		SpaceSizes:    strat.SpaceSizes,
 		Stats:         strat.Stats,
 		system:        name,
@@ -322,6 +327,20 @@ func (p *Plan) Explain() (string, error) {
 			report.Seconds(ob.Ring), report.Bytes(ic.MemoryBytes))
 	}
 	return t.String(), nil
+}
+
+// Digest returns a stable hex digest of the strategy content — the exact
+// partition sequences and the bit patterns of the predicted costs. Two plans
+// with equal digests chose identical strategies; the daemon's /v1/plan and
+// /v1/plan/sweep responses report the same digest, so clients can verify
+// that a portfolio point matches an individually planned request.
+func (p *Plan) Digest() string {
+	return experiments.StrategyDigest(&core.Strategy{
+		Seqs:      p.Seqs,
+		LayerCost: p.LayerCost,
+		TotalCost: p.PredictedCost,
+		Layers:    p.Model.Layers,
+	})
 }
 
 // UsesPrime reports whether any operator uses the spatial-temporal

@@ -12,15 +12,19 @@ import (
 // planFile is the on-disk JSON representation of a Plan: everything needed
 // to redeploy the strategy on an equivalent cluster.
 type planFile struct {
-	FormatVersion int             `json:"format_version"`
-	System        string          `json:"system"`
-	ModelName     string          `json:"model"`
-	Batch         int             `json:"batch"`
-	Devices       int             `json:"devices"`
-	PerNode       int             `json:"devices_per_node"`
-	Profile       Profile         `json:"profile"`
-	PredictedCost float64         `json:"predicted_cost"`
-	Seqs          []partition.Seq `json:"strategies"`
+	FormatVersion int     `json:"format_version"`
+	System        string  `json:"system"`
+	ModelName     string  `json:"model"`
+	Batch         int     `json:"batch"`
+	Devices       int     `json:"devices"`
+	PerNode       int     `json:"devices_per_node"`
+	Profile       Profile `json:"profile"`
+	PredictedCost float64 `json:"predicted_cost"`
+	// LayerCost and Digest were added within format version 1: both are
+	// optional on read (older files omit them), so the version stays 1.
+	LayerCost float64         `json:"layer_cost,omitempty"`
+	Digest    string          `json:"digest,omitempty"`
+	Seqs      []partition.Seq `json:"strategies"`
 }
 
 const planFormatVersion = 1
@@ -36,6 +40,8 @@ func (p *Plan) Save(path string) error {
 		PerNode:       p.Cluster.DevicesPerNode,
 		Profile:       p.Cluster.Profile,
 		PredictedCost: p.PredictedCost,
+		LayerCost:     p.LayerCost,
+		Digest:        p.Digest(),
 		Seqs:          p.Seqs,
 	}
 	data, err := json.MarshalIndent(pf, "", "  ")
@@ -84,11 +90,21 @@ func LoadPlan(path string) (*Plan, error) {
 			return nil, fmt.Errorf("primepar: node %d (%s): %w", i, g.Nodes[i].Name, err)
 		}
 	}
-	return &Plan{
+	p := &Plan{
 		Model:         cfg,
 		Cluster:       cluster,
 		Seqs:          pf.Seqs,
 		PredictedCost: pf.PredictedCost,
+		LayerCost:     pf.LayerCost,
 		system:        pf.System,
-	}, nil
+	}
+	// A digest, when present, must match the strategy content exactly — a
+	// mismatch means the file was edited or corrupted after Save.
+	if pf.Digest != "" {
+		if got := p.Digest(); got != pf.Digest {
+			return nil, fmt.Errorf("primepar: plan digest mismatch (file %s, content %s): file corrupted or edited",
+				pf.Digest, got)
+		}
+	}
+	return p, nil
 }

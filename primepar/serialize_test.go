@@ -1,8 +1,10 @@
 package primepar
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -37,6 +39,12 @@ func TestPlanSaveLoadRoundTrip(t *testing.T) {
 	if loaded.PredictedCost != plan.PredictedCost {
 		t.Fatal("round-trip lost predicted cost")
 	}
+	if loaded.LayerCost != plan.LayerCost {
+		t.Fatal("round-trip lost layer cost")
+	}
+	if loaded.Digest() != plan.Digest() {
+		t.Fatalf("round-trip changed digest: %s vs %s", loaded.Digest(), plan.Digest())
+	}
 	// The loaded plan must simulate identically.
 	a, err := plan.Simulate()
 	if err != nil {
@@ -48,6 +56,60 @@ func TestPlanSaveLoadRoundTrip(t *testing.T) {
 	}
 	if a.IterationTime != b.IterationTime {
 		t.Fatalf("loaded plan simulates differently: %v vs %v", a.IterationTime, b.IterationTime)
+	}
+}
+
+// TestLoadPlanDetectsTamper: a saved plan embeds a digest over its strategy
+// content; editing any digested field after Save must fail the load.
+func TestLoadPlanDetectsTamper(t *testing.T) {
+	cluster, err := NewCluster(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Search(OPT6B7(), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Digest() == "" {
+		t.Fatal("searched plan has empty digest")
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := plan.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["predicted_cost"] = raw["predicted_cost"].(float64) * 2
+	edited, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(path); err == nil {
+		t.Fatal("edited plan accepted")
+	} else if !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("tamper error does not mention the digest: %v", err)
+	}
+	// Files without a digest (older saves within version 1) still load.
+	delete(raw, "digest")
+	raw["predicted_cost"] = plan.PredictedCost
+	legacy, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(path); err != nil {
+		t.Fatalf("digest-less file rejected: %v", err)
 	}
 }
 
