@@ -169,6 +169,13 @@ func main() {
 		}
 		check(err)
 		fmt.Println(table)
+		var candsTotal, candsPruned int
+		for _, r := range rows {
+			candsTotal += r.Stats.CandsTotal
+			candsPruned += r.Stats.CandsPruned
+		}
+		fmt.Printf("dominance pre-filter: pruned %d of %d enumerated candidates\n\n",
+			candsPruned, candsTotal)
 		if *reqWarm {
 			check(requireWarm(rows))
 			fmt.Println("warm-restart check passed: every search served from the cross-call cache")

@@ -44,6 +44,8 @@ type sweepTotals struct {
 	CrossCallNodeHits  int64 `json:"cross_call_node_hits"`
 	CrossCallEdgeHits  int64 `json:"cross_call_edge_hits"`
 	CrossCallTableHits int64 `json:"cross_call_table_hits"`
+	CandsTotal         int64 `json:"cands_total"`
+	CandsPruned        int64 `json:"cands_pruned"`
 }
 
 type sweepResponse struct {

@@ -165,7 +165,12 @@ type server struct {
 	// crossTableHits counts segment DP tables served whole from the cache
 	// (the delta re-planner's skipped frontier).
 	crossTableHits atomic.Int64
-	warmServed     atomic.Int64
+	// candsTotal/candsPruned mirror SearchStats' dominance pre-filter
+	// counters: how many candidates the searches enumerated and how many the
+	// Pareto filter removed before edge matrices were built.
+	candsTotal  atomic.Int64
+	candsPruned atomic.Int64
+	warmServed  atomic.Int64
 	// Sweep counters are separate from plansServed: one sweep serves many
 	// points, and /v1/plan's counters must keep their one-request meaning.
 	sweeps             atomic.Int64
@@ -258,6 +263,8 @@ type statsResponse struct {
 	CrossCallNodeHits  int64          `json:"cross_call_node_hits"`
 	CrossCallEdgeHits  int64          `json:"cross_call_edge_hits"`
 	CrossCallTableHits int64          `json:"cross_call_table_hits"`
+	CandsTotal         int64          `json:"cands_total"`
+	CandsPruned        int64          `json:"cands_pruned"`
 	CacheNodes         int            `json:"cache_nodes"`
 	CacheEdges         int            `json:"cache_edges"`
 	CacheTables        int            `json:"cache_tables"`
@@ -284,6 +291,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CrossCallNodeHits:  s.crossNodeHits.Load(),
 		CrossCallEdgeHits:  s.crossEdgeHits.Load(),
 		CrossCallTableHits: s.crossTableHits.Load(),
+		CandsTotal:         s.candsTotal.Load(),
+		CandsPruned:        s.candsPruned.Load(),
 		CacheNodes:         nodes,
 		CacheEdges:         edges,
 		CacheTables:        s.cache.TableEntries(),
@@ -345,6 +354,8 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.crossNodeHits.Add(int64(resp.Stats.CrossCallNodeHits))
 	s.crossEdgeHits.Add(int64(resp.Stats.CrossCallEdgeHits))
 	s.crossTableHits.Add(int64(resp.Stats.CrossCallTableHits))
+	s.candsTotal.Add(int64(resp.Stats.CandsTotal))
+	s.candsPruned.Add(int64(resp.Stats.CandsPruned))
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -71,6 +71,8 @@ type SweepTotals struct {
 	CrossCallEdgeHits  int64 `json:"cross_call_edge_hits"`
 	CrossCallTableHits int64 `json:"cross_call_table_hits"`
 	MinPlusScanned     int64 `json:"min_plus_scanned"`
+	CandsTotal         int64 `json:"cands_total"`
+	CandsPruned        int64 `json:"cands_pruned"`
 }
 
 func (t *SweepTotals) add(s core.SearchStats) {
@@ -81,6 +83,8 @@ func (t *SweepTotals) add(s core.SearchStats) {
 	t.CrossCallEdgeHits += int64(s.CrossCallEdgeHits)
 	t.CrossCallTableHits += int64(s.CrossCallTableHits)
 	t.MinPlusScanned += s.MinPlusScanned
+	t.CandsTotal += int64(s.CandsTotal)
+	t.CandsPruned += int64(s.CandsPruned)
 }
 
 // SweepResponse is the /v1/plan/sweep output.
@@ -177,6 +181,8 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.crossNodeHits.Add(resp.Totals.CrossCallNodeHits)
 	s.crossEdgeHits.Add(resp.Totals.CrossCallEdgeHits)
 	s.crossTableHits.Add(resp.Totals.CrossCallTableHits)
+	s.candsTotal.Add(resp.Totals.CandsTotal)
+	s.candsPruned.Add(resp.Totals.CandsPruned)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -51,10 +51,14 @@ type nodeEntry struct {
 // bit-identical to a fresh evaluation.
 func (e *nodeEntry) withAlpha(alpha float64) *nodeCands {
 	total := make([]float64, len(e.intra))
+	lat := make([]float64, len(e.intra))
+	mem := make([]float64, len(e.intra))
 	for i := range e.intra {
 		total[i] = e.intra[i].Total(alpha)
+		lat[i] = e.intra[i].Latency()
+		mem[i] = e.intra[i].MemoryBytes
 	}
-	return &nodeCands{seqs: e.seqs, intra: e.intra, total: total, out: e.out, in: e.in}
+	return &nodeCands{seqs: e.seqs, intra: e.intra, total: total, lat: lat, mem: mem, out: e.out, in: e.in}
 }
 
 // SearchCache carries node evaluations, edge matrices and segment DP tables
@@ -141,10 +145,7 @@ func (c *SearchCache) insertEdgeLocked(key string, m *edgeMat) {
 	if _, ok := c.edges[key]; ok {
 		return
 	}
-	var cells int64
-	if len(m.vals) > 0 {
-		cells = int64(len(m.vals)) * int64(len(m.vals[0]))
-	}
+	cells := int64(m.nr) * int64(m.nc)
 	if c.edgeCells+cells > c.edgeCellCap {
 		c.edges = make(map[string]*edgeMat)
 		c.edgeCells = 0
@@ -209,7 +210,13 @@ func appendNodeCrossKey(b []byte, op *graph.Op) []byte {
 // output axes, destination tensor axes, axis map) plus the endpoint
 // candidate-space signatures — and, under beam pruning, the beam width, α
 // and the full endpoint signatures, because the kept candidate subsets are
-// chosen by α-weighted totals over the full structure.
+// chosen by α-weighted totals over the full structure. The dominance
+// pre-filter likewise makes the built matrix depend on the endpoints' full
+// structure (the surviving subsets are chosen by intra-cost components), so
+// its flag byte, per-endpoint interior-position flags (head and tail are
+// never filtered) and — when on — the full signatures are folded too; α is
+// deliberately NOT folded for dominance, whose rule is α-independent, so an
+// α-shifted delta re-plan still hits the edge tier.
 func (o *Optimizer) appendEdgeCrossKey(b []byte, g *graph.Graph, e *graph.Edge) []byte {
 	src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
 	b = append(b, 'E')
@@ -224,9 +231,24 @@ func (o *Optimizer) appendEdgeCrossKey(b []byte, g *graph.Graph, e *graph.Edge) 
 	appendAxes(e.AxisMap)
 	b = appendSpaceSig(b, src)
 	b = appendSpaceSig(b, dst)
+	// Fixed-position flag byte: keys with and without dominance can never
+	// alias regardless of what the conditional sections below append.
+	b = append(b, boolByte(o.dominanceEnabled()))
+	if o.dominanceEnabled() {
+		// The filter skips the graph head and tail (dominance.go), so an
+		// endpoint's surviving set depends on whether it sits at an interior
+		// position — an edge leaving the unfiltered head must not alias a
+		// structurally identical edge between filtered interior nodes.
+		last := len(g.Nodes) - 1
+		b = append(b, boolByte(e.Src != 0 && e.Src != last),
+			boolByte(e.Dst != 0 && e.Dst != last))
+	}
 	if o.Opts.Beam > 0 {
 		b = binary.AppendUvarint(b, uint64(o.Opts.Beam))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Cost.Alpha))
+		b = appendOpSig(b, src)
+		b = appendOpSig(b, dst)
+	} else if o.dominanceEnabled() {
 		b = appendOpSig(b, src)
 		b = appendOpSig(b, dst)
 	}
@@ -244,7 +266,8 @@ func (o *Optimizer) RequestKey(tag string) string {
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Cost.Alpha))
 	b = binary.AppendVarint(b, int64(o.Opts.Beam))
 	b = binary.AppendVarint(b, int64(o.Opts.SearchBudget))
-	b = append(b, boolByte(o.Opts.DisableTreeDP), boolByte(o.Opts.DisableCache))
+	b = append(b, boolByte(o.Opts.DisableTreeDP), boolByte(o.Opts.DisableCache),
+		boolByte(o.Opts.DisableDominance))
 	b = append(b, tag...)
 	return string(b)
 }

@@ -110,6 +110,15 @@ func (o *Optimizer) appendTableCrossKey(b []byte, g *graph.Graph, a, bEnd int) [
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Cost.Alpha))
 	b = binary.AppendVarint(b, int64(o.Opts.Beam))
 	b = append(b, boolByte(o.Opts.DisableTreeDP))
+	// The dominance pre-filter skips the graph head and tail (dominance.go),
+	// so a segment's candidate sets depend on whether it CONTAINS the tail —
+	// a structurally identical segment at the same offset of a longer graph
+	// must not hit. (Head containment is already identified by the offset
+	// below.) The flag byte itself separates filtered from unfiltered runs.
+	b = append(b, boolByte(o.dominanceEnabled()))
+	if o.dominanceEnabled() {
+		b = append(b, boolByte(bEnd == len(g.Nodes)-1))
+	}
 	if o.Opts.Beam > 0 {
 		b = appendOpSig(b, g.Nodes[len(g.Nodes)-1])
 	}

@@ -33,8 +33,10 @@ import (
 const diskCacheMagic = "PPSC"
 
 // diskCacheVersion is bumped on any encoding change; old files then fail to
-// load and the run proceeds cold.
-const diskCacheVersion = 1
+// load and the run proceeds cold. v2: edge cross keys grew a dominance flag
+// byte (crosscache.go), so v1 keys would never hit and could in principle
+// alias.
+const diskCacheVersion = 2
 
 // CacheFileName is the file Save writes inside a cache directory.
 const CacheFileName = "searchcache.ppsc"
@@ -260,9 +262,11 @@ func appendEdgeMat(b []byte, m *edgeMat) []byte {
 	for _, v := range m.cols {
 		b = binary.AppendVarint(b, int64(v))
 	}
-	b = binary.AppendUvarint(b, uint64(len(m.vals)))
-	for _, row := range m.vals {
-		b = appendFloats(b, row)
+	// Rows of the flat core are written individually, keeping the byte
+	// format identical to the pre-flat [][]float64 encoding.
+	b = binary.AppendUvarint(b, uint64(m.nr))
+	for r := 0; r < m.nr; r++ {
+		b = appendFloats(b, m.row(r))
 	}
 	return b
 }
@@ -449,9 +453,23 @@ func (r *cacheReader) edgeMat() *edgeMat {
 	if r.err != nil {
 		return nil
 	}
-	m.vals = make([][]float64, nv)
-	for i := range m.vals {
-		m.vals[i] = r.floats()
+	m.nr = int(nv)
+	// Per-row payloads (the on-disk format predates the flat core) are
+	// concatenated into the flat row-major storage; a ragged row means a
+	// corrupt payload.
+	for i := 0; i < m.nr; i++ {
+		row := r.floats()
+		if r.err != nil {
+			return nil
+		}
+		if i == 0 {
+			m.nc = len(row)
+			m.vals = make([]float64, 0, m.nr*m.nc)
+		} else if len(row) != m.nc {
+			r.err = errors.New("diskcache: ragged edge matrix")
+			return nil
+		}
+		m.vals = append(m.vals, row...)
 	}
 	if r.err != nil {
 		return nil

@@ -1,0 +1,157 @@
+// Intra-dominance pre-filtering: before edge matrices are built, each
+// interior node's candidate set is cut down to its Pareto frontier over the
+// α-independent cost components (latency, memory), within groups of exact
+// full-interface equality. A dropped candidate is provably never chosen by
+// the unfiltered search, so filtered plans are BIT-IDENTICAL to unfiltered
+// ones (FuzzDominanceEquivalence pins this) while every downstream stage —
+// edge matrices, Bellman folds, merge scans — runs over survivors only.
+//
+// The dominance rule, and why it preserves plans exactly:
+//
+//   - Candidate j is dropped iff some SURVIVING candidate i < j has a
+//     byte-identical full interface pair (output AND input: NumAxes, Width,
+//     Fwd, Bwd — a refinement of every edge's relevant-axes grouping and of
+//     the stacking identity check) and Lat_i ≤ Lat_j ∧ Mem_i ≤ Mem_j with
+//     at least one strict. For any α ≥ 0 this gives
+//     Total_i(α) = Lat_i + α·Mem_i ≤ Total_j(α), and because the interfaces
+//     are identical, i and j contribute identical rows/columns to every
+//     edge matrix — so replacing j by i never increases any DP value.
+//   - Ties matter: with α = 0 and Lat_i = Lat_j the totals are EQUAL, and
+//     only the tie-breaking decides the witness. Every argmin in the DP
+//     (foldM, minHeadBase, argMin, merge's W fold, the scan kernels'
+//     strict-improvement updates) is first-strict-minimum in ascending
+//     index order, so an equal-valued pair always resolves to the LOWER
+//     index — which is exactly the dominator we kept. Requiring i < j (and
+//     transitively, checking only against earlier survivors) therefore
+//     makes the filter invisible to witness selection, not just to values.
+//   - α < 0 would flip the memory component's direction, so the filter is
+//     gated off entirely for negative α (a nonsensical but representable
+//     configuration).
+//
+// Interaction with the rest of the search:
+//
+//   - The filter runs strictly AFTER beam pruning: pruneBeam selects by
+//     α-weighted totals over the unfiltered space, and filtering first
+//     would change which candidates the beam keeps.
+//   - The layer head (node 0) and tail (last node) are never filtered:
+//     layer stacking requires their candidate spaces index-identical, and
+//     their class structures differ (the head's zero-cost anchor resolves
+//     argHB by first index per ROW class, which need not survive a
+//     tail-derived keep-set). Interior zero-cost anchors need no special
+//     case — an all-zero component vector is never strictly dominated.
+//   - Filtered candidate sets depend on the endpoints' full op structure
+//     (intra costs), not just their space shapes, so edge keys must grow.
+//     WITHIN one call the key folds the applied keep-list CONTENT of both
+//     endpoints (sigInterner.keepID) — exact, and maximally sharing: nodes
+//     that dropped nothing keep their pre-filter aliasing (a norm and a
+//     residual-add still share a matrix). ACROSS calls the key folds the
+//     full endpoint signatures plus per-endpoint interior-position flags
+//     (appendEdgeCrossKey) — computable by EstimatePlan without running any
+//     node evaluation, and sound because the keep decision is a pure
+//     function of (environment, op structure, interior position). Neither
+//     folds α: the rule above is α-independent, which keeps the delta
+//     re-planner's α-shift edge-tier hits intact. Segment-table keys
+//     additionally fold whether the segment contains the graph tail,
+//     because tail-exclusion makes filtering position-dependent there
+//     (delta.go).
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// dominanceEnabled reports whether the pre-filter applies under the current
+// options: not disabled, and α non-negative (see the file comment).
+func (o *Optimizer) dominanceEnabled() bool {
+	return !o.Opts.DisableDominance && o.Cost != nil && !(o.Cost.Alpha < 0)
+}
+
+// appendIfaceSig appends an exact byte encoding of one interface: every
+// field the edge groupings and the stacking check can read. Length-prefixed
+// so distinct interfaces can never alias.
+func appendIfaceSig(b []byte, ifc *cost.Iface) []byte {
+	if ifc == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(ifc.NumAxes))
+	for _, fs := range [...][]float64{ifc.Width, ifc.Fwd, ifc.Bwd} {
+		b = binary.AppendUvarint(b, uint64(len(fs)))
+		for _, f := range fs {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	}
+	return b
+}
+
+// dominanceKeep returns the ascending keep-list of nc's Pareto frontier, or
+// nil when every candidate survives. Each candidate is tested against the
+// earlier SURVIVORS of its interface group only — dominance is transitive,
+// so a candidate dominated by a dropped one is also dominated by whatever
+// dropped it.
+func dominanceKeep(nc *nodeCands) []int32 {
+	n := len(nc.seqs)
+	groups := make(map[string][]int32)
+	var buf []byte
+	keep := make([]int32, 0, n)
+	for j := 0; j < n; j++ {
+		buf = appendIfaceSig(buf[:0], nc.out[j])
+		buf = appendIfaceSig(buf, nc.in[j])
+		members := groups[string(buf)]
+		dominated := false
+		lj, mj := nc.lat[j], nc.mem[j]
+		for _, i := range members {
+			li, mi := nc.lat[i], nc.mem[i]
+			if li <= lj && mi <= mj && (li < lj || mi < mj) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			groups[string(buf)] = append(members, int32(j))
+			keep = append(keep, int32(j))
+		}
+	}
+	if len(keep) == n {
+		return nil
+	}
+	return keep
+}
+
+// pruneDominated applies the dominance pre-filter to every interior node,
+// replacing (never mutating) its nodeCands like pruneBeam does, and
+// accumulates the CandsTotal/CandsPruned counters. Nodes sharing one
+// evaluation (the signature memo) share one keep decision, since the
+// decision is a pure function of the evaluation.
+func (o *Optimizer) pruneDominated(g *graph.Graph, cands []*nodeCands, st *SearchStats) {
+	tail := len(g.Nodes) - 1
+	filtered := make(map[*nodeCands]*nodeCands)
+	for i, nc := range cands {
+		if st != nil {
+			st.CandsTotal += len(nc.seqs)
+		}
+		if i == 0 || i == tail {
+			continue
+		}
+		out, ok := filtered[nc]
+		if !ok {
+			if keep := dominanceKeep(nc); keep != nil {
+				out = selectCands(nc, keep)
+			} else {
+				out = nc
+			}
+			filtered[nc] = out
+		}
+		if st != nil && out != nc {
+			// Shared evaluations are re-counted per node on purpose: the
+			// counter tracks candidates removed from the DP's view, and a
+			// shared slot appears once per graph position.
+			st.CandsPruned += len(nc.seqs) - len(out.seqs)
+		}
+		cands[i] = out
+	}
+}

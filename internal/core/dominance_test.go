@@ -1,0 +1,191 @@
+// Dominance pre-filter tests: a hand-built dominated candidate must be
+// dropped (and never dropped on a tie), the keep→original index mapping must
+// round-trip through selectCands composition, and — the load-bearing contract
+// — filtered searches must produce BIT-IDENTICAL plans to unfiltered ones
+// (FuzzDominanceEquivalence, seeded under testdata/fuzz and smoked in CI).
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// domCands hand-builds a nodeCands whose candidates have controlled
+// interface groups and (lat, mem) components. ifaceID selects one of two
+// distinct interface pairs; lat/mem are the dominance components.
+func domCands(specs []struct {
+	ifaceID  int
+	lat, mem float64
+}) *nodeCands {
+	ifaces := []*cost.Iface{
+		{NumAxes: 1, Width: []float64{1}, Fwd: []float64{0}, Bwd: []float64{0}},
+		{NumAxes: 1, Width: []float64{0.5}, Fwd: []float64{0, 0.5}, Bwd: []float64{0, 0.5}},
+	}
+	nc := &nodeCands{}
+	for _, s := range specs {
+		// Intra with StepSum = lat reproduces Latency() == lat exactly.
+		nc.seqs = append(nc.seqs, partition.Seq{})
+		nc.intra = append(nc.intra, cost.Intra{StepSum: s.lat, MemoryBytes: s.mem})
+		nc.total = append(nc.total, s.lat)
+		nc.lat = append(nc.lat, s.lat)
+		nc.mem = append(nc.mem, s.mem)
+		nc.out = append(nc.out, ifaces[s.ifaceID])
+		nc.in = append(nc.in, ifaces[s.ifaceID])
+	}
+	return nc
+}
+
+// TestDominanceKeepDropsDominated pins the filter rule on a hand-built set:
+// a strictly-worse candidate with an identical interface pair is dropped; an
+// equally-costed duplicate is NOT (ties must survive so index-order
+// tie-breaking is untouched); a worse candidate in a DIFFERENT interface
+// group survives; and the keep→original mapping round-trips through
+// composed selectCands calls.
+func TestDominanceKeepDropsDominated(t *testing.T) {
+	nc := domCands([]struct {
+		ifaceID  int
+		lat, mem float64
+	}{
+		{0, 1, 1},   // 0: frontier
+		{0, 2, 2},   // 1: dominated by 0 (same ifaces, worse in both)
+		{1, 9, 9},   // 2: worse everywhere but sole member of its iface group
+		{0, 1, 1},   // 3: exact tie with 0 — must survive
+		{0, 1, 2},   // 4: dominated by 0 (equal lat, strictly worse mem)
+		{0, 0.5, 3}, // 5: incomparable with 0 (better lat, worse mem)
+	})
+	keep := dominanceKeep(nc)
+	want := []int32{0, 2, 3, 5}
+	if len(keep) != len(want) {
+		t.Fatalf("keep = %v, want %v", keep, want)
+	}
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("keep = %v, want %v", keep, want)
+		}
+	}
+
+	// The dominated indices must be gone from the filtered view, and every
+	// surviving index must resolve to its original identity.
+	out := selectCands(nc, keep)
+	for i := range out.seqs {
+		if got := out.origIdx(int32(i)); got != want[i] {
+			t.Fatalf("origIdx(%d) = %d, want %d", i, got, want[i])
+		}
+	}
+	// Composition: a second selection (as beam-then-dominance produces)
+	// must map through BOTH layers back to original enumeration indices.
+	out2 := selectCands(out, []int32{1, 3})
+	if out2.origIdx(0) != 2 || out2.origIdx(1) != 5 {
+		t.Fatalf("composed origIdx = (%d, %d), want (2, 5)",
+			out2.origIdx(0), out2.origIdx(1))
+	}
+
+	// All-survivors sets report nil (no reallocation, identity mapping).
+	flat := domCands([]struct {
+		ifaceID  int
+		lat, mem float64
+	}{{0, 1, 2}, {0, 2, 1}, {1, 3, 3}})
+	if k := dominanceKeep(flat); k != nil {
+		t.Fatalf("Pareto-flat set pruned: keep = %v", k)
+	}
+}
+
+// domFuzzPlan runs one request with the production configuration (cache +
+// workers) and the given dominance setting, on a private cache.
+func domFuzzPlan(t *testing.T, p deltaParams, disable bool) *Strategy {
+	t.Helper()
+	per := 4
+	if p.devices < per {
+		per = p.devices
+	}
+	mdl := cost.NewModel(device.MustCluster(p.devices, per, device.V100Profile()))
+	mdl.Alpha = deltaAlphas[p.alphaIdx]
+	o := NewOptimizer(mdl)
+	o.Cache = NewSearchCache()
+	o.Opts.DisableDominance = disable
+	strat, err := o.Optimize(deltaGraph(t, p), p.layers)
+	if err != nil {
+		t.Fatalf("plan %+v (disable=%v): %v", p, disable, err)
+	}
+	return strat
+}
+
+// FuzzDominanceEquivalence pins the filter's whole contract: for any decoded
+// chain, device count, α (including the tie-heavy α = 0) and layer count,
+// the dominance-filtered plan is bit-identical to the DisableDominance one —
+// costs, assignments and intra breakdowns. The CandsTotal/CandsPruned
+// counters must be consistent on both sides.
+func FuzzDominanceEquivalence(f *testing.F) {
+	f.Add([]byte{})                          // minimal chain
+	f.Add([]byte{1, 1, 1, 3, 0, 0, 0, 1})    // length 4, ext edge, 8 devices
+	f.Add([]byte{0, 0, 0, 2, 1, 2, 0, 0})    // α = 0 ties, 4 devices
+	f.Add([]byte{2, 1, 0, 5, 1, 1, 1, 1, 2}) // length 6, layered, 8 devices
+	f.Add([]byte{0, 2, 1, 1, 0, 1, 2, 1})    // 2 devices
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{data: data}
+		p := deltaParams{
+			b:        2 << r.intn(2),
+			m:        4 << r.intn(2),
+			k:        4 << r.intn(2),
+			length:   1 + r.intn(6),
+			layers:   1 + r.intn(3),
+			alphaIdx: r.intn(3),
+			devices:  []int{4, 8, 2}[r.intn(3)],
+		}
+		if p.length >= 2 && r.next()&1 == 0 {
+			p.ext = 2 + r.intn(p.length-1)
+		}
+		filtered := domFuzzPlan(t, p, false)
+		plain := domFuzzPlan(t, p, true)
+		sameStrategy(t, "dominance-vs-plain", filtered, plain)
+
+		if filtered.Stats.CandsTotal == 0 {
+			t.Errorf("filtered run counted no candidates: %+v", filtered.Stats)
+		}
+		if filtered.Stats.CandsPruned < 0 || filtered.Stats.CandsPruned > filtered.Stats.CandsTotal {
+			t.Errorf("inconsistent prune counters: %+v", filtered.Stats)
+		}
+		if plain.Stats.CandsPruned != 0 || plain.Stats.CandsTotal != 0 {
+			t.Errorf("DisableDominance run touched the filter: %+v", plain.Stats)
+		}
+	})
+}
+
+// TestDominatedCandidateNeverChosen runs the paper models at the test scales
+// and asserts (a) filtered == unfiltered bit-identically, and (b) whenever
+// the filter dropped candidates, the chosen assignments all resolve to
+// original enumeration indices — i.e. the Strategy never names a filtered
+// index space.
+func TestDominatedCandidateNeverChosen(t *testing.T) {
+	pruned := 0
+	for _, cfg := range []model.Config{model.OPT6B7(), model.Llama2_70B()} {
+		g, err := model.BuildBlock(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scale := range equivScales(t) {
+			m := cost.NewModel(device.MustCluster(scale, 4, device.V100Profile()))
+			m.Alpha = 1e-12
+			on := NewOptimizer(m)
+			on.Cache = NewSearchCache()
+			a, err := on.Optimize(g, cfg.Layers)
+			if err != nil {
+				t.Fatalf("%s@%d filtered: %v", cfg.Name, scale, err)
+			}
+			off := NewOptimizer(m)
+			off.Cache = NewSearchCache()
+			off.Opts.DisableDominance = true
+			b, err := off.Optimize(g, cfg.Layers)
+			if err != nil {
+				t.Fatalf("%s@%d unfiltered: %v", cfg.Name, scale, err)
+			}
+			sameStrategy(t, cfg.Name, a, b)
+			pruned += a.Stats.CandsPruned
+		}
+	}
+	t.Logf("candidates pruned across models/scales: %d", pruned)
+}

@@ -40,13 +40,32 @@ func NewOptimizer(m *cost.Model) *Optimizer {
 	return &Optimizer{Cost: m, Opts: DefaultOptions(), Cache: DefaultSearchCache}
 }
 
-// nodeCands caches per-candidate evaluations for one graph node.
+// nodeCands caches per-candidate evaluations for one graph node. The
+// per-candidate cost components live in flat structure-of-arrays slices
+// (total/lat/mem) so the DP folds and the dominance pre-filter walk
+// contiguous memory; the Intra breakdowns stay around only for Strategy
+// reporting and the cross-call cache.
 type nodeCands struct {
 	seqs  []partition.Seq
 	intra []cost.Intra
 	total []float64 // Intra.Total(alpha), the DP node cost
+	lat   []float64 // Intra.Latency(), α-independent (dominance component)
+	mem   []float64 // Intra.MemoryBytes, α-independent (dominance component)
 	out   []*cost.Iface
 	in    []*cost.Iface
+	// orig maps the (beam- and/or dominance-filtered) candidate index back
+	// to the node's original enumeration index; nil means identity. Kept so
+	// filtered searches still report original candidate identities.
+	orig []int32
+}
+
+// origIdx resolves a (filtered) candidate index to its original enumeration
+// index.
+func (nc *nodeCands) origIdx(i int32) int32 {
+	if nc.orig == nil {
+		return i
+	}
+	return nc.orig[i]
 }
 
 // Strategy is an optimized partition assignment for one representative layer
@@ -76,12 +95,16 @@ func (o *Optimizer) evalNode(op *graph.Op) *nodeCands {
 		seqs:  seqs,
 		intra: make([]cost.Intra, len(seqs)),
 		total: make([]float64, len(seqs)),
+		lat:   make([]float64, len(seqs)),
+		mem:   make([]float64, len(seqs)),
 		out:   make([]*cost.Iface, len(seqs)),
 		in:    make([]*cost.Iface, len(seqs)),
 	}
 	o.parallelRows(len(seqs), func(i int) {
 		nc.intra[i] = o.Cost.IntraCost(op, seqs[i])
 		nc.total[i] = nc.intra[i].Total(o.Cost.Alpha)
+		nc.lat[i] = nc.intra[i].Latency()
+		nc.mem[i] = nc.intra[i].MemoryBytes
 		nc.out[i] = o.Cost.OutputIface(op, seqs[i])
 		nc.in[i] = o.Cost.InputIface(op, seqs[i])
 	})
@@ -180,7 +203,7 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 	} else {
 		o.parallelChunks(t.nCls, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
-				arow := adj.vals[adj.rows[reps[r]]]
+				arow := adj.row(int(adj.rows[reps[r]]))
 				row := make([]float64, nb)
 				for ib := 0; ib < nb; ib++ {
 					row[ib] = cands[a+1].total[ib] + arow[adj.cols[ib]]
@@ -204,11 +227,12 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 		em := sumEdges(j, j-1)
 		eExt := eExts[j-a-2]
 
-		// Transposed group-value matrix, each column sorted once and
-		// shared (read-only) across classes and worker bands. foldM reduces
-		// a class's DP row over the edge's row groups.
+		// Transposed group-value matrix, flat column-major (column c at
+		// valsT[c*uR:(c+1)*uR]), each column sorted once and shared
+		// (read-only) across classes and worker bands. foldM reduces a
+		// class's DP row over the edge's row groups.
 		var scols *sortedCols
-		var valsT [][]float64
+		var valsT []float64
 		var colMin []float64
 		uR, uC := 0, 0
 		foldM := func(prevRow, m []float64, argm []int32) (mMin float64) {
@@ -232,20 +256,23 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 		scanRows := false
 		if em != nil {
 			uR = em.numRowGroups()
-			uC = len(em.vals[0])
-			valsT = make([][]float64, uC)
+			uC = em.numColGroups()
+			valsT = make([]float64, uC*uR)
 			colMin = make([]float64, uC)
-			for c := 0; c < uC; c++ {
-				col := make([]float64, uR)
-				cm := math.Inf(1)
-				for r := 0; r < uR; r++ {
-					col[r] = em.vals[r][c]
-					if col[r] < cm {
-						cm = col[r]
+			for c := range colMin {
+				colMin[c] = math.Inf(1)
+			}
+			// One linear pass over the flat row-major core fills the
+			// column-major transpose and the column minima together.
+			for r := 0; r < uR; r++ {
+				erow := em.row(r)
+				for c := 0; c < uC; c++ {
+					v := erow[c]
+					valsT[c*uR+r] = v
+					if v < colMin[c] {
+						colMin[c] = v
 					}
 				}
-				valsT[c] = col
-				colMin[c] = cm
 			}
 			// Probe class 0 with the row kernel; only when its scans are
 			// long (≥ uR/8 per column) is the per-column sort worth
@@ -266,7 +293,7 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 			addScanned(st, int64(nRows))
 			scanRows = true
 			if 8*nRows >= uR*uC {
-				scols = sortCols(valsT)
+				scols = sortCols(valsT, uR, uC)
 				nCols := scanMinPlus(m, mMin, valsT, scols, bestVal, bestU)
 				addScanned(st, int64(nCols))
 				scanRows = nRows <= nCols
@@ -299,7 +326,7 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 				prevRow := cur[r]
 				var extRow []float64
 				if eExt != nil {
-					extRow = eExt.vals[eExt.rows[reps[r]]]
+					extRow = eExt.row(int(eExt.rows[reps[r]]))
 				}
 
 				if em == nil {
@@ -384,16 +411,16 @@ func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []fl
 	for pm, hb := range right.headBase {
 		delta[pm] = hb - midTotal[pm]
 	}
-	// Transposed right classes, each column sorted once for the early exit.
-	rightT := make([][]float64, nb)
-	for pb := 0; pb < nb; pb++ {
-		col := make([]float64, nR)
-		for rm := 0; rm < nR; rm++ {
-			col[rm] = right.cost[rm][pb]
+	// Transposed right classes, flat column-major (candidate column pb at
+	// rightT[pb*nR:(pb+1)*nR]), each column sorted once for the early exit.
+	rightT := make([]float64, nb*nR)
+	for rm := 0; rm < nR; rm++ {
+		rrow := right.cost[rm]
+		for pb := 0; pb < nb; pb++ {
+			rightT[pb*nR+rm] = rrow[pb]
 		}
-		rightT[pb] = col
 	}
-	scols := sortCols(rightT)
+	scols := sortCols(rightT, nR, nb)
 
 	nL := left.nCls
 	base := make([][]float64, nL)
@@ -449,7 +476,7 @@ func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []fl
 		for ro := lo; ro < hi; ro++ {
 			rep := reps[ro]
 			rL := left.rowCls[rep]
-			crow := cross.vals[cross.rows[rep]]
+			crow := cross.row(int(cross.rows[rep]))
 			b := base[rL]
 			row := make([]float64, nb)
 			for pb := 0; pb < nb; pb++ {
@@ -570,6 +597,20 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 		// equal pruned sets (identical totals give identical cheapestK).
 		o.pruneBeam(g, cands)
 	}
+	// SpaceSizes reports the space the DP is exact over: post-beam but
+	// PRE-dominance — dominance removes only provably-redundant candidates,
+	// and budget mode's uncut() reads these sizes to decide when the beam
+	// covers a node's whole space.
+	spaceSizes := make([]int, len(g.Nodes))
+	for i := range cands {
+		spaceSizes[i] = len(cands[i].seqs)
+	}
+	if o.dominanceEnabled() {
+		// Dominance runs strictly AFTER beam pruning (dominance.go): the
+		// beam selects over the unfiltered space, then the filter drops
+		// candidates the DP provably cannot choose.
+		o.pruneDominated(g, cands, &stats)
+	}
 
 	// Edge cost matrices (grouped; cached by exact structural key and
 	// built across the worker pool).
@@ -584,8 +625,17 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 		}
 	} else {
 		byKey := make(map[edgeMatKey]int)
+		domOn := o.dominanceEnabled()
 		for i, e := range g.Edges {
 			k := edgeKeyOf(in, g, e, o.Opts.Beam > 0)
+			if domOn {
+				// Under dominance the built matrix depends on which
+				// candidates survived, so fold the keep-list CONTENT of both
+				// endpoints. Nodes that dropped nothing intern the identity
+				// keep, preserving all pre-filter sharing (sig.go keepID).
+				k.srcKeep = in.keepID(cands[e.Src])
+				k.dstKeep = in.keepID(cands[e.Dst])
+			}
 			s, ok := byKey[k]
 			if !ok {
 				s = len(uniqEdges)
@@ -597,19 +647,42 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 	}
 	mats := make([]*edgeMat, len(uniqEdges))
 	buildSlots := make([]int, 0, len(uniqEdges))
-	var edgeKeys []string
+	var edgeKeys [][]string
 	if ccache == nil {
 		for s := range uniqEdges {
 			buildSlots = append(buildSlots, s)
 		}
 	} else {
-		edgeKeys = make([]string, len(uniqEdges))
-		for s, e := range uniqEdges {
-			edgeKeys[s] = string(o.appendEdgeCrossKey(envSig, g, e))
-			if m := ccache.getEdge(edgeKeys[s]); m != nil {
-				mats[s] = m
-				stats.CrossCallEdgeHits++
-			} else {
+		// The within-call dedup can group edges whose CROSS-call keys differ
+		// (under dominance the cross key folds full signatures the within-call
+		// keep-content key deliberately does not), so each slot carries every
+		// distinct member key: a hit on any serves the group, and a built
+		// matrix is published under all of them — keeping the estimator's
+		// per-key probes (estimate.go) in lockstep with what the search stores.
+		edgeKeys = make([][]string, len(uniqEdges))
+		for i, e := range g.Edges {
+			s := matIdx[i]
+			key := string(o.appendEdgeCrossKey(envSig, g, e))
+			dup := false
+			for _, k := range edgeKeys[s] {
+				if k == key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				edgeKeys[s] = append(edgeKeys[s], key)
+			}
+		}
+		for s := range uniqEdges {
+			for _, k := range edgeKeys[s] {
+				if m := ccache.getEdge(k); m != nil {
+					mats[s] = m
+					stats.CrossCallEdgeHits++
+					break
+				}
+			}
+			if mats[s] == nil {
 				buildSlots = append(buildSlots, s)
 			}
 		}
@@ -622,7 +695,9 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 	}
 	if ccache != nil {
 		for _, s := range buildSlots {
-			ccache.putEdge(edgeKeys[s], mats[s])
+			for _, k := range edgeKeys[s] {
+				ccache.putEdge(k, mats[s])
+			}
 		}
 	}
 	for i, e := range g.Edges {
@@ -631,9 +706,8 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 	stats.EdgeMatsBuilt = len(buildSlots)
 	stats.EdgeCacheHits = len(g.Edges) - len(uniqEdges)
 	for _, s := range buildSlots {
-		if m := mats[s]; len(m.vals) > 0 {
-			stats.EdgeCellsEvaluated += int64(len(m.vals)) * int64(len(m.vals[0]))
-		}
+		m := mats[s]
+		stats.EdgeCellsEvaluated += int64(m.nr) * int64(m.nc)
 	}
 	stats.EdgeMatTime = time.Since(tEdges)
 
@@ -762,7 +836,7 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 		}
 		strat.Seqs[i] = cands[i].seqs[assign[i]]
 		strat.Intra[i] = cands[i].intra[assign[i]]
-		strat.SpaceSizes[i] = len(cands[i].seqs)
+		strat.SpaceSizes[i] = spaceSizes[i]
 	}
 	stats.TotalTime = time.Since(start)
 	strat.Stats = stats
@@ -829,8 +903,11 @@ func selectCands(nc *nodeCands, keep []int32) *nodeCands {
 		out.seqs = append(out.seqs, nc.seqs[i])
 		out.intra = append(out.intra, nc.intra[i])
 		out.total = append(out.total, nc.total[i])
+		out.lat = append(out.lat, nc.lat[i])
+		out.mem = append(out.mem, nc.mem[i])
 		out.out = append(out.out, nc.out[i])
 		out.in = append(out.in, nc.in[i])
+		out.orig = append(out.orig, nc.origIdx(i))
 	}
 	return out
 }

@@ -15,19 +15,30 @@ import (
 	"repro/internal/graph"
 )
 
-// edgeMat is a grouped inter-operator cost matrix.
+// edgeMat is a grouped inter-operator cost matrix. The cell core is stored
+// as one flat row-major slice (group row r at vals[r*nc:(r+1)*nc]) so the DP
+// transposes and row walks are linear passes over contiguous memory instead
+// of per-row pointer chases.
 type edgeMat struct {
 	// rows[i] / cols[j] map candidate indices to group ids.
 	rows, cols []int32
-	// vals[r][c] is the cost for (row group r, col group c).
-	vals [][]float64
+	// nr × nc is the grouped core's shape; vals[r*nc+c] is the cost for
+	// (row group r, col group c).
+	nr, nc int
+	vals   []float64
 }
 
 // at returns the cost for candidate pair (i, j).
-func (m *edgeMat) at(i, j int32) float64 { return m.vals[m.rows[i]][m.cols[j]] }
+func (m *edgeMat) at(i, j int32) float64 { return m.vals[int(m.rows[i])*m.nc+int(m.cols[j])] }
+
+// row returns group row r as a slice view into the flat storage.
+func (m *edgeMat) row(r int) []float64 { return m.vals[r*m.nc : (r+1)*m.nc] }
 
 // numRowGroups returns the distinct-row count.
-func (m *edgeMat) numRowGroups() int { return len(m.vals) }
+func (m *edgeMat) numRowGroups() int { return m.nr }
+
+// numColGroups returns the distinct-column count.
+func (m *edgeMat) numColGroups() int { return m.nc }
 
 // ifaceGroups partitions candidates by their interface signature restricted
 // to the relevant axes, returning per-candidate group ids, group count and
@@ -72,7 +83,8 @@ func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCa
 	plan := o.Cost.PlanEdge(g, e)
 	rows, rowReps := ifaceGroups(src.out, plan.SrcRelevantAxes())
 	cols, colReps := ifaceGroups(dst.in, plan.DstRelevantAxes())
-	m := &edgeMat{rows: rows, cols: cols, vals: make([][]float64, len(rowReps))}
+	m := &edgeMat{rows: rows, cols: cols, nr: len(rowReps), nc: len(colReps),
+		vals: make([]float64, len(rowReps)*len(colReps))}
 
 	var calc *cost.EdgeCalc
 	if !o.Opts.DisableCache {
@@ -89,26 +101,23 @@ func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCa
 
 	if calc != nil {
 		// One BlockEval per worker band: rows stream through a specialized
-		// fill loop (hoisted slices, fused volume math), and the band-private
-		// cell/combo memos amortize across all its rows — with one worker,
-		// across the whole matrix.
+		// fill loop (hoisted slices, fused volume math) straight into the
+		// flat storage, and the band-private cell/combo memos amortize
+		// across all its rows — with one worker, across the whole matrix.
 		o.parallelChunks(len(rowReps), func(lo, hi int) {
 			be := calc.Block()
 			for r := lo; r < hi; r++ {
-				row := make([]float64, len(colReps))
-				be.MeasureRowInto(o.Cost, r, row)
-				m.vals[r] = row
+				be.MeasureRowInto(o.Cost, r, m.row(r))
 			}
 		})
 		return m
 	}
 	o.parallelRows(len(rowReps), func(r int) {
-		row := make([]float64, len(colReps))
+		row := m.row(r)
 		srcIface := src.out[rowReps[r]]
 		for c, cj := range colReps {
 			row[c] = o.Cost.RedistributeDetail(plan.Measure(srcIface, dst.in[cj]))
 		}
-		m.vals[r] = row
 	})
 	return m
 }
@@ -140,15 +149,18 @@ func sumEdgeMats(ms []*edgeMat) *edgeMat {
 	for _, m := range ms[1:] {
 		rows, rowReps := refine(acc.rows, m.rows)
 		cols, colReps := refine(acc.cols, m.cols)
-		vals := make([][]float64, len(rowReps))
-		for r := range vals {
-			row := make([]float64, len(colReps))
-			for c := range row {
-				row[c] = acc.vals[rowReps[r][0]][colReps[c][0]] + m.vals[rowReps[r][1]][colReps[c][1]]
+		nr, nc := len(rowReps), len(colReps)
+		out := &edgeMat{rows: rows, cols: cols, nr: nr, nc: nc,
+			vals: make([]float64, nr*nc)}
+		for r := 0; r < nr; r++ {
+			arow := acc.row(int(rowReps[r][0]))
+			mrow := m.row(int(rowReps[r][1]))
+			orow := out.row(r)
+			for c := range orow {
+				orow[c] = arow[colReps[c][0]] + mrow[colReps[c][1]]
 			}
-			vals[r] = row
 		}
-		acc = &edgeMat{rows: rows, cols: cols, vals: vals}
+		acc = out
 	}
 	return acc
 }

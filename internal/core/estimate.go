@@ -145,12 +145,27 @@ func (o *Optimizer) EstimatePlan(req PlanRequest) (SearchEstimate, error) {
 		return n
 	}
 
-	// Edge pass: the same edgeKeyOf dedup, then a cache probe per unique
-	// edge. An uncached matrix costs n_src × n_dst cells.
-	seen := make(map[edgeMatKey]bool)
+	// Edge pass: an edgeKeyOf dedup, then a cache probe per unique edge. An
+	// uncached matrix costs n_src × n_dst cells. Under dominance the search
+	// dedups by keep-list content, which the estimator cannot compute without
+	// evaluating nodes; it approximates with full signatures plus the
+	// interior-position flags — exactly the cross-call key's granularity, so
+	// a merged pair always shares one probe result (never stale-warm), and
+	// any finer-than-search split only overcounts builds (conservative).
+	type estEdgeKey struct {
+		k              edgeMatKey
+		srcInt, dstInt bool
+	}
+	domOn := o.dominanceEnabled()
+	last := len(g.Nodes) - 1
+	seen := make(map[estEdgeKey]bool)
 	for _, e := range g.Edges {
 		if !o.Opts.DisableCache {
-			k := edgeKeyOf(in, g, e, o.Opts.Beam > 0)
+			k := estEdgeKey{k: edgeKeyOf(in, g, e, o.Opts.Beam > 0 || domOn)}
+			if domOn {
+				k.srcInt = e.Src != 0 && e.Src != last
+				k.dstInt = e.Dst != 0 && e.Dst != last
+			}
 			if seen[k] {
 				continue
 			}

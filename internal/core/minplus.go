@@ -154,60 +154,69 @@ func sortAsc(m []float64, order []int32, val, suf []float64, ss *sortScratch) {
 }
 
 // sortedCols holds every column of a min-plus product in ascending value
-// order: order[c] lists row indices, val[c] the values in that order, and
-// suf[c] the exact suffix minima of val[c].
+// order, flattened into three contiguous structure-of-arrays slices with a
+// uniform stride n (every column of one product has the same length):
+// column c's row indices live at order[c*n:(c+1)*n], the values in that
+// order at the same offsets of val, and the exact suffix minima at suf.
+// One product's worth of sort data is therefore three allocations instead
+// of 3×nCols, and consecutive columns are adjacent in memory — the scan
+// walks a single cache-resident run instead of chasing per-column headers.
 type sortedCols struct {
-	order [][]int32
-	val   [][]float64
-	suf   [][]float64
+	n     int // entries per column (stride)
+	order []int32
+	val   []float64
+	suf   []float64
 }
 
-// sortCols orders each column with sortAsc; built once per min-plus product
-// and shared read-only across rows and worker bands.
-func sortCols(colsT [][]float64) *sortedCols {
+// sortCols orders each column of the flat column-major matrix colsT
+// (column c at colsT[c*n:(c+1)*n]) with sortAsc; built once per min-plus
+// product and shared read-only across rows and worker bands.
+func sortCols(colsT []float64, n, nCols int) *sortedCols {
 	sc := &sortedCols{
-		order: make([][]int32, len(colsT)),
-		val:   make([][]float64, len(colsT)),
-		suf:   make([][]float64, len(colsT)),
+		n:     n,
+		order: make([]int32, n*nCols),
+		val:   make([]float64, n*nCols),
+		suf:   make([]float64, n*nCols),
 	}
 	var ss sortScratch
-	for c, col := range colsT {
-		n := len(col)
-		order := make([]int32, n)
-		val := make([]float64, n)
-		suf := make([]float64, n)
-		sortAsc(col, order, val, suf, &ss)
-		sc.order[c] = order
-		sc.val[c] = val
-		sc.suf[c] = suf
+	for c := 0; c < nCols; c++ {
+		o := c * n
+		sortAsc(colsT[o:o+n], sc.order[o:o+n], sc.val[o:o+n], sc.suf[o:o+n], &ss)
 	}
 	return sc
 }
 
 // scanMinPlus fills best[c] = min_u m[u] + column c and argU[c] with a
 // witness row index, scanning each column in its shared ascending order.
-// mMin must be the exact minimum of m. Returns the number of entries
-// scanned (value-determined, used to pick the scan side).
-func scanMinPlus(m []float64, mMin float64, colsT [][]float64, sc *sortedCols, best []float64, argU []int32) int {
+// colsT is flat column-major with stride sc.n; the column count is
+// len(best). mMin must be the exact minimum of m. Returns the number of
+// entries scanned (value-determined, used to pick the scan side).
+func scanMinPlus(m []float64, mMin float64, colsT []float64, sc *sortedCols, best []float64, argU []int32) int {
 	scanned := 0
 	pu := int32(-1)
-	for c := range sc.order {
-		order, val, suf := sc.order[c], sc.val[c], sc.suf[c]
+	n := sc.n
+	for c := range best {
+		o := c * n
+		order := sc.order[o : o+n]
+		val := sc.val[o : o+n]
+		suf := sc.suf[o : o+n]
 		b := math.Inf(1)
 		bu := int32(-1)
 		if pu >= 0 {
 			// Warm start from the previous column's witness: adjacent
 			// columns are correlated, and a tight initial bound makes the
 			// suffix-minima exit fire from the first entry.
-			b = m[pu] + colsT[c][pu]
+			b = m[pu] + colsT[o+int(pu)]
 			bu = pu
 		}
 		// Exit checks run once per block of 8: the bound only decides how
 		// early the scan stops, so overshooting at most 7 entries keeps the
-		// result exact while the hot loop stays at three loads per entry.
-		i, n := 0, len(order)
-		val = val[:n]
-		suf = suf[:n]
+		// result exact. (A branchless 8-wide block reduction with
+		// rescan-on-improve was tried here: it won 15–30% in microbenchmarks
+		// but consistently LOST ~10% of DP time on production cold searches,
+		// where scans are short — avg ≈51 entries/column — and improving
+		// blocks are rare; see DESIGN.md §5.7. The serial loop stays.)
+		i := 0
 		for i < n {
 			if suf[i]+mMin >= b {
 				break
@@ -232,15 +241,17 @@ func scanMinPlus(m []float64, mMin float64, colsT [][]float64, sc *sortedCols, b
 	return scanned
 }
 
-// scanMinPlusRows fills best[c] = min_u m[u] + colsT[c][u] scanning the
-// SORTED m (order/val/suf from sortAsc) against each raw column; colMin[c]
-// must be the exact minimum of colsT[c]. Returns the number of entries
+// scanMinPlusRows fills best[c] = min_u m[u] + column c, scanning the
+// SORTED m (order/val/suf from sortAsc) against each raw column of the flat
+// column-major colsT (stride n = len(m), column count len(best)); colMin[c]
+// must be the exact minimum of column c. Returns the number of entries
 // scanned.
-func scanMinPlusRows(m []float64, order []int32, val, suf []float64, colsT [][]float64, colMin []float64, best []float64, argU []int32) int {
+func scanMinPlusRows(m []float64, order []int32, val, suf []float64, colsT []float64, colMin []float64, best []float64, argU []int32) int {
 	scanned := 0
 	pu := int32(-1)
-	for c := range colsT {
-		col := colsT[c]
+	n := len(m)
+	for c := range best {
+		col := colsT[c*n : c*n+n]
 		cm := colMin[c]
 		b := math.Inf(1)
 		bu := int32(-1)
@@ -251,7 +262,7 @@ func scanMinPlusRows(m []float64, order []int32, val, suf []float64, colsT [][]f
 			bu = pu
 		}
 		// Blocked exit checks, see scanMinPlus.
-		i, n := 0, len(order)
+		i := 0
 		val := val[:n]
 		suf := suf[:n]
 		for i < n {

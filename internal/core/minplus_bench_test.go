@@ -9,25 +9,25 @@ import (
 // shaped like a real edge step: n row groups, nCols column groups, smooth
 // values with local correlation so the warm starts and suffix-minima exits
 // behave the way they do on grouped edge matrices (not like white noise).
-func benchMinPlusInput(n, nCols int) (m []float64, colsT [][]float64) {
+// colsT is flat column-major with stride n, matching the DP's layout.
+func benchMinPlusInput(n, nCols int) (m []float64, colsT []float64) {
 	rng := rand.New(rand.NewSource(42))
 	m = make([]float64, n)
 	for i := range m {
 		m[i] = rng.Float64() * 10
 	}
-	colsT = make([][]float64, nCols)
+	colsT = make([]float64, nCols*n)
 	base := make([]float64, n)
 	for u := range base {
 		base[u] = rng.Float64() * 5
 	}
-	for c := range colsT {
-		col := make([]float64, n)
+	for c := 0; c < nCols; c++ {
+		col := colsT[c*n : (c+1)*n]
 		for u := range col {
 			// Adjacent columns share the base profile plus small jitter, the
 			// correlation the scan kernels' warm starts exploit.
 			col[u] = base[u] + rng.Float64()*0.5 + float64(c)*0.01
 		}
-		colsT[c] = col
 	}
 	return m, colsT
 }
@@ -38,7 +38,7 @@ func benchMinPlusInput(n, nCols int) (m []float64, colsT [][]float64) {
 func BenchmarkScanMinPlus(b *testing.B) {
 	const n, nCols = 512, 512
 	m, colsT := benchMinPlusInput(n, nCols)
-	sc := sortCols(colsT)
+	sc := sortCols(colsT, n, nCols)
 	mMin := m[0]
 	for _, v := range m[1:] {
 		if v < mMin {
@@ -67,7 +67,8 @@ func BenchmarkScanMinPlusRows(b *testing.B) {
 	var ss sortScratch
 	sortAsc(m, order, val, suf, &ss)
 	colMin := make([]float64, nCols)
-	for c, col := range colsT {
+	for c := 0; c < nCols; c++ {
+		col := colsT[c*n : (c+1)*n]
 		cm := col[0]
 		for _, v := range col[1:] {
 			if v < cm {

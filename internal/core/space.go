@@ -55,6 +55,16 @@ type Options struct {
 	// exists as the oracle those tests compare against.
 	DisableCache bool
 
+	// DisableDominance switches off the Pareto pre-filter that drops
+	// interior candidates whose (latency, memory) component vector is
+	// dominated by an earlier candidate with an identical full interface
+	// (dominance.go). The filter is provably plan-preserving — the DP's
+	// first-strict-minimum tie-breaking can never choose a dominated
+	// candidate — so this escape hatch exists for debugging and for the
+	// equivalence fuzzers that pin filtered and unfiltered searches
+	// bit-identical, not for accuracy.
+	DisableDominance bool
+
 	// DisableTreeDP forces the left-to-right Bellman chain inside every
 	// segment instead of the balanced binary merges of segmentTable. The
 	// two evaluate the segment recurrence under different parenthesizations

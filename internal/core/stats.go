@@ -29,6 +29,14 @@ type SearchStats struct {
 	// the number of Measure/RedistributeDetail evaluations.
 	EdgeCellsEvaluated int64 `json:"edge_cells_evaluated"`
 
+	// CandsTotal counts the candidates entering the DP after beam pruning;
+	// CandsPruned counts how many of them the dominance pre-filter
+	// (dominance.go) removed before edge-matrix construction — the
+	// scanned-entry reduction at its source. Both are zero under
+	// Options.DisableDominance.
+	CandsTotal  int `json:"cands_total"`
+	CandsPruned int `json:"cands_pruned"`
+
 	// DPRowClasses sums the head-interface row classes over segment tables:
 	// the row dimension the factored DP actually iterates, versus the full
 	// |P| of each segment head in CandidatesEvaluated.

@@ -115,7 +115,7 @@ func newSegDims(g *graph.Graph, cands []*nodeCands, edgeMats map[*graph.Edge]*ed
 			switch e.Src {
 			case j - 1:
 				uR = capMul(uR, m.numRowGroups(), d.n[j-1-a])
-				uC = capMul(uC, len(m.vals[0]), d.n[j-a])
+				uC = capMul(uC, m.numColGroups(), d.n[j-a])
 			case a: // j > a+1 here: j == a+1 matches the case above
 				extUR = capMul(extUR, m.numRowGroups(), d.n[0])
 			}
