@@ -9,6 +9,7 @@
 //
 //	go test -run '^$' -bench 'ScanMinPlus|EdgeCellBlock' -count=5 ./... | benchguard -baseline golden/bench_baseline.json
 //	benchguard -baseline golden/bench_baseline.json -update bench_output.txt
+//	benchguard -baseline golden/bench_baseline.json -list
 //
 // The median across repetitions is compared, not the mean: one noisy
 // repetition on a shared CI runner must not fail (or excuse) a run. Every
@@ -81,7 +82,33 @@ func run() error {
 		"regenerate the baseline from the input instead of comparing")
 	tolerance := flag.Float64("tolerance", 25,
 		"allowed regression percent when writing a new baseline")
+	list := flag.Bool("list", false,
+		"print the baseline's benchmarks and thresholds instead of comparing")
 	flag.Parse()
+
+	if *list {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			return err
+		}
+		var doc baselineDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("benchguard: %s: %w", *baselinePath, err)
+		}
+		names := make([]string, 0, len(doc.NsPerOp))
+		for name := range doc.NsPerOp {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("baseline %s: %d benchmarks, tolerance +%.0f%%\n",
+			*baselinePath, len(names), doc.TolerancePct)
+		for _, name := range names {
+			base := doc.NsPerOp[name]
+			fmt.Printf("  %s: %.1f ns/op (fails above %.1f)\n",
+				name, base, base*(1+doc.TolerancePct/100))
+		}
+		return nil
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() == 1 {

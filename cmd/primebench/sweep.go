@@ -38,14 +38,17 @@ type sweepPointResult struct {
 }
 
 type sweepTotals struct {
-	NodeEvals          int64 `json:"node_evals"`
-	EdgeMatsBuilt      int64 `json:"edge_mats_built"`
-	SegTablesBuilt     int64 `json:"seg_tables_built"`
-	CrossCallNodeHits  int64 `json:"cross_call_node_hits"`
-	CrossCallEdgeHits  int64 `json:"cross_call_edge_hits"`
-	CrossCallTableHits int64 `json:"cross_call_table_hits"`
-	CandsTotal         int64 `json:"cands_total"`
-	CandsPruned        int64 `json:"cands_pruned"`
+	NodeEvals           int64 `json:"node_evals"`
+	EdgeMatsBuilt       int64 `json:"edge_mats_built"`
+	SegTablesBuilt      int64 `json:"seg_tables_built"`
+	CrossCallNodeHits   int64 `json:"cross_call_node_hits"`
+	CrossCallEdgeHits   int64 `json:"cross_call_edge_hits"`
+	CrossCallTableHits  int64 `json:"cross_call_table_hits"`
+	EntriesScanned      int64 `json:"entries_scanned"`
+	EntriesBoundSkipped int64 `json:"entries_bound_skipped"`
+	EdgeCellsReused     int64 `json:"edge_cells_reused"`
+	CandsTotal          int64 `json:"cands_total"`
+	CandsPruned         int64 `json:"cands_pruned"`
 }
 
 type sweepResponse struct {
@@ -114,7 +117,7 @@ func runSweep(addr, modelName, spec string) error {
 	// the sweep below must then be entirely zero-work.
 	fmt.Printf("Sweep check: %s at %v devices against %s\n", modelName, points, addr)
 	individual := make([]*planResponse, len(points))
-	var coldEvals, coldEdges, coldTables int64
+	var coldEvals, coldEdges, coldTables, coldScanned int64
 	for i, d := range points {
 		resp, err := postPlan(httpClient, addr, planRequest{Model: modelName, Devices: d})
 		if err != nil {
@@ -124,6 +127,7 @@ func runSweep(addr, modelName, spec string) error {
 		coldEvals += int64(resp.Stats.NodeEvals)
 		coldEdges += int64(resp.Stats.EdgeMatsBuilt)
 		coldTables += int64(resp.Stats.SegTablesBuilt)
+		coldScanned += resp.Stats.EntriesScanned
 		fmt.Printf("  plan  %2d devices: %8.1fms  node_evals=%-6d digest=%s\n",
 			d, resp.ElapsedMS, resp.Stats.NodeEvals, resp.Digest[:12])
 	}
@@ -169,6 +173,8 @@ func runSweep(addr, modelName, spec string) error {
 	fmt.Printf("  totals: individual work %d (evals+edges+tables), sweep work %d, sweep cache hits %d\n",
 		coldWork, sweepWork,
 		sw.Totals.CrossCallNodeHits+sw.Totals.CrossCallEdgeHits+sw.Totals.CrossCallTableHits)
+	fmt.Printf("  scans:  individual entries_scanned %d, sweep entries_scanned %d, bound-skipped %d, edge cells reused %d\n",
+		coldScanned, sw.Totals.EntriesScanned, sw.Totals.EntriesBoundSkipped, sw.Totals.EdgeCellsReused)
 	if coldWork > 0 {
 		if sweepWork >= coldWork {
 			violations = append(violations, fmt.Sprintf(
@@ -177,6 +183,14 @@ func runSweep(addr, modelName, spec string) error {
 		}
 		if sw.Totals.CrossCallNodeHits == 0 {
 			violations = append(violations, "sweep reports no cross-call node hits after cold individual plans")
+		}
+		// The same contract at min-plus granularity: the sweep's shared table
+		// tier must leave it scanning strictly fewer entries than the
+		// independent plans did in total.
+		if coldScanned > 0 && sw.Totals.EntriesScanned >= coldScanned {
+			violations = append(violations, fmt.Sprintf(
+				"sweep scanned %d min-plus entries, not less than the %d the independent plans paid",
+				sw.Totals.EntriesScanned, coldScanned))
 		}
 	} else if sweepWork != 0 {
 		violations = append(violations, fmt.Sprintf(

@@ -170,7 +170,14 @@ type server struct {
 	// Pareto filter removed before edge matrices were built.
 	candsTotal  atomic.Int64
 	candsPruned atomic.Int64
-	warmServed  atomic.Int64
+	// entriesScanned/entriesBoundSkipped/edgeCellsReused mirror the min-plus
+	// scan and cross-scale reuse counters: entries the Bellman folds actually
+	// visited, entries the incumbent bound proved unable to win, and edge
+	// cells served from the overlap tier instead of being recomputed.
+	entriesScanned      atomic.Int64
+	entriesBoundSkipped atomic.Int64
+	edgeCellsReused     atomic.Int64
+	warmServed          atomic.Int64
 	// Sweep counters are separate from plansServed: one sweep serves many
 	// points, and /v1/plan's counters must keep their one-request meaning.
 	sweeps             atomic.Int64
@@ -265,6 +272,9 @@ type statsResponse struct {
 	CrossCallTableHits int64          `json:"cross_call_table_hits"`
 	CandsTotal         int64          `json:"cands_total"`
 	CandsPruned        int64          `json:"cands_pruned"`
+	EntriesScanned     int64          `json:"entries_scanned"`
+	EntriesBoundSkip   int64          `json:"entries_bound_skipped"`
+	EdgeCellsReused    int64          `json:"edge_cells_reused"`
 	CacheNodes         int            `json:"cache_nodes"`
 	CacheEdges         int            `json:"cache_edges"`
 	CacheTables        int            `json:"cache_tables"`
@@ -293,6 +303,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CrossCallTableHits: s.crossTableHits.Load(),
 		CandsTotal:         s.candsTotal.Load(),
 		CandsPruned:        s.candsPruned.Load(),
+		EntriesScanned:     s.entriesScanned.Load(),
+		EntriesBoundSkip:   s.entriesBoundSkipped.Load(),
+		EdgeCellsReused:    s.edgeCellsReused.Load(),
 		CacheNodes:         nodes,
 		CacheEdges:         edges,
 		CacheTables:        s.cache.TableEntries(),
@@ -356,6 +369,9 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.crossTableHits.Add(int64(resp.Stats.CrossCallTableHits))
 	s.candsTotal.Add(int64(resp.Stats.CandsTotal))
 	s.candsPruned.Add(int64(resp.Stats.CandsPruned))
+	s.entriesScanned.Add(resp.Stats.EntriesScanned)
+	s.entriesBoundSkipped.Add(resp.Stats.EntriesBoundSkipped)
+	s.edgeCellsReused.Add(resp.Stats.EdgeCellsReused)
 	writeJSON(w, http.StatusOK, resp)
 }
 

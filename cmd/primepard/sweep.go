@@ -70,9 +70,12 @@ type SweepTotals struct {
 	CrossCallNodeHits  int64 `json:"cross_call_node_hits"`
 	CrossCallEdgeHits  int64 `json:"cross_call_edge_hits"`
 	CrossCallTableHits int64 `json:"cross_call_table_hits"`
-	MinPlusScanned     int64 `json:"min_plus_scanned"`
-	CandsTotal         int64 `json:"cands_total"`
-	CandsPruned        int64 `json:"cands_pruned"`
+	// EntriesScanned was min_plus_scanned before the bound-pruning rename.
+	EntriesScanned      int64 `json:"entries_scanned"`
+	EntriesBoundSkipped int64 `json:"entries_bound_skipped"`
+	EdgeCellsReused     int64 `json:"edge_cells_reused"`
+	CandsTotal          int64 `json:"cands_total"`
+	CandsPruned         int64 `json:"cands_pruned"`
 }
 
 func (t *SweepTotals) add(s core.SearchStats) {
@@ -82,7 +85,9 @@ func (t *SweepTotals) add(s core.SearchStats) {
 	t.CrossCallNodeHits += int64(s.CrossCallNodeHits)
 	t.CrossCallEdgeHits += int64(s.CrossCallEdgeHits)
 	t.CrossCallTableHits += int64(s.CrossCallTableHits)
-	t.MinPlusScanned += s.MinPlusScanned
+	t.EntriesScanned += s.EntriesScanned
+	t.EntriesBoundSkipped += s.EntriesBoundSkipped
+	t.EdgeCellsReused += s.EdgeCellsReused
 	t.CandsTotal += int64(s.CandsTotal)
 	t.CandsPruned += int64(s.CandsPruned)
 }
@@ -183,6 +188,9 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.crossTableHits.Add(resp.Totals.CrossCallTableHits)
 	s.candsTotal.Add(resp.Totals.CandsTotal)
 	s.candsPruned.Add(resp.Totals.CandsPruned)
+	s.entriesScanned.Add(resp.Totals.EntriesScanned)
+	s.entriesBoundSkipped.Add(resp.Totals.EntriesBoundSkipped)
+	s.edgeCellsReused.Add(resp.Totals.EdgeCellsReused)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,85 @@
+// Equivalence fuzzing for the incumbent-bound scan pruning (minplus.go,
+// dp.go): the pruned Bellman folds must produce bit-identical plans to the
+// DisableBoundPrune reference on any decoded chain, because the bound only
+// ever skips entries provably unable to STRICTLY beat the incumbent and the
+// tie resolution (first strict minimum in scan order) never moves. Seeds
+// cover the tie-heavy α = 0 regime, beamed candidate spaces (the probe-reuse
+// path sees different kernel choices there) and external edges.
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+)
+
+// boundFuzzPlan runs one request with the production configuration (cache +
+// workers) and the given bound-prune setting, on a private cache. beam > 0
+// additionally narrows the candidate spaces, which shifts the rows-vs-cols
+// kernel choice and exercises the probe-reuse path on small matrices.
+func boundFuzzPlan(t *testing.T, p deltaParams, beam int, disable bool) *Strategy {
+	t.Helper()
+	per := 4
+	if p.devices < per {
+		per = p.devices
+	}
+	mdl := cost.NewModel(device.MustCluster(p.devices, per, device.V100Profile()))
+	mdl.Alpha = deltaAlphas[p.alphaIdx]
+	o := NewOptimizer(mdl)
+	o.Cache = NewSearchCache()
+	o.Opts.Beam = beam
+	o.Opts.DisableBoundPrune = disable
+	strat, err := o.Optimize(deltaGraph(t, p), p.layers)
+	if err != nil {
+		t.Fatalf("plan %+v (beam=%d, disable=%v): %v", p, beam, disable, err)
+	}
+	return strat
+}
+
+// FuzzBoundPruneEquivalence pins the pruning's whole contract: for any
+// decoded chain, device count, α (including the tie-heavy α = 0), layer
+// count and beam width, the bound-pruned plan is bit-identical to the
+// DisableBoundPrune one — costs, assignments and intra breakdowns. The
+// scan counters must be consistent on both sides: the reference run skips
+// nothing, and the pruned run never scans MORE than the reference (the
+// incumbent bound and the class-0 probe reuse only ever remove work).
+func FuzzBoundPruneEquivalence(f *testing.F) {
+	f.Add([]byte{})                             // minimal chain, no beam
+	f.Add([]byte{1, 1, 1, 3, 0, 0, 0, 1, 0})    // length 4, ext edge, 8 devices
+	f.Add([]byte{0, 0, 0, 2, 1, 2, 0, 0, 1})    // α = 0 ties, 4 devices, beamed
+	f.Add([]byte{2, 1, 0, 5, 1, 1, 1, 1, 2, 2}) // length 6, layered, 8 devices, beam 16
+	f.Add([]byte{0, 2, 1, 1, 0, 1, 2, 1, 0})    // 2 devices
+	f.Add([]byte{0, 0, 0, 4, 2, 0, 1, 0, 1})    // α = 0, length 5, beamed ties
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{data: data}
+		p := deltaParams{
+			b:        2 << r.intn(2),
+			m:        4 << r.intn(2),
+			k:        4 << r.intn(2),
+			length:   1 + r.intn(6),
+			layers:   1 + r.intn(3),
+			alphaIdx: r.intn(3),
+			devices:  []int{4, 8, 2}[r.intn(3)],
+		}
+		if p.length >= 2 && r.next()&1 == 0 {
+			p.ext = 2 + r.intn(p.length-1)
+		}
+		beam := []int{0, 8, 16}[r.intn(3)]
+
+		pruned := boundFuzzPlan(t, p, beam, false)
+		plain := boundFuzzPlan(t, p, beam, true)
+		sameStrategy(t, "boundprune-vs-plain", pruned, plain)
+
+		if plain.Stats.EntriesBoundSkipped != 0 {
+			t.Errorf("DisableBoundPrune run skipped entries: %+v", plain.Stats)
+		}
+		if pruned.Stats.EntriesBoundSkipped < 0 {
+			t.Errorf("negative skip counter: %+v", pruned.Stats)
+		}
+		if pruned.Stats.EntriesScanned > plain.Stats.EntriesScanned {
+			t.Errorf("pruned run scanned %d entries, reference only %d",
+				pruned.Stats.EntriesScanned, plain.Stats.EntriesScanned)
+		}
+	})
+}

@@ -442,7 +442,7 @@ func TestGroupedEdgeMatrixMatchesDense(t *testing.T) {
 		edge := g.Edges[e]
 		src := o.evalNode(g.Nodes[edge.Src])
 		dst := o.evalNode(g.Nodes[edge.Dst])
-		em := o.buildEdgeMat(g, edge, src, dst)
+		em := o.buildEdgeMat(g, edge, src, dst, nil)
 		plan := o.Cost.PlanEdge(g, edge)
 		// Spot-check a grid of pairs.
 		for i := 0; i < len(src.seqs); i += 37 {
@@ -475,8 +475,8 @@ func TestSumEdgeMatsRefinement(t *testing.T) {
 	}
 	src := o.evalNode(g.Nodes[model.NodeQKV])
 	dst := o.evalNode(g.Nodes[model.NodeQKT])
-	m1 := o.buildEdgeMat(g, edges[0], src, dst)
-	m2 := o.buildEdgeMat(g, edges[1], src, dst)
+	m1 := o.buildEdgeMat(g, edges[0], src, dst, nil)
+	m2 := o.buildEdgeMat(g, edges[1], src, dst, nil)
 	sum := sumEdgeMats([]*edgeMat{m1, m2})
 	for i := 0; i < len(src.seqs); i += 11 {
 		for j := 0; j < len(dst.seqs); j += 13 {

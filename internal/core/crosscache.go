@@ -81,6 +81,13 @@ type SearchCache struct {
 	tableCells int64
 	// tableCellCap mirrors edgeCellCap for the table tier.
 	tableCellCap int64
+	// overlaps is the fourth tier (cost/overlap.go): per-(pattern pair)
+	// overlap blocks keyed independently of device count, so an edge fill
+	// at 2^(k+1) devices copies the cells its 2^k sub-grid computed. Its
+	// keys embed the full pattern bytes — no environment prefix needed —
+	// and reuse is bit-identical by construction, so it needs none of the
+	// option flags the other tiers fold in.
+	overlaps *cost.OverlapCache
 }
 
 // NewSearchCache returns an empty cross-call cache.
@@ -91,7 +98,16 @@ func NewSearchCache() *SearchCache {
 		edgeCellCap:  maxCachedEdgeCells,
 		tables:       make(map[string]*table),
 		tableCellCap: maxCachedTableCells,
+		overlaps:     cost.NewOverlapCache(),
 	}
+}
+
+// Overlaps exposes the overlap tier (persistence and diagnostics).
+func (c *SearchCache) Overlaps() *cost.OverlapCache {
+	if c == nil {
+		return nil
+	}
+	return c.overlaps
 }
 
 // DefaultSearchCache backs every NewOptimizer-built optimizer, so the
@@ -109,6 +125,7 @@ func (c *SearchCache) Reset() {
 	c.edgeCells = 0
 	c.tables = make(map[string]*table)
 	c.tableCells = 0
+	c.overlaps.Reset()
 }
 
 func (c *SearchCache) getNode(key string) *nodeEntry {
@@ -268,6 +285,10 @@ func (o *Optimizer) RequestKey(tag string) string {
 	b = binary.AppendVarint(b, int64(o.Opts.SearchBudget))
 	b = append(b, boolByte(o.Opts.DisableTreeDP), boolByte(o.Opts.DisableCache),
 		boolByte(o.Opts.DisableDominance))
+	// Plans are bit-identical across these two flags, but the reported
+	// SearchStats are not (scan counts, reuse counters) — and a singleflight
+	// leader's response, stats included, serves every duplicate.
+	b = append(b, boolByte(o.Opts.DisableBoundPrune), boolByte(o.Opts.DisableCellReuse))
 	b = append(b, tag...)
 	return string(b)
 }

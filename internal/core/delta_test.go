@@ -89,9 +89,9 @@ func TestDeltaRePlanColdThenWarm(t *testing.T) {
 	if warm.Stats.DPTreeMerges != 0 {
 		t.Errorf("warm run re-ran %d in-segment tree merges", warm.Stats.DPTreeMerges)
 	}
-	if warm.Stats.MinPlusScanned >= cold.Stats.MinPlusScanned {
+	if warm.Stats.EntriesScanned >= cold.Stats.EntriesScanned {
 		t.Errorf("warm run scanned %d min-plus entries, cold %d — tables saved nothing",
-			warm.Stats.MinPlusScanned, cold.Stats.MinPlusScanned)
+			warm.Stats.EntriesScanned, cold.Stats.EntriesScanned)
 	}
 	if n := shared.TableEntries(); n == 0 {
 		t.Error("cache holds no table entries after a cold run")

@@ -35,8 +35,10 @@ const diskCacheMagic = "PPSC"
 // diskCacheVersion is bumped on any encoding change; old files then fail to
 // load and the run proceeds cold. v2: edge cross keys grew a dominance flag
 // byte (crosscache.go), so v1 keys would never hit and could in principle
-// alias.
-const diskCacheVersion = 2
+// alias. v3: a third payload section persists the cross-scale overlap tier
+// (cost/overlap.go), so a restarted sweep re-derives no pattern-pair cells
+// even at device counts it never ran before.
+const diskCacheVersion = 3
 
 // CacheFileName is the file Save writes inside a cache directory.
 const CacheFileName = "searchcache.ppsc"
@@ -55,8 +57,9 @@ func (c *SearchCache) Save(dir string) error {
 		edges[k] = v
 	}
 	c.mu.Unlock()
+	overlaps := c.overlaps.SnapshotOverlaps()
 
-	payload := encodeCachePayload(nodes, edges)
+	payload := encodeCachePayload(nodes, edges, overlaps)
 	sum := sha256.Sum256(payload)
 	buf := make([]byte, 0, len(diskCacheMagic)+1+len(sum)+len(payload))
 	buf = append(buf, diskCacheMagic...)
@@ -117,10 +120,12 @@ func (c *SearchCache) Load(dir string) error {
 	if sum := sha256.Sum256(payload); string(sum[:]) != string(want) {
 		return errors.New("diskcache: digest mismatch")
 	}
-	nodes, edges, err := decodeCachePayload(payload)
+	nodes, edges, overlaps, err := decodeCachePayload(payload)
 	if err != nil {
 		return err
 	}
+	// The overlap tier has its own lock and cap policy; merge outside c.mu.
+	c.overlaps.MergeOverlaps(overlaps)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for k, v := range nodes {
@@ -151,9 +156,9 @@ func (c *SearchCache) Sizes() (nodes, edges int) {
 	return len(c.nodes), len(c.edges)
 }
 
-// encodeCachePayload serializes both maps in sorted key order, so equal
+// encodeCachePayload serializes the maps in sorted key order, so equal
 // caches produce byte-equal files.
-func encodeCachePayload(nodes map[string]*nodeEntry, edges map[string]*edgeMat) []byte {
+func encodeCachePayload(nodes map[string]*nodeEntry, edges map[string]*edgeMat, overlaps map[string][]float64) []byte {
 	var b []byte
 	nodeKeys := make([]string, 0, len(nodes))
 	for k := range nodes {
@@ -175,10 +180,20 @@ func encodeCachePayload(nodes map[string]*nodeEntry, edges map[string]*edgeMat) 
 		b = appendBytes(b, []byte(k))
 		b = appendEdgeMat(b, edges[k])
 	}
+	ovKeys := make([]string, 0, len(overlaps))
+	for k := range overlaps {
+		ovKeys = append(ovKeys, k)
+	}
+	sort.Strings(ovKeys)
+	b = binary.AppendUvarint(b, uint64(len(ovKeys)))
+	for _, k := range ovKeys {
+		b = appendBytes(b, []byte(k))
+		b = appendFloats(b, overlaps[k])
+	}
 	return b
 }
 
-func decodeCachePayload(b []byte) (map[string]*nodeEntry, map[string]*edgeMat, error) {
+func decodeCachePayload(b []byte) (map[string]*nodeEntry, map[string]*edgeMat, map[string][]float64, error) {
 	r := &cacheReader{b: b}
 	nNodes := r.uvarint()
 	nodes := make(map[string]*nodeEntry, nNodes)
@@ -192,13 +207,19 @@ func decodeCachePayload(b []byte) (map[string]*nodeEntry, map[string]*edgeMat, e
 		key := string(r.bytes())
 		edges[key] = r.edgeMat()
 	}
+	nOv := r.uvarint()
+	overlaps := make(map[string][]float64, nOv)
+	for i := uint64(0); i < nOv && r.err == nil; i++ {
+		key := string(r.bytes())
+		overlaps[key] = r.floats()
+	}
 	if r.err != nil {
-		return nil, nil, r.err
+		return nil, nil, nil, r.err
 	}
 	if len(r.b) != 0 {
-		return nil, nil, errors.New("diskcache: trailing bytes")
+		return nil, nil, nil, errors.New("diskcache: trailing bytes")
 	}
-	return nodes, edges, nil
+	return nodes, edges, overlaps, nil
 }
 
 func appendBytes(b, s []byte) []byte {

@@ -21,7 +21,15 @@ import (
 // atomic; counts are value-determined, so totals are worker-independent.
 func addScanned(st *SearchStats, n int64) {
 	if st != nil && n != 0 {
-		atomic.AddInt64(&st.MinPlusScanned, n)
+		atomic.AddInt64(&st.EntriesScanned, n)
+	}
+}
+
+// addBoundSkipped accumulates the entries the two-level exit proved
+// unnecessary (minplus.go); same conventions as addScanned.
+func addBoundSkipped(st *SearchStats, n int64) {
+	if st != nil && n != 0 {
+		atomic.AddInt64(&st.EntriesBoundSkipped, n)
 	}
 }
 
@@ -233,8 +241,13 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 		// class's DP row over the edge's row groups.
 		var scols *sortedCols
 		var valsT []float64
-		var colMin []float64
+		var colMin, colMin2 []float64
+		var colArg []int32
 		uR, uC := 0, 0
+		prune := !o.Opts.DisableBoundPrune
+		// Probe results reusable for class 0 of this step (nil when not).
+		var probeBestVal []float64
+		var probeBestU, probeArgm []int32
 		foldM := func(prevRow, m []float64, argm []int32) (mMin float64) {
 			for u := range m {
 				m[u] = math.Inf(1)
@@ -259,18 +272,28 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 			uC = em.numColGroups()
 			valsT = make([]float64, uC*uR)
 			colMin = make([]float64, uC)
+			colMin2 = make([]float64, uC)
+			colArg = make([]int32, uC)
 			for c := range colMin {
 				colMin[c] = math.Inf(1)
+				colMin2[c] = math.Inf(1)
+				colArg[c] = -1
 			}
 			// One linear pass over the flat row-major core fills the
-			// column-major transpose and the column minima together.
+			// column-major transpose and the per-column (min, first argmin,
+			// second min) together; the latter two arm the two-level exit of
+			// the row-scan kernel.
 			for r := 0; r < uR; r++ {
 				erow := em.row(r)
 				for c := 0; c < uC; c++ {
 					v := erow[c]
 					valsT[c*uR+r] = v
 					if v < colMin[c] {
+						colMin2[c] = colMin[c]
 						colMin[c] = v
+						colArg[c] = int32(r)
+					} else if v < colMin2[c] {
+						colMin2[c] = v
 					}
 				}
 			}
@@ -278,7 +301,11 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 			// long (≥ uR/8 per column) is the per-column sort worth
 			// building to compare against. The counts depend only on
 			// values, so the choice (and with it the scan-order
-			// tie-breaking of witnesses) is deterministic.
+			// tie-breaking of witnesses) is deterministic. The probe runs
+			// WITHOUT the two-level exit on purpose: pruning shortens the
+			// two kernels by different amounts, and the kernel choice (with
+			// its scan-order tie-breaking of witnesses) must not move when
+			// Options.DisableBoundPrune flips.
 			m := make([]float64, uR)
 			argm := make([]int32, uR)
 			morder := make([]int32, uR)
@@ -289,23 +316,33 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 			var ss sortScratch
 			mMin := foldM(cur[0], m, argm)
 			sortAsc(m, morder, mval, msuf, &ss)
-			nRows := scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU)
+			nRows, _ := scanMinPlusRows(m, morder, mval, msuf, nil, valsT, colMin, nil, nil, bestVal, bestU)
 			addScanned(st, int64(nRows))
 			scanRows = true
-			if 8*nRows >= uR*uC {
+			colProbe := 8*nRows >= uR*uC
+			if colProbe {
 				scols = sortCols(valsT, uR, uC)
-				nCols := scanMinPlus(m, mMin, valsT, scols, bestVal, bestU)
+				nCols, _ := scanMinPlus(m, mMin, 0, -1, valsT, scols, bestVal, bestU)
 				addScanned(st, int64(nCols))
 				scanRows = nRows <= nCols
+			}
+			// The probe already holds class 0's exact results — reuse them
+			// in the main loop instead of re-scanning, but only when
+			// bestVal/bestU were last written by the CHOSEN kernel (the two
+			// kernels agree on values but may pick different tie witnesses).
+			// Gated with the bound pruning so DisableBoundPrune reproduces
+			// the historical scan counts exactly.
+			if prune && (!colProbe || !scanRows) {
+				probeBestVal, probeBestU, probeArgm = bestVal, bestU, argm
 			}
 		}
 
 		next := make([][]float64, t.nCls)
 		args := make([][]int32, t.nCls)
 		o.parallelChunks(t.nCls, func(lo, hi int) {
-			var scanned int64
+			var scanned, skippedT int64
 			var m, mval, msuf []float64
-			var argm, morder, bestU []int32
+			var argm, morder, minv, bestU []int32
 			var bestVal []float64
 			var ss *sortScratch
 			if em != nil {
@@ -317,6 +354,7 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 					morder = make([]int32, uR)
 					mval = make([]float64, uR)
 					msuf = make([]float64, uR)
+					minv = make([]int32, uR)
 					ss = &sortScratch{}
 				}
 			}
@@ -327,6 +365,24 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 				var extRow []float64
 				if eExt != nil {
 					extRow = eExt.row(int(eExt.rows[reps[r]]))
+				}
+
+				if r == 0 && probeBestVal != nil {
+					// Class 0 was already solved by the kernel probe with the
+					// chosen kernel; copying its results drops one full scan
+					// per Bellman step (class 0 used to be scanned twice).
+					for ij := 0; ij < nj; ij++ {
+						cg := em.cols[ij]
+						c := probeBestVal[cg] + totals[ij]
+						if extRow != nil {
+							c += extRow[eExt.cols[ij]]
+						}
+						row[ij] = c
+						arow[ij] = probeArgm[probeBestU[cg]]
+					}
+					next[r] = row
+					args[r] = arow
+					continue
 				}
 
 				if em == nil {
@@ -355,9 +411,23 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 				mMin := foldM(prevRow, m, argm)
 				if scanRows {
 					sortAsc(m, morder, mval, msuf, ss)
-					scanned += int64(scanMinPlusRows(m, morder, mval, msuf, valsT, colMin, bestVal, bestU))
+					ca := colArg
+					if prune {
+						invertOrder(morder, minv)
+					} else {
+						ca = nil
+					}
+					ns, sk := scanMinPlusRows(m, morder, mval, msuf, minv, valsT, colMin, colMin2, ca, bestVal, bestU)
+					scanned += int64(ns)
+					skippedT += int64(sk)
 				} else {
-					scanned += int64(scanMinPlus(m, mMin, valsT, scols, bestVal, bestU))
+					uMin, mMin2 := int32(-1), math.Inf(1)
+					if prune {
+						_, uMin, mMin2 = minTwo(m)
+					}
+					ns, sk := scanMinPlus(m, mMin, mMin2, uMin, valsT, scols, bestVal, bestU)
+					scanned += int64(ns)
+					skippedT += int64(sk)
 				}
 				for ij := 0; ij < nj; ij++ {
 					cg := em.cols[ij]
@@ -372,6 +442,7 @@ func (o *Optimizer) segmentDP(ctx context.Context, g *graph.Graph, cands []*node
 				args[r] = arow
 			}
 			addScanned(st, scanned)
+			addBoundSkipped(st, skippedT)
 		})
 		cur = next
 		t.chainArgs = append(t.chainArgs, args)
@@ -425,8 +496,9 @@ func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []fl
 	nL := left.nCls
 	base := make([][]float64, nL)
 	argPM := make([][]int32, nL)
+	prune := !o.Opts.DisableBoundPrune
 	o.parallelChunks(nL, func(lo, hi int) {
-		var scanned int64
+		var scanned, skippedT int64
 		W := make([]float64, nR)
 		argW := make([]int32, nR)
 		bestRM := make([]int32, nb)
@@ -447,8 +519,14 @@ func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []fl
 					}
 				}
 			}
+			uW, wMin2 := int32(-1), math.Inf(1)
+			if prune {
+				_, uW, wMin2 = minTwo(W)
+			}
 			row := make([]float64, nb)
-			scanned += int64(scanMinPlus(W, wMin, rightT, scols, row, bestRM))
+			ns, sk := scanMinPlus(W, wMin, wMin2, uW, rightT, scols, row, bestRM)
+			scanned += int64(ns)
+			skippedT += int64(sk)
 			arow := make([]int32, nb)
 			for pb := range arow {
 				arow[pb] = argW[bestRM[pb]]
@@ -457,6 +535,7 @@ func (o *Optimizer) merge(ctx context.Context, left, right *table, midTotal []fl
 			argPM[rL] = arow
 		}
 		addScanned(st, scanned)
+		addBoundSkipped(st, skippedT)
 	})
 
 	t := &table{a: left.a, b: right.b, left: left, right: right, headBase: left.headBase}
@@ -689,7 +768,7 @@ func (o *Optimizer) searchOnce(ctx context.Context, g *graph.Graph, layers int) 
 	}
 	if err := runTasks(ctx, stats.Workers, len(buildSlots), func(i int) {
 		e := uniqEdges[buildSlots[i]]
-		mats[buildSlots[i]] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
+		mats[buildSlots[i]] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst], &stats)
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,41 @@
+// End-to-end cold-search benchmark for the perf guard: where the kernel
+// benchmarks (minplus_bench_test.go) pin the inner scan loops in isolation,
+// this one pins the whole segment DP pipeline — candidate enumeration, edge
+// matrix fill, Bellman folds with bound pruning and the final merge — on a
+// fixed small model, so a regression that lives between the kernels (probe
+// logic, transpose passes, cache plumbing) still turns the guard red.
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// BenchmarkSegmentDPCold runs one fully cold Llama2-7B block search at 8
+// devices per iteration. A fresh private SearchCache each round keeps every
+// iteration cold (no cross-call node/edge/table hits), and the fixed config
+// keeps the work deterministic, so ns/op is comparable across runs.
+func BenchmarkSegmentDPCold(b *testing.B) {
+	cfg := model.Llama2_7B()
+	g, err := model.BuildBlock(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mdl := cost.NewModel(device.MustCluster(8, 4, device.V100Profile()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := NewOptimizer(mdl)
+		o.Cache = NewSearchCache()
+		strat, err := o.Optimize(g, cfg.Layers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if strat.Stats.CrossCallNodeHits != 0 || strat.Stats.CrossCallTableHits != 0 {
+			b.Fatalf("iteration was not cold: %+v", strat.Stats)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"hash/maphash"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
@@ -79,7 +80,10 @@ func ifaceGroups(ifaces []*cost.Iface, axes []int) (ids []int32, reps []int32) {
 // cell a handful of table-row products instead of a full device sweep, with
 // bit-identical results — and falls back to direct EdgePlan.Measure calls in
 // reference mode (Options.DisableCache) or if the tables would be too large.
-func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCands) *edgeMat {
+// The calc build consults the cross-scale overlap tier (crosscache.go) when
+// one is attached; st (nil in direct test invocations) accumulates the cells
+// it served.
+func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCands, st *SearchStats) *edgeMat {
 	plan := o.Cost.PlanEdge(g, e)
 	rows, rowReps := ifaceGroups(src.out, plan.SrcRelevantAxes())
 	cols, colReps := ifaceGroups(dst.in, plan.DstRelevantAxes())
@@ -96,7 +100,15 @@ func (o *Optimizer) buildEdgeMat(g *graph.Graph, e *graph.Edge, src, dst *nodeCa
 		for c, ci := range colReps {
 			dstIfs[c] = dst.in[ci]
 		}
-		calc = plan.NewCalc(srcIfs, dstIfs)
+		var tier *cost.OverlapCache
+		if !o.Opts.DisableCellReuse {
+			tier = o.crossCache().Overlaps()
+		}
+		var reused int64
+		calc, reused = plan.NewCalcCached(srcIfs, dstIfs, tier)
+		if reused != 0 && st != nil {
+			atomic.AddInt64(&st.EdgeCellsReused, reused)
+		}
 	}
 
 	if calc != nil {

@@ -14,6 +14,15 @@
 // matrix when it actually runs. The reverse is conservative by design: a
 // cache flush between estimate and search only makes the search slower than
 // promised, never the estimate stale-warm forever.
+//
+// The cross-scale overlap tier (cost/overlap.go) and the bound-guided scan
+// pruning (minplus.go) stay in lockstep with this model without any probe of
+// their own: cell reuse changes only the constant cost of filling a cell that
+// is built either way — which matrices are built, their shapes and their
+// values are unchanged — and bound pruning only shortens scans over tables
+// the estimate already prices at their unpruned size. Both are therefore
+// conservative for the admission gate: the search can finish earlier than
+// predicted, never later, and the Warm definition is untouched.
 package core
 
 import (

@@ -39,18 +39,14 @@ func BenchmarkScanMinPlus(b *testing.B) {
 	const n, nCols = 512, 512
 	m, colsT := benchMinPlusInput(n, nCols)
 	sc := sortCols(colsT, n, nCols)
-	mMin := m[0]
-	for _, v := range m[1:] {
-		if v < mMin {
-			mMin = v
-		}
-	}
+	mMin, uMin, mMin2 := minTwo(m)
 	best := make([]float64, nCols)
 	argU := make([]int32, nCols)
 	b.ResetTimer()
 	scanned := 0
 	for i := 0; i < b.N; i++ {
-		scanned += scanMinPlus(m, mMin, colsT, sc, best, argU)
+		ns, _ := scanMinPlus(m, mMin, mMin2, uMin, colsT, sc, best, argU)
+		scanned += ns
 	}
 	b.ReportMetric(float64(scanned)/float64(b.N), "entries/op")
 }
@@ -64,25 +60,23 @@ func BenchmarkScanMinPlusRows(b *testing.B) {
 	order := make([]int32, n)
 	val := make([]float64, n)
 	suf := make([]float64, n)
+	inv := make([]int32, n)
 	var ss sortScratch
 	sortAsc(m, order, val, suf, &ss)
+	invertOrder(order, inv)
 	colMin := make([]float64, nCols)
+	colMin2 := make([]float64, nCols)
+	colArg := make([]int32, nCols)
 	for c := 0; c < nCols; c++ {
-		col := colsT[c*n : (c+1)*n]
-		cm := col[0]
-		for _, v := range col[1:] {
-			if v < cm {
-				cm = v
-			}
-		}
-		colMin[c] = cm
+		colMin[c], colArg[c], colMin2[c] = minTwo(colsT[c*n : (c+1)*n])
 	}
 	best := make([]float64, nCols)
 	argU := make([]int32, nCols)
 	b.ResetTimer()
 	scanned := 0
 	for i := 0; i < b.N; i++ {
-		scanned += scanMinPlusRows(m, order, val, suf, colsT, colMin, best, argU)
+		ns, _ := scanMinPlusRows(m, order, val, suf, inv, colsT, colMin, colMin2, colArg, best, argU)
+		scanned += ns
 	}
 	b.ReportMetric(float64(scanned)/float64(b.N), "entries/op")
 }

@@ -30,7 +30,7 @@ func (o *Optimizer) Exhaustive(g *graph.Graph) (*Strategy, error) {
 	}
 	edgeMats := make(map[*graph.Edge]*edgeMat)
 	for _, e := range g.Edges {
-		edgeMats[e] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst])
+		edgeMats[e] = o.buildEdgeMat(g, e, cands[e.Src], cands[e.Dst], nil)
 	}
 
 	assign := make([]int, len(g.Nodes))

@@ -65,6 +65,28 @@ type Options struct {
 	// bit-identical, not for accuracy.
 	DisableDominance bool
 
+	// DisableBoundPrune switches off the bound-guided min-plus pruning:
+	// the two-level fold bounds that let scanMinPlus/scanMinPlusRows
+	// terminate a column scan once the designated argmin row has been
+	// visited and no remaining entry can strictly beat the incumbent, and
+	// the reuse of the kernel-probe results for row class 0 of every
+	// Bellman step. Both are provably plan-preserving — only entries ≥ the
+	// running minimum are skipped and the first-strict-minimum witnesses
+	// are untouched — so this escape hatch exists for debugging and for
+	// FuzzBoundPruneEquivalence, which pins pruned and unpruned searches
+	// bit-identical, not for accuracy.
+	DisableBoundPrune bool
+
+	// DisableCellReuse switches off the cross-scale overlap-cell tier that
+	// lets an edge-matrix fill copy device blocks whose (perNode, provider
+	// pattern, consumer pattern) bytes were already evaluated by an earlier
+	// fill — including a 2^k-device sub-grid of the current 2^(k+1)-device
+	// request. Reused blocks are byte-identical to recomputation (the cells
+	// are a pure function of the key), so this flag only changes timings
+	// and the EdgeCellsReused counter, never the plan. Kept for debugging
+	// and the EXPERIMENTS.md ablation.
+	DisableCellReuse bool
+
 	// DisableTreeDP forces the left-to-right Bellman chain inside every
 	// segment instead of the balanced binary merges of segmentTable. The
 	// two evaluate the segment recurrence under different parenthesizations

@@ -54,11 +54,24 @@ type SearchStats struct {
 	SegTablesBuilt     int `json:"seg_tables_built"`
 	CrossCallTableHits int `json:"cross_call_table_hits"`
 
-	// MinPlusScanned sums the entries visited by the sorted-scan min-plus
+	// EntriesScanned sums the entries visited by the sorted-scan min-plus
 	// kernels across segment chains, in-segment merges and layer stacking —
 	// the measured DP floor (DESIGN.md §5.2/§5.3) the binary-split tree
-	// attacks. Tracked by BenchmarkScanMinPlus*/primebench.
-	MinPlusScanned int64 `json:"min_plus_scanned"`
+	// and the bound-guided pruning attack. Tracked by
+	// BenchmarkScanMinPlus*/primebench. (Formerly min_plus_scanned.)
+	EntriesScanned int64 `json:"entries_scanned"`
+
+	// EntriesBoundSkipped counts the entries the single-level exit test
+	// would still have visited but the two-level fold bound proved ≥ the
+	// incumbent (minplus.go) — the exact saving attributable to
+	// bound-guided pruning. Zero under Options.DisableBoundPrune.
+	EntriesBoundSkipped int64 `json:"entries_bound_skipped"`
+
+	// EdgeCellsReused counts edge-matrix cells copied from the cross-scale
+	// overlap tier instead of being recomputed by overlapFrac — full-block
+	// hits plus half-grid prefixes a smaller device count already filled.
+	// Zero under Options.DisableCellReuse.
+	EdgeCellsReused int64 `json:"edge_cells_reused"`
 
 	// CrossCallNodeHits / CrossCallEdgeHits count node evaluations and edge
 	// matrices served by the Optimizer-level cache that persists ACROSS

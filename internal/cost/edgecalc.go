@@ -108,6 +108,18 @@ type EdgeCalc struct {
 // the pattern tables would exceed calcTableLimit; callers must then fall
 // back to Measure.
 func (p *EdgePlan) NewCalc(srcReps, dstReps []*Iface) *EdgeCalc {
+	c, _ := p.NewCalcCached(srcReps, dstReps, nil)
+	return c
+}
+
+// NewCalcCached is NewCalc with an optional cross-scale overlap tier
+// (overlap.go): pattern-pair blocks whose keys the tier already holds —
+// from another axis pair, another edge, another call, or the 2^k-device
+// sub-grid of this fill — are copied instead of recomputed. Copies are
+// bit-identical to recomputation, so the evaluator (and everything
+// downstream of it) is indistinguishable from the tier-less build. The
+// second result counts the cells served from the tier.
+func (p *EdgePlan) NewCalcCached(srcReps, dstReps []*Iface, oc *OverlapCache) (*EdgeCalc, int64) {
 	c := &EdgeCalc{p: p}
 	var fp, bp []axisPair
 	for i, dax := range p.fwdDst {
@@ -120,11 +132,12 @@ func (p *EdgePlan) NewCalc(srcReps, dstReps []*Iface) *EdgeCalc {
 			bp = append(bp, axisPair{sa, dax})
 		}
 	}
-	if !c.fwd.build(p, fp, srcReps, dstReps, true) {
-		return nil
+	var reused int64
+	if !c.fwd.build(p, fp, srcReps, dstReps, true, oc, &reused) {
+		return nil, 0
 	}
-	if !c.bwd.build(p, bp, srcReps, dstReps, false) {
-		return nil
+	if !c.bwd.build(p, bp, srcReps, dstReps, false, oc, &reused) {
+		return nil, 0
 	}
 	c.fwdVol = make([]float64, len(dstReps))
 	for ci, d := range dstReps {
@@ -144,7 +157,7 @@ func (p *EdgePlan) NewCalc(srcReps, dstReps []*Iface) *EdgeCalc {
 	}
 	c.fwd.checkKeySpaces()
 	c.bwd.checkKeySpaces()
-	return c
+	return c, reused
 }
 
 // checkKeySpaces decides which memo levels fit calcKeyLimit.
@@ -208,14 +221,16 @@ func patternIDs(ifaces []*Iface, ax int, fwd bool) ([]int32, []axisPattern) {
 }
 
 // build fills one direction's pattern ids, overlap tables and node-factoring
-// indexes. Reports false when a table would exceed calcTableLimit.
-func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface, fwdPass bool) bool {
+// indexes. Reports false when a table would exceed calcTableLimit. With a
+// non-nil overlap tier, pattern-pair blocks are served from / published to
+// it (buildOverlapBlock) and *reused accumulates the copied cell count.
+func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface, fwdPass bool, oc *OverlapCache, reused *int64) bool {
 	d.pairs = pairs
 	d.perNode = p.perNode
 	d.nodes = p.devices / p.perNode
 	n := p.devices * p.perNode
 	blkLen := p.perNode * p.perNode
-	var keyBuf []byte
+	var keyBuf, okeyBuf []byte
 	for _, pr := range pairs {
 		srcIDs, srcPats := patternIDs(srcReps, pr.sa, fwdPass)
 		dstIDs, dstPats := patternIDs(dstReps, pr.dax, fwdPass)
@@ -230,26 +245,18 @@ func (d *dirCalc) build(p *EdgePlan, pairs []axisPair, srcReps, dstReps []*Iface
 		var vecs []int32
 		cellVec := make([]int32, len(srcPats)*len(dstPats))
 		vecKey := make([]int32, d.nodes)
-		for rp, sp := range srcPats {
-			for cp, dp := range dstPats {
+		for rp := range srcPats {
+			for cp := range dstPats {
 				blk := tab.block(int32(rp), int32(cp))
-				for dev := 0; dev < p.devices; dev++ {
-					nodeStart := dev / p.perNode * p.perNode
-					for j := 0; j < p.perNode; j++ {
-						d2 := nodeStart + j
-						var o float64
-						if fwdPass {
-							// fwdCov(src@d2, dst@dev): producer d2 covering
-							// consumer dev's need.
-							o = overlapFrac(sp.starts[d2], sp.width, dp.starts[dev], dp.width, dp.width)
-						} else {
-							// bwdCov(src@dev, dst@d2): consumer d2 covering
-							// producer dev's need.
-							o = overlapFrac(dp.starts[d2], dp.width, sp.starts[dev], sp.width, sp.width)
-						}
-						blk[dev*p.perNode+j] = o
-					}
+				// Both directions are the same canonical provider-covers-need
+				// fill: forward the producer (src) provides for the consumer
+				// (dst), backward the consumer provides for the producer —
+				// which is why one tier serves both.
+				prov, need := &srcPats[rp], &dstPats[cp]
+				if !fwdPass {
+					prov, need = need, prov
 				}
+				*reused += buildOverlapBlock(oc, &okeyBuf, blk, prov, need, p.devices, p.perNode)
 				// Deduplicate this (rp, cp)'s per-node blocks and the node
 				// vector they form. Node g's block occupies the contiguous
 				// slice [g*blkLen, (g+1)*blkLen).

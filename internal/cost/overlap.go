@@ -1,0 +1,193 @@
+// OverlapCache: a process-wide tier of per-(pattern pair) overlap blocks,
+// keyed independently of device count so edge-matrix fills reuse cells
+// across scales.
+//
+// dirCalc.build's inner loop fills, for one (provider pattern, need pattern)
+// pair, the devices×perNode block of per-device-pair axis overlaps. That
+// block is a pure function of (perNode, provider width+starts, need
+// width+starts) — overlapFrac reads nothing else — so byte-equal keys imply
+// bit-equal blocks, and a block computed once can be copied anywhere the key
+// recurs: other axis pairs of the same edge, other edges, other Optimize
+// calls, the opposite traffic direction (forward uses src as provider,
+// backward dst; the canonical key is always provider-first, so the two
+// directions share entries).
+//
+// The cross-SCALE reuse is the half-grid probe: device d's cells depend only
+// on starts[0 .. nodeOf(d)+perNode), so when perNode divides n/2 the first
+// n/2 devices' cells of an n-device block are exactly the n/2-device block
+// of the truncated patterns. A 2^(k+1)-device fill therefore probes the key
+// of its 2^k-device sub-grid and, on a hit, copies the lower half and
+// computes only the upper — an ascending sweep re-derives no cell it already
+// paid for at the previous scale.
+//
+// Reuse never changes which blocks are built or what they contain (copies
+// are bit-identical by construction), so plans, golden digests and
+// EstimatePlan's work model are untouched; only wall time and the
+// EdgeCellsReused counter move.
+package cost
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// maxOverlapCells caps the tier's resident float64 count (~128 MB). The
+// whole tier is flushed when an insert would exceed it — epoch semantics
+// matching core's edge-cell cap: correctness never depends on residency.
+const maxOverlapCells = 16 << 20
+
+// OverlapCache is safe for concurrent use; build fills at different scales
+// and on different worker goroutines share one instance.
+type OverlapCache struct {
+	mu    sync.Mutex
+	cells map[string][]float64
+	count int64 // resident float64s
+}
+
+// NewOverlapCache returns an empty tier.
+func NewOverlapCache() *OverlapCache {
+	return &OverlapCache{cells: make(map[string][]float64)}
+}
+
+// Reset drops every entry (used by tests and the core cache's Reset).
+func (oc *OverlapCache) Reset() {
+	if oc == nil {
+		return
+	}
+	oc.mu.Lock()
+	oc.cells = make(map[string][]float64)
+	oc.count = 0
+	oc.mu.Unlock()
+}
+
+// Entries returns the resident block count (diagnostics and persistence).
+func (oc *OverlapCache) Entries() int {
+	if oc == nil {
+		return 0
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return len(oc.cells)
+}
+
+// lookup returns the block stored under key, or nil. The returned slice is
+// shared read-only — callers copy out of it.
+func (oc *OverlapCache) lookup(key []byte) []float64 {
+	oc.mu.Lock()
+	blk := oc.cells[string(key)]
+	oc.mu.Unlock()
+	return blk
+}
+
+// insert publishes a copy of blk under key (first writer wins; all writers
+// of one key hold bit-identical blocks, so the winner is irrelevant).
+func (oc *OverlapCache) insert(key []byte, blk []float64) {
+	oc.mu.Lock()
+	if _, ok := oc.cells[string(key)]; !ok {
+		if oc.count+int64(len(blk)) > maxOverlapCells {
+			oc.cells = make(map[string][]float64)
+			oc.count = 0
+		}
+		cp := make([]float64, len(blk))
+		copy(cp, blk)
+		oc.cells[string(key)] = cp
+		oc.count += int64(len(cp))
+	}
+	oc.mu.Unlock()
+}
+
+// snapshot returns a stable copy of the tier for persistence.
+func (oc *OverlapCache) snapshot() map[string][]float64 {
+	out := make(map[string][]float64)
+	if oc == nil {
+		return out
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	for k, v := range oc.cells {
+		out[k] = v // blocks are read-only once published
+	}
+	return out
+}
+
+// merge inserts every entry of m (persistence load path).
+func (oc *OverlapCache) merge(m map[string][]float64) {
+	if oc == nil {
+		return
+	}
+	for k, v := range m {
+		oc.insert([]byte(k), v)
+	}
+}
+
+// SnapshotOverlaps / MergeOverlaps expose the tier's contents for the disk
+// cache (package core owns the PPSC format). Blocks must be treated as
+// read-only by callers.
+func (oc *OverlapCache) SnapshotOverlaps() map[string][]float64 { return oc.snapshot() }
+func (oc *OverlapCache) MergeOverlaps(m map[string][]float64)   { oc.merge(m) }
+
+// overlapKey packs the canonical block key: perNode, device count, provider
+// pattern, need pattern. ndev ≤ len(starts) truncates both patterns — the
+// half-grid probe's sub-key. Exact bytes, no hashing: equal keys imply
+// identical overlapFrac operands.
+func overlapKey(buf []byte, perNode, ndev int, prov, need *axisPattern) []byte {
+	buf = buf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(perNode))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ndev))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(prov.width))
+	for _, s := range prov.starts[:ndev] {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(need.width))
+	for _, s := range need.starts[:ndev] {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	return buf
+}
+
+// fillOverlapBlock computes blk[dev*perNode+j] = overlapFrac(provider cell
+// nodeOf(dev)+j covering need cell dev) for dev in [devLo, devices) — the
+// canonical per-(pattern pair) fill both traffic directions reduce to.
+func fillOverlapBlock(blk []float64, prov, need *axisPattern, devices, perNode, devLo int) {
+	for dev := devLo; dev < devices; dev++ {
+		nodeStart := dev / perNode * perNode
+		for j := 0; j < perNode; j++ {
+			blk[dev*perNode+j] = overlapFrac(
+				prov.starts[nodeStart+j], prov.width,
+				need.starts[dev], need.width, need.width)
+		}
+	}
+}
+
+// buildOverlapBlock fills one (provider, need) pattern-pair block, serving
+// as much of it as possible from the tier: a full-key hit copies the whole
+// block, a half-key hit copies the 2^k-device sub-grid and computes only
+// the upper half, and the freshly completed block is published for the next
+// scale. Returns the number of cells copied instead of computed. A nil tier
+// degrades to the plain fill.
+func buildOverlapBlock(oc *OverlapCache, keyBuf *[]byte, blk []float64, prov, need *axisPattern, devices, perNode int) int64 {
+	if oc == nil {
+		fillOverlapBlock(blk, prov, need, devices, perNode, 0)
+		return 0
+	}
+	key := overlapKey(*keyBuf, perNode, devices, prov, need)
+	*keyBuf = key
+	if hit := oc.lookup(key); hit != nil {
+		copy(blk, hit)
+		return int64(len(blk))
+	}
+	var reused int64
+	devLo := 0
+	if half := devices / 2; half > 0 && devices%2 == 0 && half%perNode == 0 {
+		halfKey := overlapKey(nil, perNode, half, prov, need)
+		if hit := oc.lookup(halfKey); hit != nil {
+			copy(blk[:half*perNode], hit)
+			reused = int64(half * perNode)
+			devLo = half
+		}
+	}
+	fillOverlapBlock(blk, prov, need, devices, perNode, devLo)
+	oc.insert(key, blk)
+	return reused
+}
