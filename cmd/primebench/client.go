@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/report"
@@ -27,14 +28,46 @@ import (
 // and the daemon's DisallowUnknownFields applies to requests, not responses,
 // so the two commands can evolve their optional fields independently.
 type planRequest struct {
-	Model          string  `json:"model"`
-	Devices        int     `json:"devices"`
-	DevicesPerNode int     `json:"devices_per_node,omitempty"`
-	Alpha          float64 `json:"alpha,omitempty"`
-	BudgetMS       int     `json:"budget_ms,omitempty"`
-	Batch          int     `json:"batch,omitempty"`
-	Priority       int     `json:"priority,omitempty"`
-	DeadlineMS     int     `json:"deadline_ms,omitempty"`
+	Model          string     `json:"model"`
+	Devices        int        `json:"devices"`
+	DevicesPerNode int        `json:"devices_per_node,omitempty"`
+	Profile        string     `json:"profile,omitempty"`
+	Topology       string     `json:"topology,omitempty"`
+	Links          []linkSpec `json:"links,omitempty"`
+	Alpha          float64    `json:"alpha,omitempty"`
+	BudgetMS       int        `json:"budget_ms,omitempty"`
+	Batch          int        `json:"batch,omitempty"`
+	Priority       int        `json:"priority,omitempty"`
+	DeadlineMS     int        `json:"deadline_ms,omitempty"`
+}
+
+// linkSpec mirrors primepard's custom-link wire tier (island width in
+// devices, -1 = remainder on the outermost tier).
+type linkSpec struct {
+	Name      string  `json:"name,omitempty"`
+	Devices   int     `json:"devices"`
+	Bandwidth float64 `json:"bandwidth"`
+	Latency   float64 `json:"latency"`
+}
+
+// wireMachine renders a local Setup profile as the daemon's
+// profile/topology/links request fields: the preset name (custom-link
+// suffix stripped — the daemon re-appends it), a topology override only
+// when it differs from the preset's own, and the Links list converted from
+// bit counts back to island widths.
+func wireMachine(p device.Profile) (profile, topology string, links []linkSpec) {
+	profile = strings.TrimSuffix(p.Name, "+custom-links")
+	if base, err := device.ProfileByName(profile); err == nil && base.Topology != p.Topology {
+		topology = p.Topology.String()
+	}
+	for _, t := range p.Links {
+		w := -1
+		if t.Bits != -1 {
+			w = 1 << t.Bits
+		}
+		links = append(links, linkSpec{Name: t.Name, Devices: w, Bandwidth: t.Bandwidth, Latency: t.Latency})
+	}
+	return profile, topology, links
 }
 
 type planResponse struct {
@@ -84,6 +117,7 @@ func remoteTable2(addr string, setup experiments.Setup) ([]experiments.Table2Row
 	addr = normalizeAddr(addr)
 	structures := []model.Config{model.OPT175B(), model.Llama2_70B(), model.BLOOM176B()}
 	client := httpClient
+	profile, topology, links := wireMachine(setup.Profile)
 	var rows []experiments.Table2Row
 	t := report.NewTable(fmt.Sprintf("Table 2 — Optimization time (ms, served by %s)", addr),
 		"model", "4", "8", "16", "32")
@@ -94,6 +128,9 @@ func remoteTable2(addr string, setup experiments.Setup) ([]experiments.Table2Row
 				Model:          cfg.Name,
 				Devices:        scale,
 				DevicesPerNode: setup.DevicesPerNode,
+				Profile:        profile,
+				Topology:       topology,
+				Links:          links,
 				Alpha:          setup.Alpha,
 				BudgetMS:       int(setup.SearchBudget / time.Millisecond),
 			})

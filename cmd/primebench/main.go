@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/model"
 )
@@ -45,6 +46,9 @@ func main() {
 		burstIters = flag.Int("burst-iters", 1, "cold requests per burst client")
 		sweepSpec  = flag.String("sweep", "", "with -serve-addr: comma-separated device counts (e.g. \"4,8,16,32\") — plan each individually, then as one /v1/plan/sweep portfolio, and fail unless every digest matches with less total search work")
 		sweepModel = flag.String("sweep-model", "Llama2-7B", "model the -sweep check plans (pick one the daemon has not already cached so the individual plans are honestly cold)")
+		profFlag   = flag.String("profile", "", "machine preset the experiments run on (v100-cluster, a100-cluster, tpuv4-torus, mixed-a100-v100, a100-superpod; empty = the paper's V100 testbed). With -serve-addr the profile is sent on every /v1/plan.")
+		topoFlag   = flag.String("topology", "", "override the profile's interconnect shape (switch, torus-2d)")
+		linksFlag  = flag.String("links", "", "custom link hierarchy, innermost first: name:width:bandwidth:latency,... (width in devices, \"rest\" on the last tier), e.g. nvlink:4:300e9:5e-6,fabric:rest:25e9:15e-6")
 	)
 	flag.Parse()
 
@@ -105,6 +109,27 @@ func main() {
 		setup = experiments.QuickSetup()
 	}
 	setup.SearchBudget = *budget
+	if *profFlag != "" {
+		prof, err := device.ProfileByName(*profFlag)
+		check(err)
+		setup.Profile = prof
+	}
+	if *topoFlag != "" {
+		topo, err := device.ParseTopology(*topoFlag)
+		check(err)
+		if topo == device.Torus2D && setup.Profile.TorusBW <= 0 {
+			check(fmt.Errorf("profile %q does not parameterize a torus link; use -profile tpuv4-torus or omit -topology", setup.Profile.Name))
+		}
+		setup.Profile.Topology = topo
+	}
+	if *linksFlag != "" {
+		tiers, err := device.ParseLinksSpec(*linksFlag)
+		check(err)
+		setup.Profile.Links = tiers
+		// Same suffix convention as the daemon: a custom hierarchy is a
+		// distinct machine, and digests listings must say so.
+		setup.Profile.Name += "+custom-links"
+	}
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 	start := time.Now()

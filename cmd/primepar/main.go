@@ -25,6 +25,9 @@ func main() {
 		modelName = flag.String("model", "OPT-6.7B", "model name (see -list)")
 		gpus      = flag.Int("gpus", 8, "number of devices (power of two)")
 		perNode   = flag.Int("per-node", 4, "devices per node")
+		profile   = flag.String("profile", "v100-cluster", "machine preset (see -list)")
+		topology  = flag.String("topology", "", "override the profile's interconnect shape (switch, torus-2d)")
+		links     = flag.String("links", "", "custom link hierarchy, innermost first: name:width:bandwidth:latency,... (width in devices, \"rest\" on the last tier absorbs the remainder), e.g. nvlink:4:300e9:5e-6,fabric:rest:25e9:15e-6")
 		batch     = flag.Int("batch", 0, "micro-batch override (0 = model default)")
 		alpha     = flag.Float64("alpha", 1e-12, "latency↔memory weight of Eq. 7 (s/byte)")
 		spatial   = flag.Bool("spatial-only", false, "restrict to conventional partition-by-dimension")
@@ -42,6 +45,18 @@ func main() {
 		for _, m := range primepar.Models() {
 			fmt.Printf("%-12s layers=%-3d hidden=%-6d heads=%-4d seq=%-5d params≈%.3g\n",
 				m.Name, m.Layers, m.Hidden, m.Heads, m.SeqLen, m.Params())
+		}
+		fmt.Println()
+		for _, p := range primepar.Profiles() {
+			extra := ""
+			if len(p.Links) > 0 {
+				extra = fmt.Sprintf("  link tiers=%d", len(p.Links))
+			}
+			if len(p.Classes) > 0 {
+				extra += fmt.Sprintf("  compute classes=%d", len(p.Classes))
+			}
+			fmt.Printf("%-16s topology=%-8s flops=%.3g  intra=%.3gB/s inter=%.3gB/s%s\n",
+				p.Name, p.Topology, p.FLOPs, p.IntraBW, p.InterBW, extra)
 		}
 		return
 	}
@@ -66,7 +81,26 @@ func main() {
 		if *batch > 0 {
 			cfg = cfg.WithBatch(*batch)
 		}
-		cluster, err = primepar.NewCluster(*gpus, *perNode)
+		prof, err := primepar.ProfileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if *topology != "" {
+			topo, err := primepar.ParseTopology(*topology)
+			if err != nil {
+				fatal(err)
+			}
+			prof.Topology = topo
+		}
+		if *links != "" {
+			tiers, err := primepar.ParseLinksSpec(*links)
+			if err != nil {
+				fatal(err)
+			}
+			prof.Links = tiers
+			prof.Name += "+custom-links"
+		}
+		cluster, err = primepar.NewClusterWithProfile(*gpus, *perNode, prof)
 		if err != nil {
 			fatal(err)
 		}

@@ -45,8 +45,22 @@ type PlanRequest struct {
 	Devices int `json:"devices"`
 	// DevicesPerNode defaults to 4, the paper's testbed shape.
 	DevicesPerNode int `json:"devices_per_node,omitempty"`
-	// Alpha is the Eq. 7 latency↔memory weight; defaults to 1e-12.
-	Alpha float64 `json:"alpha,omitempty"`
+	// Profile names a machine preset (v100-cluster, a100-cluster,
+	// tpuv4-torus, mixed-a100-v100, a100-superpod); empty means
+	// v100-cluster, the paper's testbed.
+	Profile string `json:"profile,omitempty"`
+	// Topology overrides the profile's interconnect shape ("switch" or
+	// "torus-2d"). Only meaningful for profiles that parameterize the
+	// torus link (tpuv4-torus); empty keeps the profile's own topology.
+	Topology string `json:"topology,omitempty"`
+	// Links replaces the profile's switch fabric with a custom link
+	// hierarchy, innermost tier first. Mutually composable with Profile:
+	// compute coefficients come from the profile, links from here.
+	Links []LinkSpec `json:"links,omitempty"`
+	// Alpha is the Eq. 7 latency↔memory weight; omitted or null defaults
+	// to 1e-12. An explicit 0 is honored (pure-latency objective);
+	// negative values are rejected.
+	Alpha *float64 `json:"alpha,omitempty"`
 	// Layers overrides the model's stacked layer count (0 = model default).
 	Layers int `json:"layers,omitempty"`
 	// Batch overrides the model's micro-batch (0 = model default).
@@ -70,6 +84,68 @@ type PlanRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
+// LinkSpec is one tier of a custom link hierarchy on the wire: an island
+// width in devices plus α–β coefficients. Widths must be powers of two ≥ 2;
+// the outermost tier may use -1 ("all remaining devices") so the same spec
+// scales across device counts.
+type LinkSpec struct {
+	Name string `json:"name,omitempty"`
+	// Devices is the island width this tier joins (2, 4, 8, ... or -1 on
+	// the last tier for the remainder).
+	Devices int `json:"devices"`
+	// Bandwidth in bytes/second.
+	Bandwidth float64 `json:"bandwidth"`
+	// Latency per message in seconds.
+	Latency float64 `json:"latency"`
+}
+
+// maxLinkTiers bounds a request's custom hierarchy; device-ID spaces are
+// log2(devices) ≤ ~20 bits deep, so more tiers than that is malformed.
+const maxLinkTiers = 16
+
+// resolveProfile turns the request's profile/topology/links triple into a
+// concrete device.Profile. Shared by /v1/plan and /v1/plan/sweep points.
+func resolveProfile(name, topology string, links []LinkSpec) (device.Profile, *apiError) {
+	if name == "" {
+		name = "v100-cluster"
+	}
+	prof, err := device.ProfileByName(name)
+	if err != nil {
+		return device.Profile{}, badRequest("%v", err)
+	}
+	if topology != "" {
+		topo, err := device.ParseTopology(topology)
+		if err != nil {
+			return device.Profile{}, badRequest("%v", err)
+		}
+		if topo == device.Torus2D && prof.TorusBW <= 0 {
+			return device.Profile{}, badRequest("profile %q does not parameterize a torus link; use tpuv4-torus or omit topology", prof.Name)
+		}
+		prof.Topology = topo
+	}
+	if len(links) > 0 {
+		if len(links) > maxLinkTiers {
+			return device.Profile{}, badRequest("links has %d tiers, max %d", len(links), maxLinkTiers)
+		}
+		tiers := make([]device.LinkTier, len(links))
+		for i, l := range links {
+			t, err := device.LinkTierFromWidth(l.Name, l.Devices, l.Bandwidth, l.Latency)
+			if err != nil {
+				return device.Profile{}, badRequest("%v", err)
+			}
+			tiers[i] = t
+		}
+		prof.Links = tiers
+		// A custom hierarchy names a distinct machine: two requests with
+		// the same preset but different links must never share cache keys
+		// through an equal Profile.Name (the env signature folds the
+		// resolved tiers too; the suffix keeps human-readable surfaces —
+		// digest listings, plan files — unambiguous as well).
+		prof.Name += "+custom-links"
+	}
+	return prof, nil
+}
+
 // PlanNode is one node of the strategy with its cost breakdown.
 type PlanNode struct {
 	Name string `json:"name"`
@@ -84,9 +160,14 @@ type PlanNode struct {
 // PlanResponse is the /v1/plan output: the chosen strategy, its cost
 // breakdown, the search instrumentation, and the golden-compatible digest.
 type PlanResponse struct {
-	Model     string           `json:"model"`
-	Devices   int              `json:"devices"`
-	Layers    int              `json:"layers"`
+	Model   string `json:"model"`
+	Devices int    `json:"devices"`
+	Layers  int    `json:"layers"`
+	// Profile and Topology echo the machine the plan was computed for
+	// (profile name plus "+custom-links" when the request supplied its
+	// own hierarchy).
+	Profile   string           `json:"profile"`
+	Topology  string           `json:"topology"`
 	Alpha     float64          `json:"alpha"`
 	LayerCost float64          `json:"layer_cost"`
 	TotalCost float64          `json:"total_cost"`
@@ -423,13 +504,23 @@ func (s *server) preparePlan(req *PlanRequest) (*planJob, *apiError) {
 	if perNode == 0 {
 		perNode = 4
 	}
-	cl, err := device.NewCluster(req.Devices, perNode, device.V100Profile())
+	prof, aerr := resolveProfile(req.Profile, req.Topology, req.Links)
+	if aerr != nil {
+		return nil, aerr
+	}
+	cl, err := device.NewCluster(req.Devices, perNode, prof)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = 1e-12
+	// Presence-based α: nil means "server default", an explicit 0 is the
+	// legitimate pure-latency objective (a seeded fuzz-corpus case) and
+	// must NOT be coerced away.
+	alpha := 1e-12
+	if req.Alpha != nil {
+		alpha = *req.Alpha
+	}
+	if alpha < 0 {
+		return nil, badRequest("alpha must be ≥ 0, got %v", alpha)
 	}
 	layers := req.Layers
 	if layers == 0 {
@@ -463,7 +554,9 @@ func (s *server) preparePlan(req *PlanRequest) (*planJob, *apiError) {
 
 	normalized := *req
 	normalized.DevicesPerNode = perNode
-	normalized.Alpha = alpha
+	normalized.Profile = prof.Name
+	normalized.Topology = prof.Topology.String()
+	normalized.Alpha = &alpha
 	normalized.Layers = layers
 	normalized.Batch = cfg.Batch
 	return &planJob{
@@ -554,6 +647,8 @@ func (s *server) search(ctx context.Context, req *PlanRequest, cfg model.Config,
 		Model:     cfg.Name,
 		Devices:   req.Devices,
 		Layers:    planReq.Layers,
+		Profile:   req.Profile,
+		Topology:  req.Topology,
 		Alpha:     o.Cost.Alpha,
 		LayerCost: strat.LayerCost,
 		TotalCost: strat.TotalCost,

@@ -33,13 +33,15 @@ import (
 const maxSweepPoints = 64
 
 // SweepPoint overrides a subset of the base request's dimensions for one
-// portfolio point. Zero-valued fields inherit the base request.
+// portfolio point. Zero-valued (for Alpha: absent) fields inherit the base
+// request.
 type SweepPoint struct {
-	Devices        int     `json:"devices,omitempty"`
-	DevicesPerNode int     `json:"devices_per_node,omitempty"`
-	Alpha          float64 `json:"alpha,omitempty"`
-	Layers         int     `json:"layers,omitempty"`
-	Batch          int     `json:"batch,omitempty"`
+	Devices        int      `json:"devices,omitempty"`
+	DevicesPerNode int      `json:"devices_per_node,omitempty"`
+	Profile        string   `json:"profile,omitempty"`
+	Alpha          *float64 `json:"alpha,omitempty"`
+	Layers         int      `json:"layers,omitempty"`
+	Batch          int      `json:"batch,omitempty"`
 }
 
 // SweepRequest is the /v1/plan/sweep input: a base PlanRequest (flat, same
@@ -115,6 +117,9 @@ func envelopeOf(e *apiError) *errorEnvelope {
 }
 
 // deltaDims lists the dimensions on which two RESOLVED requests differ.
+// Resolved requests always carry a concrete α (preparePlan normalizes the
+// pointer), so the comparison dereferences — comparing the pointers
+// themselves would flag every point as an α delta.
 func deltaDims(base, pt *PlanRequest) []string {
 	var d []string
 	if pt.Devices != base.Devices {
@@ -123,7 +128,10 @@ func deltaDims(base, pt *PlanRequest) []string {
 	if pt.DevicesPerNode != base.DevicesPerNode {
 		d = append(d, "devices_per_node")
 	}
-	if pt.Alpha != base.Alpha {
+	if pt.Profile != base.Profile {
+		d = append(d, "profile")
+	}
+	if *pt.Alpha != *base.Alpha {
 		d = append(d, "alpha")
 	}
 	if pt.Layers != base.Layers {
@@ -220,7 +228,10 @@ func (s *server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 		if p.DevicesPerNode > 0 {
 			pr.DevicesPerNode = p.DevicesPerNode
 		}
-		if p.Alpha != 0 {
+		if p.Profile != "" {
+			pr.Profile = p.Profile
+		}
+		if p.Alpha != nil {
 			pr.Alpha = p.Alpha
 		}
 		if p.Layers > 0 {

@@ -11,6 +11,9 @@ import (
 	"time"
 )
 
+// fptr builds the presence-carrying α pointer requests use on the wire.
+func fptr(v float64) *float64 { return &v }
+
 // sweepOutcome is one /v1/plan/sweep exchange.
 type sweepOutcome struct {
 	resp   *SweepResponse
@@ -103,7 +106,7 @@ func TestSweepSharesAcrossPoints(t *testing.T) {
 	base := PlanRequest{Model: "OPT-6.7B", Devices: 4, Layers: 2}
 	out := postSweep(t, ts, SweepRequest{
 		PlanRequest: base,
-		Points:      []SweepPoint{{}, {Alpha: 1e-10}, {Layers: 4}},
+		Points:      []SweepPoint{{}, {Alpha: fptr(1e-10)}, {Layers: 4}},
 	})
 	if out.resp == nil {
 		t.Fatalf("sweep failed: %d %s", out.status, out.env.Message)
@@ -148,7 +151,7 @@ func TestSweepSharesAcrossPoints(t *testing.T) {
 	defer tsCold.Close()
 	individual := []PlanRequest{
 		base,
-		{Model: base.Model, Devices: base.Devices, Layers: 2, Alpha: 1e-10},
+		{Model: base.Model, Devices: base.Devices, Layers: 2, Alpha: fptr(1e-10)},
 		{Model: base.Model, Devices: base.Devices, Layers: 4},
 	}
 	for i, req := range individual {
@@ -167,7 +170,7 @@ func TestSweepSharesAcrossPoints(t *testing.T) {
 	// A repeat of the whole sweep is served entirely from cache.
 	again := postSweep(t, ts, SweepRequest{
 		PlanRequest: base,
-		Points:      []SweepPoint{{}, {Alpha: 1e-10}, {Layers: 4}},
+		Points:      []SweepPoint{{}, {Alpha: fptr(1e-10)}, {Layers: 4}},
 	})
 	if again.resp == nil {
 		t.Fatalf("repeat sweep failed: %d", again.status)
@@ -252,7 +255,7 @@ func TestSweepOneAdmissionSlot(t *testing.T) {
 
 	req := SweepRequest{
 		PlanRequest: PlanRequest{Model: "OPT-6.7B", Devices: 4, Layers: 1},
-		Points:      []SweepPoint{{}, {Alpha: 1e-10}, {Layers: 2}},
+		Points:      []SweepPoint{{}, {Alpha: fptr(1e-10)}, {Layers: 2}},
 	}
 	shed := postSweep(t, ts, req)
 	if shed.status != http.StatusServiceUnavailable || shed.env.Code != "queue_full" {
@@ -286,7 +289,7 @@ func TestSweepCancellation(t *testing.T) {
 	s := newTestServer(t, "", noAdmission)
 	req := SweepRequest{
 		PlanRequest: PlanRequest{Model: "OPT-6.7B", Devices: 4, Layers: 1},
-		Points:      []SweepPoint{{}, {Alpha: 1e-10}},
+		Points:      []SweepPoint{{}, {Alpha: fptr(1e-10)}},
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

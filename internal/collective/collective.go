@@ -4,8 +4,10 @@
 //   - ring all-reduce: 2(g−1) steps, bandwidth-optimal, latency O(g);
 //   - recursive halving-doubling: 2·log2(g) steps, latency-optimal,
 //     bandwidth 2·bytes·(g−1)/g like ring but with log-step latency;
-//   - binary-tree reduce+broadcast: 2·log2(g) steps, 2·bytes per step —
-//     bandwidth-suboptimal but lowest latency for tiny payloads;
+//   - chunk-pipelined binary-tree reduce+broadcast: 2·log2(g) per-message
+//     latencies to fill the pipeline, and a bandwidth term of 2·bytes/bw —
+//     the root's link carries the whole payload once up and once down while
+//     pipelining hides the interior hops (NCCL's tree protocol);
 //   - reduce-scatter / all-gather halves (used by ZeRO-style sharding);
 //   - broadcast and point-to-point sends.
 //
@@ -92,7 +94,14 @@ func AllReduce(alg Algorithm, g int, bytes float64, link Link) float64 {
 		steps := 2 * math.Ceil(math.Log2(gf))
 		return 2*(gf-1)/gf*bytes/(hdBandwidthEfficiency*link.Bandwidth) + steps*link.Latency
 	case Tree:
-		// reduce up + broadcast down: each stage ships the full payload.
+		// Chunk-pipelined reduce up + broadcast down. The payload is cut
+		// into chunks that stream through the tree, so the bottleneck is
+		// the busiest link — the root's, which carries the full payload
+		// once per direction: 2·bytes/bw, NOT 2·log2(g)·bytes/bw (a
+		// non-pipelined tree would pay the full payload per stage; NCCL's
+		// tree protocol pipelines, and this model follows it). The latency
+		// term is the pipeline fill: one per-message α per tree hop, up
+		// and down.
 		steps := 2 * math.Ceil(math.Log2(gf))
 		return 2*bytes/link.Bandwidth + steps*link.Latency
 	case Auto:
@@ -156,38 +165,70 @@ func Select(g int, bytes float64, link Link) Algorithm {
 	return best
 }
 
+// CrossoverOutcome classifies a Crossover result, distinguishing "the
+// curves never meet in range" from "the curves are the same curve" — both
+// of which used to collapse into a bare 0.
+type CrossoverOutcome int
+
+const (
+	// CrossoverFound: the returned size is where the two algorithms tie.
+	CrossoverFound CrossoverOutcome = iota
+	// CrossoverNone: one algorithm is faster over the whole search range;
+	// no switch point exists in [1, 1e12].
+	CrossoverNone
+	// CrossoverIdentical: the two cost curves coincide at both ends of the
+	// range — for α–β models, the algorithms are indistinguishable and
+	// every size is a tie.
+	CrossoverIdentical
+)
+
+func (o CrossoverOutcome) String() string {
+	switch o {
+	case CrossoverFound:
+		return "found"
+	case CrossoverNone:
+		return "none"
+	case CrossoverIdentical:
+		return "identical"
+	}
+	return fmt.Sprintf("CrossoverOutcome(%d)", int(o))
+}
+
 // Crossover returns the payload size (bytes) at which two algorithms have
-// equal completion time for a group of g, found by bisection over
-// [1, 1e12]. Returns 0 when no crossover exists in that range.
-func Crossover(a, b Algorithm, g int, link Link) float64 {
+// equal completion time for a group of g, found by geometric bisection over
+// [1, 1e12]. The outcome says whether the returned size is a real switch
+// point (CrossoverFound), the curves never meet in range (CrossoverNone,
+// size 0), or the algorithms are indistinguishable (CrossoverIdentical,
+// size 0).
+func Crossover(a, b Algorithm, g int, link Link) (float64, CrossoverOutcome) {
 	f := func(bytes float64) float64 {
 		return AllReduce(a, g, bytes, link) - AllReduce(b, g, bytes, link)
 	}
 	lo, hi := 1.0, 1e12
 	flo, fhi := f(lo), f(hi)
 	if flo == 0 && fhi == 0 {
-		return 0 // identical algorithms: no crossover
+		return 0, CrossoverIdentical
 	}
 	if flo == 0 {
-		return lo
+		return lo, CrossoverFound
 	}
 	if fhi == 0 {
-		return hi
+		return hi, CrossoverFound
 	}
 	if (flo > 0) == (fhi > 0) {
-		return 0
+		return 0, CrossoverNone
 	}
 	for i := 0; i < 200; i++ {
 		mid := math.Sqrt(lo * hi) // geometric bisection (sizes span decades)
 		fm := f(mid)
 		if fm == 0 {
-			return mid
+			return mid, CrossoverFound
 		}
 		if (fm > 0) == (flo > 0) {
 			lo, flo = mid, fm
 		} else {
-			hi = mid
+			hi, fhi = mid, fm
 		}
 	}
-	return math.Sqrt(lo * hi)
+	return math.Sqrt(lo * hi), CrossoverFound
 }

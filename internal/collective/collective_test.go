@@ -130,18 +130,68 @@ func TestBroadcastAndSend(t *testing.T) {
 // tree wins below, ring wins above.
 func TestCrossover(t *testing.T) {
 	g := 16
-	x := Crossover(Tree, Ring, g, nvlink)
-	if x <= 0 {
-		t.Fatal("no tree/ring crossover found")
+	x, out := Crossover(Tree, Ring, g, nvlink)
+	if out != CrossoverFound || x <= 0 {
+		t.Fatalf("tree/ring crossover: got (%v, %v), want a found switch point", x, out)
 	}
 	below := AllReduce(Tree, g, x/4, nvlink) <= AllReduce(Ring, g, x/4, nvlink)
 	above := AllReduce(Ring, g, x*4, nvlink) <= AllReduce(Tree, g, x*4, nvlink)
 	if !below || !above {
 		t.Fatalf("crossover at %v does not separate regimes", x)
 	}
-	// Identical algorithms never cross.
-	if Crossover(Ring, Ring, g, nvlink) != 0 {
-		t.Fatal("self-crossover should be 0")
+	// Identical algorithms are indistinguishable, not "no crossover".
+	if x, out := Crossover(Ring, Ring, g, nvlink); out != CrossoverIdentical || x != 0 {
+		t.Fatalf("self-crossover: got (%v, %v), want (0, identical)", x, out)
+	}
+}
+
+// Re-derived switch point: setting the tree and ring α–β costs equal,
+//
+//	2B/bw + 2L·α = 2(g−1)/g·B/bw + 2(g−1)·α,  L = ⌈log2 g⌉,
+//
+// gives B* = g·bw·α·(g−1−L). The bisection must land on the analytic value.
+func TestCrossoverMatchesAnalyticSwitchPoint(t *testing.T) {
+	for _, g := range []int{4, 8, 16, 64} {
+		L := math.Ceil(math.Log2(float64(g)))
+		want := float64(g) * nvlink.Bandwidth * nvlink.Latency * (float64(g) - 1 - L)
+		got, out := Crossover(Tree, Ring, g, nvlink)
+		if out != CrossoverFound {
+			t.Fatalf("g=%d: outcome %v, want found", g, out)
+		}
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Fatalf("g=%d: crossover %v, analytic %v", g, got, want)
+		}
+	}
+}
+
+// Two algorithms where one strictly dominates in range must report
+// CrossoverNone — distinguishable from the identical-curves case. On a
+// zero-latency link ring beats halving-doubling at EVERY size (same
+// bandwidth term, 1/0.85 handicap, no α term to trade against).
+func TestCrossoverNoneVsIdentical(t *testing.T) {
+	zeroLat := Link{Bandwidth: 1e9, Latency: 0}
+	x, out := Crossover(HalvingDoubling, Ring, 64, zeroLat)
+	if out != CrossoverNone || x != 0 {
+		t.Fatalf("dominated pair: got (%v, %v), want (0, none)", x, out)
+	}
+}
+
+// The bisection maintains f(lo)·f(hi) < 0 on BOTH endpoints (the fhi
+// update). A curve pair with multiple sign structure near the ends still
+// converges to a genuine tie point.
+func TestCrossoverBisectionConverges(t *testing.T) {
+	for _, g := range []int{8, 32} {
+		for _, link := range []Link{nvlink, {Bandwidth: 25e9, Latency: 15e-6}} {
+			x, out := Crossover(Tree, Ring, g, link)
+			if out != CrossoverFound {
+				t.Fatalf("g=%d link=%+v: outcome %v", g, link, out)
+			}
+			d := AllReduce(Tree, g, x, link) - AllReduce(Ring, g, x, link)
+			scale := AllReduce(Ring, g, x, link)
+			if math.Abs(d) > 1e-9*scale {
+				t.Fatalf("g=%d: at reported crossover %v the gap is %v (scale %v)", g, x, d, scale)
+			}
+		}
 	}
 }
 

@@ -207,6 +207,29 @@ func (o *Optimizer) appendEnvSig(b []byte) []byte {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 	}
 	b = append(b, byte(p.Collective), byte(p.Topology))
+	// Link tiers and compute classes, resolved against this cluster's size.
+	// Folding the RESOLVED tiers (not Profile.Links) means a "-1 = rest"
+	// preset hashes per machine size, exactly matching what the cost model
+	// reads. Every section is length-prefixed and every string is
+	// length-prefixed, so distinct heterogeneous machines cannot collide by
+	// concatenation (FuzzEnvSigInjectivity pins this).
+	tiers := cl.Tiers()
+	b = binary.AppendUvarint(b, uint64(len(tiers)))
+	for _, t := range tiers {
+		b = binary.AppendUvarint(b, uint64(len(t.Name)))
+		b = append(b, t.Name...)
+		b = binary.AppendVarint(b, int64(t.Bits))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Bandwidth))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Latency))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Classes)))
+	for _, cc := range p.Classes {
+		b = binary.AppendUvarint(b, uint64(len(cc.Name)))
+		b = append(b, cc.Name...)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cc.FLOPs))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cc.MemBW))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cc.KernelOverhead))
+	}
 	m := o.Cost
 	b = append(b, boolByte(m.Overlap), boolByte(m.ZeRO1))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.ParamBytesPerElement))

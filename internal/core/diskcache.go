@@ -37,8 +37,11 @@ const diskCacheMagic = "PPSC"
 // byte (crosscache.go), so v1 keys would never hit and could in principle
 // alias. v3: a third payload section persists the cross-scale overlap tier
 // (cost/overlap.go), so a restarted sweep re-derives no pattern-pair cells
-// even at device counts it never ran before.
-const diskCacheVersion = 3
+// even at device counts it never ran before. v4: the environment prefix of
+// every key grew link-tier and compute-class sections (heterogeneous
+// profiles), so a v3 key written before those sections existed could alias
+// a tiered cluster's key.
+const diskCacheVersion = 4
 
 // CacheFileName is the file Save writes inside a cache directory.
 const CacheFileName = "searchcache.ppsc"

@@ -698,11 +698,9 @@ func (m *Model) RedistributeTime(totalBytes float64) float64 {
 	}
 	cl := m.Cluster
 	perDevice := totalBytes / float64(cl.NumDevices)
-	bw := cl.Profile.IntraBW
-	lat := cl.Profile.IntraLatency
+	bw, lat := cl.IntraLink()
 	if cl.NumNodes() > 1 {
-		bw = cl.Profile.InterBW
-		lat = cl.Profile.InterLatency
+		bw, lat = cl.InterLink()
 	}
 	return perDevice/bw + lat
 }
@@ -720,10 +718,12 @@ func (m *Model) RedistributeDetail(t Traffic) float64 {
 	inter := (t.FwdInter + t.BwdInter) / n
 	var ti, te float64
 	if intra > 0 {
-		ti = intra/cl.Profile.IntraBW + cl.Profile.IntraLatency
+		bw, lat := cl.IntraLink()
+		ti = intra/bw + lat
 	}
 	if inter > 0 {
-		te = inter/cl.Profile.InterBW + cl.Profile.InterLatency
+		bw, lat := cl.InterLink()
+		te = inter/bw + lat
 	}
 	if ti > te {
 		return ti

@@ -1,5 +1,5 @@
 // Package device models the parallel machine PrimePar partitions over:
-// 2^n homogeneous devices, each identified by a bit-vector Device ID
+// 2^n devices, each identified by a bit-vector Device ID
 // D = (d_1, ..., d_n) (paper §3.1), organised into nodes with fast
 // intra-node links and slower inter-node links (the paper's testbed is
 // 8 nodes × 4 V100s: 300 GB/s NVLink inside a node, 100 GB/s InfiniBand
@@ -10,11 +10,20 @@
 // it partitions the machine into disjoint device groups within which
 // collective (all-reduce) or ring communication takes place. Latency models
 // for those communications live here too.
+//
+// Machines need not be the paper's homogeneous two-level testbed: a Profile
+// may carry an explicit list of link tiers (NVLink island → node fabric →
+// spine), each owning a contiguous range of device-ID bits, and a list of
+// compute classes splitting the machine into heterogeneous device kinds
+// (A100+V100 mixes). Profiles without those lists resolve to the classic
+// intra/inter two-tier machine bit-identically.
 package device
 
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
+	"strings"
 
 	"repro/internal/collective"
 )
@@ -63,6 +72,56 @@ type Profile struct {
 	// TorusBW and TorusLatency describe one torus link (Torus2D only).
 	TorusBW      float64
 	TorusLatency float64
+
+	// Links, when non-empty, describes the switch fabric as an explicit
+	// hierarchy of link tiers, innermost first (e.g. NVLink island → node
+	// fabric → spine). Each tier owns a contiguous range of low-order
+	// device-ID bits; the outermost tier may use Bits = -1 to absorb
+	// whatever the cluster size leaves over, so one preset scales across
+	// machine sizes. Empty Links derive the classic two-tier machine from
+	// IntraBW/InterBW — bit-identically to the pre-tier cost model.
+	// Ignored for ring traffic under Torus2D (dedicated neighbor links),
+	// but still used for redistribution staging.
+	Links []LinkTier
+
+	// Classes, when non-empty, splits the machine into heterogeneous
+	// compute classes (e.g. half A100, half V100), dividing the device-ID
+	// space into equal contiguous ranges in class order. PrimePar's SPMD
+	// partitions give every device an equally sized block, so each step —
+	// and every collective waiting on it — is bottlenecked by the slowest
+	// class; ComputeTime models exactly that. Empty Classes means the
+	// homogeneous FLOPs/MemBW/KernelOverhead device.
+	Classes []ComputeClass
+}
+
+// LinkTier is one level of a switch-fabric hierarchy: a link kind with its
+// α–β coefficients and the contiguous range of device-ID bits it spans.
+// Devices differing only inside a tier's bit range (and below) communicate
+// over that tier's links.
+type LinkTier struct {
+	// Name labels the tier ("nvlink", "node-fabric", "spine"). Purely
+	// descriptive, but folded into cache signatures.
+	Name string
+	// Bits is the number of contiguous device-ID bit positions the tier
+	// spans, counted upward from the innermost unclaimed bit. In a
+	// Profile the OUTERMOST tier may be -1, meaning "all remaining bits".
+	Bits int
+	// Bandwidth is one link's bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency is the fixed per-message latency in seconds (α).
+	Latency float64
+}
+
+// ComputeClass is one homogeneous slice of a heterogeneous machine.
+type ComputeClass struct {
+	// Name labels the class ("a100", "v100").
+	Name string
+	// FLOPs is the class's sustained throughput in FLOP/s.
+	FLOPs float64
+	// MemBW is the class's memory bandwidth in bytes/s.
+	MemBW float64
+	// KernelOverhead is the class's fixed launch cost in seconds.
+	KernelOverhead float64
 }
 
 // Topology enumerates interconnect shapes.
@@ -81,6 +140,18 @@ func (t Topology) String() string {
 		return "torus-2d"
 	}
 	return "switch"
+}
+
+// ParseTopology maps a topology name ("switch", "torus-2d") back to its
+// value — the inverse of String, used by the request surfaces.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "switch":
+		return Switch, nil
+	case "torus-2d":
+		return Torus2D, nil
+	}
+	return Switch, fmt.Errorf("device: unknown topology %q (want switch or torus-2d)", s)
 }
 
 // V100Profile returns a profile modeled after the paper's cluster:
@@ -107,15 +178,22 @@ func V100Profile() Profile {
 	}
 }
 
-// Cluster describes a machine of NumDevices = 2^n homogeneous devices packed
-// into nodes of DevicesPerNode each. Device IDs are integers 0..NumDevices-1
-// whose binary digits are the paper's (d_1, ..., d_n) with d_1 the most
+// Cluster describes a machine of NumDevices = 2^n devices packed into nodes
+// of DevicesPerNode each. Device IDs are integers 0..NumDevices-1 whose
+// binary digits are the paper's (d_1, ..., d_n) with d_1 the most
 // significant bit; consequently node(dev) = dev / DevicesPerNode, matching
 // the paper's Fig. 9 numbering (GPUs 0–3 form one node on an 8-GPU machine).
+//
+// links holds the Profile's link hierarchy resolved against THIS machine's
+// size (innermost first, bit counts concrete and summing to Bits());
+// construct clusters only through NewCluster/MustCluster so it stays
+// consistent.
 type Cluster struct {
 	NumDevices     int
 	DevicesPerNode int
 	Profile        Profile
+
+	links []LinkTier
 }
 
 // NewCluster returns a cluster of numDevices devices grouped into nodes of
@@ -131,7 +209,68 @@ func NewCluster(numDevices, devicesPerNode int, p Profile) (*Cluster, error) {
 	if devicesPerNode > numDevices {
 		devicesPerNode = numDevices
 	}
-	return &Cluster{NumDevices: numDevices, DevicesPerNode: devicesPerNode, Profile: p}, nil
+	c := &Cluster{NumDevices: numDevices, DevicesPerNode: devicesPerNode, Profile: p}
+	links, err := resolveLinks(c.Bits(), c.NodeBits(), p)
+	if err != nil {
+		return nil, err
+	}
+	c.links = links
+	for _, cc := range p.Classes {
+		if cc.FLOPs <= 0 || cc.MemBW <= 0 {
+			return nil, fmt.Errorf("device: compute class %q needs positive FLOPs and MemBW", cc.Name)
+		}
+		if cc.KernelOverhead < 0 {
+			return nil, fmt.Errorf("device: compute class %q has negative kernel overhead", cc.Name)
+		}
+	}
+	return c, nil
+}
+
+// resolveLinks turns a Profile's link description into the concrete tier
+// list for a machine of n ID bits. Empty Profile.Links derives the classic
+// two-tier machine (intra-node bits then node bits) from IntraBW/InterBW.
+// Explicit Links are consumed innermost-first; a -1 bit count on the
+// outermost tier absorbs the remainder. Tiers beyond the machine's bits are
+// clamped (a pipeline stage may rebuild a smaller cluster from the same
+// profile), and a machine larger than the fixed tiers extends the outermost
+// tier — so one Profile describes machines of every size.
+func resolveLinks(n, nodeBits int, p Profile) ([]LinkTier, error) {
+	if len(p.Links) == 0 {
+		tiers := []LinkTier{{Name: "intra-node", Bits: n - nodeBits, Bandwidth: p.IntraBW, Latency: p.IntraLatency}}
+		if nodeBits > 0 {
+			tiers = append(tiers, LinkTier{Name: "inter-node", Bits: nodeBits, Bandwidth: p.InterBW, Latency: p.InterLatency})
+		}
+		return tiers, nil
+	}
+	tiers := make([]LinkTier, 0, len(p.Links))
+	remaining := n
+	for i, t := range p.Links {
+		if t.Bandwidth <= 0 {
+			return nil, fmt.Errorf("device: link tier %q needs positive bandwidth", t.Name)
+		}
+		if t.Latency < 0 {
+			return nil, fmt.Errorf("device: link tier %q has negative latency", t.Name)
+		}
+		b := t.Bits
+		if b == -1 {
+			if i != len(p.Links)-1 {
+				return nil, fmt.Errorf("device: only the outermost link tier may span \"remaining\" bits, %q is not last", t.Name)
+			}
+			b = remaining
+		}
+		if b < 0 {
+			return nil, fmt.Errorf("device: link tier %q has invalid bit count %d", t.Name, t.Bits)
+		}
+		if b > remaining {
+			b = remaining
+		}
+		tiers = append(tiers, LinkTier{Name: t.Name, Bits: b, Bandwidth: t.Bandwidth, Latency: t.Latency})
+		remaining -= b
+	}
+	if remaining > 0 {
+		tiers[len(tiers)-1].Bits += remaining
+	}
+	return tiers, nil
 }
 
 // MustCluster is NewCluster that panics on error, for tests and examples.
@@ -260,25 +399,100 @@ func (c *Cluster) membersPerNode(ind Indicator) int {
 	return m
 }
 
+// Tiers returns the Profile's link hierarchy resolved against this
+// machine's size: innermost first, concrete bit counts summing to Bits().
+func (c *Cluster) Tiers() []LinkTier {
+	out := make([]LinkTier, len(c.links))
+	copy(out, c.links)
+	return out
+}
+
+// IntraLink returns the innermost tier's coefficients — the link two
+// devices in the same smallest island share (NVLink on the testbed).
+func (c *Cluster) IntraLink() (bw, lat float64) {
+	t := c.links[0]
+	return t.Bandwidth, t.Latency
+}
+
+// InterLink returns the outermost tier's coefficients — the slowest link in
+// the machine (the node fabric on the two-tier testbed, the spine on a
+// superpod). On a single-tier machine it equals IntraLink.
+func (c *Cluster) InterLink() (bw, lat float64) {
+	t := c.links[len(c.links)-1]
+	return t.Bandwidth, t.Latency
+}
+
+// tierAtDepth maps a 0-based bit depth (0 = least-significant ID bit) to
+// the index of the tier owning it.
+func (c *Cluster) tierAtDepth(depth int) int {
+	cum := 0
+	for i, t := range c.links {
+		cum += t.Bits
+		if depth < cum {
+			return i
+		}
+	}
+	return len(c.links) - 1
+}
+
+// bottleneckTier returns the index of the outermost (slowest) tier any
+// indicator bit reaches — the link class every group of ind must cross.
+// Indicator positions are 1-based with d_1 the MSB, so position p sits at
+// depth Bits()-p.
+func (c *Cluster) bottleneckTier(ind Indicator) int {
+	n := c.Bits()
+	tier := 0
+	for _, p := range ind {
+		if t := c.tierAtDepth(n - p); t > tier {
+			tier = t
+		}
+	}
+	return tier
+}
+
+// flowsThrough counts the concurrent flows of indicator ind's groups that
+// funnel through one island's single uplink at tier t: the island below the
+// tier holds 2^(bits below t) devices, of which the group contributes
+// 2^(# indicator bits inside the island) members sharing one flow each.
+// For the two-tier machine this is the classic NIC-sharing count
+// DevicesPerNode / membersPerNode.
+func (c *Cluster) flowsThrough(t int, ind Indicator) int {
+	if t == 0 {
+		return 1 // innermost links are dedicated per pair; no uplink to share
+	}
+	below := 0
+	for _, tier := range c.links[:t] {
+		below += tier.Bits
+	}
+	n := c.Bits()
+	members := 0
+	for _, p := range ind {
+		if n-p < below {
+			members++
+		}
+	}
+	flows := 1 << (below - members)
+	if flows < 1 {
+		flows = 1
+	}
+	return flows
+}
+
 // linkFor returns the bandwidth and latency of the bottleneck link used by
-// groups of indicator ind, accounting for NIC sharing: when a group spans
-// nodes, all groups with members on a node funnel their cross-node traffic
-// through that node's single NIC, dividing the inter-node bandwidth by the
-// number of concurrent cross-node flows.
+// groups of indicator ind, accounting for uplink sharing: when a group
+// spans islands at tier t, all groups with members inside an island funnel
+// their cross-island traffic through that island's single uplink, dividing
+// the tier bandwidth by the number of concurrent flows. On the two-tier
+// machine this reduces exactly to the paper-testbed NIC-sharing model.
 func (c *Cluster) linkFor(ind Indicator) (bw, lat float64) {
 	p := c.Profile
 	if p.Topology == Torus2D {
 		// Every device owns its neighbor links; groups never contend.
 		return p.TorusBW, p.TorusLatency
 	}
-	if !c.SpansNodes(ind) {
-		return p.IntraBW, p.IntraLatency
-	}
-	flows := c.DevicesPerNode / c.membersPerNode(ind)
-	if flows < 1 {
-		flows = 1
-	}
-	return p.InterBW / float64(flows), p.InterLatency
+	t := c.bottleneckTier(ind)
+	tier := c.links[t]
+	return tier.Bandwidth / float64(c.flowsThrough(t, ind)), tier.Latency
 }
 
 // A100Profile models a newer-generation GPU node (A100-SXM-80GB-like):
@@ -308,7 +522,7 @@ func TPUv4Profile() Profile {
 		Name:           "tpuv4-torus",
 		FLOPs:          150e12,
 		MemBW:          1200e9,
-		IntraBW:        50e9, // unused under Torus2D but kept sane
+		IntraBW:        50e9, // redistribution staging still rides these under Torus2D
 		InterBW:        50e9,
 		IntraLatency:   2e-6,
 		InterLatency:   2e-6,
@@ -319,6 +533,135 @@ func TPUv4Profile() Profile {
 		TorusBW:        50e9,
 		TorusLatency:   2e-6,
 	}
+}
+
+// MixedA100V100Profile models a heterogeneous expansion cluster: half the
+// devices (the low ID range) are A100-class, half (the high range) V100-class,
+// on the V100 testbed's interconnect. PrimePar's SPMD partitions hand every
+// device the same block, so each step runs at V100 speed while memory
+// capacity and link budget stay the testbed's — the "mixed fleet" scenario
+// Galvatron-style hybrid search treats as a first-class input.
+func MixedA100V100Profile() Profile {
+	p := V100Profile()
+	p.Name = "mixed-a100-v100"
+	p.Classes = []ComputeClass{
+		{Name: "a100", FLOPs: 300e12, MemBW: 2000e9, KernelOverhead: 6e-6},
+		{Name: "v100", FLOPs: 50e12, MemBW: 900e9, KernelOverhead: 8e-6},
+	}
+	return p
+}
+
+// A100SuperPodProfile models a SuperPOD-style three-tier fabric: NVLink
+// islands of 4 GPUs, a per-node fabric joining two islands, and an
+// oversubscribed spine above the nodes. The spine tier's -1 bit count
+// absorbs however many ID bits the cluster size leaves, so the same profile
+// describes 8-GPU and 1024-GPU machines.
+func A100SuperPodProfile() Profile {
+	p := A100Profile()
+	p.Name = "a100-superpod"
+	p.Links = []LinkTier{
+		{Name: "nvlink", Bits: 2, Bandwidth: 600e9, Latency: 4e-6},
+		{Name: "node-fabric", Bits: 1, Bandwidth: 100e9, Latency: 8e-6},
+		{Name: "spine", Bits: -1, Bandwidth: 25e9, Latency: 12e-6},
+	}
+	return p
+}
+
+// Profiles returns the named machine presets, in a stable order.
+func Profiles() []Profile {
+	return []Profile{
+		V100Profile(),
+		A100Profile(),
+		TPUv4Profile(),
+		MixedA100V100Profile(),
+		A100SuperPodProfile(),
+	}
+}
+
+// ProfileNames returns the preset names Profiles offers, in the same order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName resolves a preset name ("v100-cluster", "a100-cluster",
+// "tpuv4-torus", "mixed-a100-v100", "a100-superpod") to its Profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("device: unknown profile %q (have %s)",
+		name, strings.Join(ProfileNames(), ", "))
+}
+
+// LinkTierFromWidth builds a tier from an island width in devices (the
+// request-surface encoding): devices must be a power of two ≥ 2, or -1 on
+// the outermost tier for "all remaining devices".
+func LinkTierFromWidth(name string, devices int, bandwidth, latency float64) (LinkTier, error) {
+	t := LinkTier{Name: name, Bandwidth: bandwidth, Latency: latency}
+	if devices == -1 {
+		t.Bits = -1
+		return t, nil
+	}
+	if devices < 2 || devices&(devices-1) != 0 {
+		return LinkTier{}, fmt.Errorf("device: link tier %q width %d is not a power of two ≥ 2 (or -1 for the remainder)", name, devices)
+	}
+	t.Bits = bits.TrailingZeros(uint(devices))
+	return t, nil
+}
+
+// ParseLinksSpec parses the CLI encoding of a custom link hierarchy:
+// comma-separated tiers of name:width:bandwidth:latency, innermost first,
+// width in devices per island ("rest" or -1 on the last tier absorbs the
+// remainder). Example:
+//
+//	nvlink:4:300e9:5e-6,fabric:rest:25e9:15e-6
+func ParseLinksSpec(spec string) ([]LinkTier, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("device: empty links spec")
+	}
+	var tiers []LinkTier
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("device: link tier %q: want name:width:bandwidth:latency", part)
+		}
+		name := strings.TrimSpace(fields[0])
+		width := -1
+		if w := strings.TrimSpace(fields[1]); w != "rest" {
+			n, err := strconv.Atoi(w)
+			if err != nil {
+				return nil, fmt.Errorf("device: link tier %q: width %q is neither an integer nor \"rest\"", name, w)
+			}
+			width = n
+		}
+		bw, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("device: link tier %q: bad bandwidth: %v", name, err)
+		}
+		lat, err := strconv.ParseFloat(strings.TrimSpace(fields[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("device: link tier %q: bad latency: %v", name, err)
+		}
+		if bw <= 0 {
+			return nil, fmt.Errorf("device: link tier %q needs positive bandwidth", name)
+		}
+		if lat < 0 {
+			return nil, fmt.Errorf("device: link tier %q has negative latency", name)
+		}
+		t, err := LinkTierFromWidth(name, width, bw, lat)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, t)
+	}
+	return tiers, nil
 }
 
 // AllReduceTime models the latency of an all-reduce of `bytes` bytes within
@@ -362,7 +705,8 @@ func (c *Cluster) RingStepTime(ind Indicator, bytes float64) float64 {
 }
 
 // P2PTime models a single point-to-point transfer of `bytes` bytes between
-// two specific devices.
+// two specific devices, over the outermost tier separating them (the
+// highest differing ID bit names the smallest island containing both).
 func (c *Cluster) P2PTime(src, dst int, bytes float64) float64 {
 	if src == dst || bytes == 0 {
 		return 0
@@ -371,20 +715,32 @@ func (c *Cluster) P2PTime(src, dst int, bytes float64) float64 {
 	if p.Topology == Torus2D {
 		return bytes/p.TorusBW + p.TorusLatency
 	}
-	if c.Node(src) == c.Node(dst) {
-		return bytes/p.IntraBW + p.IntraLatency
-	}
-	return bytes/p.InterBW + p.InterLatency
+	tier := c.links[c.tierAtDepth(bits.Len(uint(src^dst))-1)]
+	return bytes/tier.Bandwidth + tier.Latency
 }
 
 // ComputeTime models the latency of a computation step as a linear function
 // of floating point operations and memory traffic (paper §4.1):
 //
 //	t = flops/FLOPs + bytes/MemBW + KernelOverhead.
+//
+// On a heterogeneous machine (Profile.Classes) every device executes the
+// same-shaped block (SPMD partitioning), so a step finishes — and any
+// collective gated on it starts — when the SLOWEST class finishes; the
+// returned time is the max over classes.
 func (c *Cluster) ComputeTime(flops, bytes float64) float64 {
 	p := c.Profile
 	if flops == 0 && bytes == 0 {
 		return 0
 	}
-	return flops/p.FLOPs + bytes/p.MemBW + p.KernelOverhead
+	if len(p.Classes) == 0 {
+		return flops/p.FLOPs + bytes/p.MemBW + p.KernelOverhead
+	}
+	worst := 0.0
+	for _, cc := range p.Classes {
+		if t := flops/cc.FLOPs + bytes/cc.MemBW + cc.KernelOverhead; t > worst {
+			worst = t
+		}
+	}
+	return worst
 }

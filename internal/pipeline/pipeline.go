@@ -180,9 +180,9 @@ func Evaluate(cfg model.Config, full *device.Cluster, c3 Config3D, system System
 	if c3.P > 1 {
 		eb := full.Profile.ElementBytes
 		bytesPerDevice := float64(c3.Microbatch) * float64(cfg.SeqLen) * float64(cfg.Hidden) * eb / float64(c3.M)
-		bw, lat := full.Profile.InterBW, full.Profile.InterLatency
+		bw, lat := full.InterLink()
 		if full.NumNodes() == 1 {
-			bw, lat = full.Profile.IntraBW, full.Profile.IntraLatency
+			bw, lat = full.IntraLink()
 		}
 		p2p = 2 * (bytesPerDevice/bw + lat)
 	}

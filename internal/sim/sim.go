@@ -291,10 +291,12 @@ func (st *state) redistribute(name string, ph partition.Phase, intraBytes, inter
 	n := float64(cl.NumDevices)
 	var ti, te float64
 	if intraBytes > 0 {
-		ti = intraBytes/n/cl.Profile.IntraBW + cl.Profile.IntraLatency
+		bw, lat := cl.IntraLink()
+		ti = intraBytes/n/bw + lat
 	}
 	if interBytes > 0 {
-		te = interBytes/n/cl.Profile.InterBW + cl.Profile.InterLatency
+		bw, lat := cl.InterLink()
+		te = interBytes/n/bw + lat
 	}
 	lat := ti
 	if te > lat {

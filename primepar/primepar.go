@@ -49,6 +49,16 @@ type Cluster = device.Cluster
 // Profile holds hardware latency/bandwidth coefficients.
 type Profile = device.Profile
 
+// LinkTier is one level of a switch-fabric hierarchy (Profile.Links).
+type LinkTier = device.LinkTier
+
+// ComputeClass is one homogeneous slice of a heterogeneous machine
+// (Profile.Classes).
+type ComputeClass = device.ComputeClass
+
+// Topology enumerates interconnect shapes (switch, torus-2d).
+type Topology = device.Topology
+
 // Seq is a tensor partition sequence 𝒫.
 type Seq = partition.Seq
 
@@ -81,6 +91,21 @@ func ModelByName(name string) (Config, error) { return model.ByName(name) }
 
 // V100Profile is the paper's testbed hardware profile.
 func V100Profile() Profile { return device.V100Profile() }
+
+// Profiles returns every named machine preset (V100 testbed, A100, TPU-v4
+// torus, mixed A100+V100 fleet, three-tier A100 superpod).
+func Profiles() []Profile { return device.Profiles() }
+
+// ProfileByName resolves a preset name (e.g. "a100-cluster") to its Profile.
+func ProfileByName(name string) (Profile, error) { return device.ProfileByName(name) }
+
+// ParseTopology maps "switch" or "torus-2d" to a Topology value.
+func ParseTopology(s string) (Topology, error) { return device.ParseTopology(s) }
+
+// ParseLinksSpec parses a custom link hierarchy from its CLI encoding
+// (comma-separated name:width:bandwidth:latency tiers, innermost first;
+// width "rest" on the last tier absorbs the remaining devices).
+func ParseLinksSpec(spec string) ([]LinkTier, error) { return device.ParseLinksSpec(spec) }
 
 // NewCluster builds a cluster of `devices` GPUs with `perNode` per node
 // using the V100 profile.
