@@ -10,6 +10,8 @@
 //	primebench -serve-addr localhost:7133 -exp table2   # sweep via a daemon
 //	primebench -serve-addr localhost:7133 -burst 16     # admission burst demo
 //	primebench -serve-addr localhost:7133 -sweep 4,8    # portfolio-vs-individual check
+//	primebench -plan3d                                  # joint-vs-grid 3D planning curve
+//	primebench -plan3d -check-golden golden/plan3d_digest.json
 //
 // Experiments: fig2a fig2b fig4 table1 fig7 fig8 fig9 fig10 table2 ablations
 package main
@@ -35,8 +37,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced sweep (2 models, scales 4–8) for smoke runs")
 		benchOut   = flag.String("bench-out", "BENCH_table2.json", "where -exp table2 writes its JSON artifact")
 		budget     = flag.Duration("budget", 0, "per-search wall-clock budget: beam widths autotune until the strategy stabilizes (0 = exact search)")
-		goldenOut  = flag.String("write-golden", "", "with -exp table2: write strategy digests to this file")
-		goldenIn   = flag.String("check-golden", "", "with -exp table2: fail if strategy digests diverge from this file")
+		goldenOut  = flag.String("write-golden", "", "with -exp table2 or -plan3d: write strategy digests to this file")
+		goldenIn   = flag.String("check-golden", "", "with -exp table2 or -plan3d: fail if strategy digests diverge from this file")
+		plan3dFlag = flag.Bool("plan3d", false, "joint spatial-temporal planning curve: the best uniform (p,d,m) grid point vs one joint Plan3D per model/scale — fails if joint is ever worse than grid; honors -write-golden/-check-golden with joint-plan digests")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		cacheDir   = flag.String("cache-dir", "", "persist the cross-call search cache in this directory: load it (if present and valid) before running, save it back after; stale or corrupt files fall back to a cold cache")
@@ -133,6 +136,26 @@ func main() {
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 	start := time.Now()
+
+	if *plan3dFlag {
+		scales := []int{8, 16, 32}
+		if *quick {
+			scales = []int{8}
+		}
+		rows, table, err := experiments.Plan3DCurve(setup, scales, 64, 2)
+		check(err)
+		fmt.Println(table)
+		if *goldenOut != "" {
+			check(experiments.WriteGoldenPlan3D(*goldenOut, rows))
+			fmt.Printf("wrote %s (golden joint-plan digests)\n\n", *goldenOut)
+		}
+		if *goldenIn != "" {
+			check(experiments.CheckGoldenPlan3D(*goldenIn, rows))
+			fmt.Printf("joint-plan digests match %s\n\n", *goldenIn)
+		}
+		fmt.Printf("primebench finished in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if run("fig2a") {
 		_, table, err := experiments.Fig2a(setup)

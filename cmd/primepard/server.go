@@ -33,6 +33,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 )
 
 // PlanRequest is the /v1/plan input. Zero-valued optional fields take the
@@ -82,6 +83,12 @@ type PlanRequest struct {
 	// TimeoutMS is the pre-v1 name for DeadlineMS and is honored when
 	// DeadlineMS is unset.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Pipeline, when present, runs the joint spatial-temporal 3D planner
+	// instead of the plain tensor-parallel search: stage boundaries and
+	// per-stage strategies are chosen together and the response grows a
+	// `pipeline` section (pipeline.go). Mutually exclusive with
+	// budget_ms/beam (the joint search is exact).
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
 }
 
 // LinkSpec is one tier of a custom link hierarchy on the wire: an island
@@ -172,7 +179,12 @@ type PlanResponse struct {
 	LayerCost float64          `json:"layer_cost"`
 	TotalCost float64          `json:"total_cost"`
 	Digest    string           `json:"digest"`
-	Nodes     []PlanNode       `json:"nodes"`
+	Nodes []PlanNode `json:"nodes,omitempty"`
+	// Pipeline carries the joint 3D plan when the request asked for one; the
+	// flat Nodes/LayerCost/TotalCost fields stay zero in that case (the
+	// per-stage strategies live inside the section) and Digest fingerprints
+	// the whole joint plan instead of a single strategy.
+	Pipeline  *PipelinePlan    `json:"pipeline,omitempty"`
 	Stats     core.SearchStats `json:"stats"`
 	ElapsedMS float64          `json:"elapsed_ms"`
 	// Deduped marks a response served by waiting on an identical in-flight
@@ -480,7 +492,9 @@ func (s *server) asAPIError(err error) *apiError {
 // planJob is one fully resolved plan unit: the normalized request (defaults
 // applied), its model config, a fresh optimizer wired to the shared cache,
 // the core request, the cache-state estimate and the singleflight key. Built
-// by preparePlan; consumed by plan (one job) and sweep (a portfolio).
+// by preparePlan; consumed by plan (one job) and sweep (a portfolio). A
+// request with a `pipeline` object additionally carries the joint planner
+// and its resolved Plan3DRequest; search dispatches on pipe != nil.
 type planJob struct {
 	req  PlanRequest
 	cfg  model.Config
@@ -488,6 +502,17 @@ type planJob struct {
 	core core.PlanRequest
 	est  core.SearchEstimate
 	key  string
+	popt *pipeline.Optimizer
+	pipe *pipeline.Plan3DRequest
+}
+
+// estimate re-predicts the job's remaining work against the current cache
+// state (sweeps re-estimate between points as earlier points warm the cache).
+func (j *planJob) estimate() (core.SearchEstimate, error) {
+	if j.pipe != nil {
+		return j.popt.EstimatePlan3D(*j.pipe)
+	}
+	return j.opt.EstimatePlan(j.core)
 }
 
 // preparePlan validates req, applies the server defaults and predicts the
@@ -547,9 +572,46 @@ func (s *server) preparePlan(req *PlanRequest) (*planJob, *apiError) {
 		return nil, badRequest("%v", err)
 	}
 	planReq := core.PlanRequest{Graph: g, Layers: layers, Budget: o.Opts.SearchBudget}
-	est, err := o.EstimatePlan(planReq)
-	if err != nil {
-		return nil, badRequest("%v", err)
+
+	var (
+		est  core.SearchEstimate
+		popt *pipeline.Optimizer
+		pipe *pipeline.Plan3DRequest
+	)
+	tag := fmt.Sprintf("%s|layers=%d|batch=%d", cfg.Name, layers, cfg.Batch)
+	if req.Pipeline != nil {
+		// The joint planner is an exact layered search; the anytime budget
+		// and beam knobs have no meaning inside it.
+		if req.BudgetMS != 0 || req.Beam != 0 {
+			return nil, badRequest("budget_ms and beam do not apply to pipeline plans")
+		}
+		if aerr := req.Pipeline.validate(); aerr != nil {
+			return nil, aerr
+		}
+		popt = pipeline.NewOptimizer(cl)
+		popt.Cache = s.cache
+		popt.Alpha = &alpha
+		mcfg := cfg
+		mcfg.Layers = layers
+		pr := pipeline.Plan3DRequest{
+			Model:        mcfg,
+			System:       req.Pipeline.system(),
+			GlobalBatch:  req.Pipeline.GlobalBatch,
+			Microbatch:   req.Pipeline.MicroBatch,
+			Stages:       req.Pipeline.Stages.N,
+			DataParallel: req.Pipeline.DataParallel,
+		}
+		pipe = &pr
+		est, err = popt.EstimatePlan3D(pr)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		tag += "|pipe=" + req.Pipeline.key()
+	} else {
+		est, err = o.EstimatePlan(planReq)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
 	}
 
 	normalized := *req
@@ -565,7 +627,9 @@ func (s *server) preparePlan(req *PlanRequest) (*planJob, *apiError) {
 		opt:  o,
 		core: planReq,
 		est:  est,
-		key:  o.RequestKey(fmt.Sprintf("%s|layers=%d|batch=%d", cfg.Name, layers, cfg.Batch)),
+		key:  o.RequestKey(tag),
+		popt: popt,
+		pipe: pipe,
 	}, nil
 }
 
@@ -587,7 +651,7 @@ func (s *server) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, *ap
 			return nil, ctx.Err() // admission wait ended by the request context
 		}
 		defer release()
-		return s.search(ctx, &job.req, job.cfg, job.opt, job.core, job.est)
+		return s.search(ctx, job, job.est)
 	})
 	if shared {
 		s.dedupHits.Add(1)
@@ -615,9 +679,33 @@ func ctxDeadline(ctx context.Context) time.Time {
 }
 
 // search runs one search end to end, teaches the cost predictor, and shapes
-// the response.
-func (s *server) search(ctx context.Context, req *PlanRequest, cfg model.Config, o *core.Optimizer, planReq core.PlanRequest, est core.SearchEstimate) (*PlanResponse, error) {
+// the response. Pipeline jobs run the joint 3D planner; plain jobs run the
+// tensor-parallel search.
+func (s *server) search(ctx context.Context, job *planJob, est core.SearchEstimate) (*PlanResponse, error) {
+	req, cfg, o, planReq := &job.req, job.cfg, job.opt, job.core
 	start := time.Now()
+	if job.pipe != nil {
+		p3, err := job.popt.Plan3D(ctx, *job.pipe)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if !est.Warm {
+			s.adm.pred.observe(est.Work, elapsed)
+		}
+		return &PlanResponse{
+			Model:     cfg.Name,
+			Devices:   req.Devices,
+			Layers:    job.pipe.Model.Layers,
+			Profile:   req.Profile,
+			Topology:  req.Topology,
+			Alpha:     *req.Alpha,
+			Digest:    p3.Digest(),
+			Pipeline:  pipelinePlanOf(*req.Pipeline, p3, planReq.Graph),
+			Stats:     p3.Stats.Search,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		}, nil
+	}
 	strat, err := o.Plan(ctx, planReq)
 	if err != nil {
 		return nil, err

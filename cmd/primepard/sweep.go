@@ -42,6 +42,11 @@ type SweepPoint struct {
 	Alpha          *float64 `json:"alpha,omitempty"`
 	Layers         int      `json:"layers,omitempty"`
 	Batch          int      `json:"batch,omitempty"`
+	// Pipeline replaces the base request's `pipeline` object for this point
+	// (it cannot remove one: an absent field inherits the base, like every
+	// other dimension). Points may mix plain and joint plans only when the
+	// base itself has no pipeline object.
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
 }
 
 // SweepRequest is the /v1/plan/sweep input: a base PlanRequest (flat, same
@@ -139,6 +144,9 @@ func deltaDims(base, pt *PlanRequest) []string {
 	}
 	if pt.Batch != base.Batch {
 		d = append(d, "batch")
+	}
+	if pt.Pipeline.key() != base.Pipeline.key() {
+		d = append(d, "pipeline")
 	}
 	return d
 }
@@ -240,6 +248,9 @@ func (s *server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 		if p.Batch > 0 {
 			pr.Batch = p.Batch
 		}
+		if p.Pipeline != nil {
+			pr.Pipeline = p.Pipeline
+		}
 		job, aerr := s.preparePlan(&pr)
 		if aerr != nil {
 			// A bad point sheds the point, not the sweep.
@@ -276,7 +287,7 @@ func (s *server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 		// estimate overstates what THIS point still has to do. The fresh
 		// estimate keeps the predictor's teaching signal honest and the
 		// deadline re-check tight.
-		est, err := job.opt.EstimatePlan(job.core)
+		est, err := job.estimate()
 		if err != nil {
 			resp.Results[i].Error = envelopeOf(s.asAPIError(err))
 			resp.Failed++
@@ -287,7 +298,7 @@ func (s *server) sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 			resp.Failed++
 			continue
 		}
-		plan, err := s.search(ctx, &job.req, job.cfg, job.opt, job.core, est)
+		plan, err := s.search(ctx, job, est)
 		if err != nil {
 			if isCancellation(err) {
 				return nil, s.asAPIError(err)

@@ -2,12 +2,14 @@
 // 3D parallelism for OPT-175B on 32 simulated GPUs, comparing Megatron-LM's
 // hand-designed tensor parallelism against PrimePar's searched
 // spatial-temporal strategies inside each pipeline stage — the paper's
-// Fig. 10 experiment as a library call.
+// Fig. 10 experiment as a library call — then let the joint planner choose
+// stage boundaries and per-stage partitions together in one Plan3D call.
 //
 //	go run ./examples/parallel3d
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +23,7 @@ func main() {
 	}
 	cfg := primepar.OPT175B()
 	const globalBatch, microbatch = 64, 2
+	ctx := context.Background()
 
 	fmt.Printf("3D parallelism sweep for %s on 32 GPUs (global batch %d):\n\n", cfg.Name, globalBatch)
 	fmt.Printf("%-10s %16s %16s %9s\n", "(p,d,m)", "Megatron tok/s", "PrimePar tok/s", "speedup")
@@ -31,11 +34,11 @@ func main() {
 		for d := 1; p*d <= 32; d *= 2 {
 			m := 32 / (p * d)
 			c3 := primepar.Config3D{P: p, D: d, M: m, Microbatch: microbatch, GlobalBatch: globalBatch}
-			mega, err := primepar.Evaluate3DMegatron(cfg, cluster, c3)
+			mega, err := primepar.Plan3D(ctx, cfg, cluster, primepar.Plan3DRequest{System: primepar.SystemMegatron, Config: &c3})
 			if err != nil {
 				continue
 			}
-			prime, err := primepar.Evaluate3D(cfg, cluster, c3)
+			prime, err := primepar.Plan3D(ctx, cfg, cluster, primepar.Plan3DRequest{System: primepar.SystemPrimePar, Config: &c3})
 			if err != nil {
 				continue
 			}
@@ -51,4 +54,19 @@ func main() {
 	}
 	fmt.Printf("\nbest Megatron-LM: %s at %.0f tokens/s\n", bestMegaCfg, bestMega)
 	fmt.Printf("best PrimePar:    %s at %.0f tokens/s  (%.2fx)\n", bestPrimeCfg, bestPrime, bestPrime/bestMega)
+
+	// Joint spatial-temporal planning: one call searches the whole grid AND
+	// uneven stage cuts inside each configuration, reusing the grid's
+	// per-stage sub-searches through the shared cache.
+	joint, err := primepar.Plan3D(ctx, cfg, cluster, primepar.Plan3DRequest{
+		System: primepar.SystemPrimePar, GlobalBatch: globalBatch, Microbatch: microbatch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoint Plan3D:     %s at %.0f tokens/s, stage layers %v\n",
+		joint.Config.String(), joint.Throughput, joint.StageLayers())
+	bd := joint.Breakdown
+	fmt.Printf("schedule: warmup %.3fs, steady %.3fs, drain %.3fs, allreduce %.3fs (bubble %.1f%%)\n",
+		bd.Warmup, bd.Steady, bd.Drain, bd.AllReduce, 100*bd.BubbleFraction)
 }

@@ -1,0 +1,158 @@
+// Stage-cut enumeration for joint spatial-temporal planning (paper §4.4
+// direction; ROADMAP "pipeline co-optimization").
+//
+// A pipeline deployment splits the stacked layer sequence into p contiguous
+// stages. The schedule cost of a cut is some function of the per-stage times
+// t_s = costOf(ℓ_s); for every 1F1B-style schedule the makespan is monotone
+// in each t_s, and the two standard lower bounds — the micro-batch-0
+// critical path Σ_s t_s and the bottleneck-stage serialization nMB·max_s t_s
+// — depend on the cut only through (Σ t_s, max t_s). EnumerateStageCuts
+// therefore runs a Pareto DP over compositions: state (stage, layersUsed)
+// keeps only the (sum, max) frontier of partial cuts (dominated-cut
+// elimination), so any inner objective monotone in both coordinates attains
+// its optimum on the returned frontier. The caller (internal/pipeline)
+// simulates the actual 1F1B schedule only for surviving cuts.
+//
+// This lives in internal/core rather than internal/pipeline so the joint
+// planner's outer loop is simulator-agnostic and unit-testable against
+// brute-force composition enumeration without pulling in the cost model.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// StageCut is one composition of a stacked layer sequence into pipeline
+// stages: Layers[s] contiguous layers in stage s, summing to the model's
+// layer count. Sum and Max aggregate the per-stage costs the enumeration was
+// run with: Sum = Σ_s costOf(Layers[s]), Max = max_s costOf(Layers[s]).
+type StageCut struct {
+	Layers []int
+	Sum    float64
+	Max    float64
+}
+
+// CutStats instruments one EnumerateStageCuts call.
+type CutStats struct {
+	// StatesExpanded counts (stage, layersUsed) DP states extended.
+	StatesExpanded int
+	// CutsDominated counts partial cuts discarded by Pareto dominance on
+	// (Sum, Max) — the dominated-cut elimination.
+	CutsDominated int
+	// CutsKept is the size of the returned frontier.
+	CutsKept int
+}
+
+// cutNode is one Pareto-frontier point of a DP state, with a back-pointer
+// for reconstructing the composition.
+type cutNode struct {
+	sum, max float64
+	layers   int      // layers in the stage that produced this node
+	prev     *cutNode // node in the previous stage's state
+}
+
+// EnumerateStageCuts returns the Pareto frontier (on (Sum, Max)) of ways to
+// split `layers` stacked layers into `stages` contiguous stages of between
+// minPer and maxPer layers each. costOf(ℓ) must return the cost of one stage
+// holding ℓ layers and must be non-negative; it is called at most
+// maxPer−minPer+1 times, so callers memoize nothing.
+//
+// The result is deterministic: the DP extends states in ascending layersUsed
+// order and stage sizes in ascending order, frontier insertion keeps the
+// first of exact (sum, max) ties, and the returned cuts preserve insertion
+// order of the final state's frontier.
+func EnumerateStageCuts(layers, stages, minPer, maxPer int, costOf func(int) float64) ([]StageCut, CutStats, error) {
+	var stats CutStats
+	if layers < 1 || stages < 1 {
+		return nil, stats, fmt.Errorf("core: stage cuts need ≥1 layer and ≥1 stage (got %d, %d)", layers, stages)
+	}
+	if minPer < 1 {
+		minPer = 1
+	}
+	if maxPer > layers-(stages-1)*minPer {
+		maxPer = layers - (stages-1)*minPer
+	}
+	if minPer > maxPer || stages*minPer > layers || stages*maxPer < layers {
+		return nil, stats, fmt.Errorf("core: no composition of %d layers into %d stages of %d..%d layers", layers, stages, minPer, maxPer)
+	}
+
+	cost := make([]float64, maxPer-minPer+1)
+	for l := minPer; l <= maxPer; l++ {
+		c := costOf(l)
+		if math.IsNaN(c) || c < 0 {
+			return nil, stats, fmt.Errorf("core: stage cost for %d layers is %v (want ≥ 0)", l, c)
+		}
+		cost[l-minPer] = c
+	}
+
+	// dp[u] is the Pareto frontier of partial cuts using the first s stages
+	// and u layers; rolled forward one stage at a time.
+	dp := make([][]*cutNode, layers+1)
+	dp[0] = []*cutNode{{}}
+	for s := 1; s <= stages; s++ {
+		next := make([][]*cutNode, layers+1)
+		remaining := stages - s // stages still to fill after this one
+		for u := 0; u <= layers; u++ {
+			if dp[u] == nil {
+				continue
+			}
+			stats.StatesExpanded++
+			for l := minPer; l <= maxPer; l++ {
+				v := u + l
+				// Feasibility: the remaining stages must be able to absorb
+				// exactly layers−v more layers.
+				if v > layers || v+remaining*minPer > layers || v+remaining*maxPer < layers {
+					continue
+				}
+				c := cost[l-minPer]
+				for _, n := range dp[u] {
+					next[v] = paretoInsert(next[v], &cutNode{
+						sum:    n.sum + c,
+						max:    math.Max(n.max, c),
+						layers: l,
+						prev:   n,
+					}, &stats)
+				}
+			}
+		}
+		dp = next
+	}
+
+	frontier := dp[layers]
+	stats.CutsKept = len(frontier)
+	cuts := make([]StageCut, len(frontier))
+	for i, n := range frontier {
+		cut := StageCut{Layers: make([]int, stages), Sum: n.sum, Max: n.max}
+		for s := stages - 1; s >= 0; s-- {
+			cut.Layers[s] = n.layers
+			n = n.prev
+		}
+		cuts[i] = cut
+	}
+	return cuts, stats, nil
+}
+
+// paretoInsert adds cand to the frontier unless an existing node dominates
+// it (≤ on both coordinates), evicting nodes cand dominates. Exact (sum,
+// max) ties keep the incumbent, so enumeration order decides ties
+// deterministically.
+func paretoInsert(front []*cutNode, cand *cutNode, stats *CutStats) []*cutNode {
+	out := front[:0]
+	for _, n := range front {
+		if n.sum <= cand.sum && n.max <= cand.max {
+			// Incumbent dominates (or ties) the candidate: keep the frontier
+			// as it was. Nodes already copied to out were not dominated by
+			// cand, and cand dominates nothing an incumbent survivor of it
+			// wouldn't — but we may have evicted earlier nodes, so restore.
+			stats.CutsDominated++
+			return append(out, front[len(out):]...)
+		}
+		if cand.sum <= n.sum && cand.max <= n.max {
+			stats.CutsDominated++ // cand evicts n
+			continue
+		}
+		out = append(out, n)
+	}
+	return append(out, cand)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// bruteCompositions enumerates every composition of layers into stages of
+// minPer..maxPer layers, in the same lexicographic order as the DP extends
+// stage sizes.
+func bruteCompositions(layers, stages, minPer, maxPer int) [][]int {
+	var out [][]int
+	var rec func(prefix []int, used, stage int)
+	rec = func(prefix []int, used, stage int) {
+		if stage == stages {
+			if used == layers {
+				out = append(out, append([]int(nil), prefix...))
+			}
+			return
+		}
+		for l := minPer; l <= maxPer && used+l <= layers; l++ {
+			rec(append(prefix, l), used+l, stage+1)
+		}
+	}
+	rec(nil, 0, 0)
+	return out
+}
+
+func cutAgg(cut []int, costOf func(int) float64) (sum, max float64) {
+	for _, l := range cut {
+		c := costOf(l)
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	return
+}
+
+func TestEnumerateStageCutsAgainstBruteForce(t *testing.T) {
+	// Superlinear per-stage cost makes unbalanced cuts strictly worse on Sum
+	// too, exercising real dominance; the +0.3/ℓ term breaks symmetry.
+	costOf := func(l int) float64 { return float64(l)*float64(l)*0.5 + 0.3/float64(l) }
+	cases := []struct{ layers, stages, minPer, maxPer int }{
+		{8, 2, 1, 8},
+		{8, 4, 1, 8},
+		{12, 4, 2, 5},
+		{7, 3, 1, 7},
+		{5, 5, 1, 1},
+		{9, 2, 3, 6},
+	}
+	for _, tc := range cases {
+		cuts, stats, err := EnumerateStageCuts(tc.layers, tc.stages, tc.minPer, tc.maxPer, costOf)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		all := bruteCompositions(tc.layers, tc.stages, tc.minPer, tc.maxPer)
+		if len(all) == 0 {
+			t.Fatalf("%+v: brute force found no compositions", tc)
+		}
+		// 1. Every returned cut is a valid composition with correct aggregates.
+		for _, cut := range cuts {
+			total := 0
+			for _, l := range cut.Layers {
+				if l < tc.minPer || (l > tc.maxPer && tc.maxPer <= tc.layers) {
+					t.Errorf("%+v: stage size %d outside [%d,%d]", tc, l, tc.minPer, tc.maxPer)
+				}
+				total += l
+			}
+			if total != tc.layers {
+				t.Errorf("%+v: cut %v sums to %d", tc, cut.Layers, total)
+			}
+			sum, max := cutAgg(cut.Layers, costOf)
+			if math.Abs(sum-cut.Sum) > 1e-12*sum || max != cut.Max {
+				t.Errorf("%+v: cut %v aggregates (%g,%g), want (%g,%g)", tc, cut.Layers, cut.Sum, cut.Max, sum, max)
+			}
+		}
+		// 2. No composition dominates the frontier: for every brute-force cut
+		// some returned cut is ≤ on both coordinates.
+		for _, comp := range all {
+			sum, max := cutAgg(comp, costOf)
+			covered := false
+			for _, cut := range cuts {
+				if cut.Sum <= sum+1e-12 && cut.Max <= max+1e-12 {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Errorf("%+v: composition %v (sum=%g max=%g) not covered by frontier", tc, comp, sum, max)
+			}
+		}
+		// 3. The frontier is mutually non-dominated (no redundant cuts).
+		for i, a := range cuts {
+			for j, b := range cuts {
+				if i != j && a.Sum <= b.Sum && a.Max <= b.Max {
+					t.Errorf("%+v: frontier cut %v dominates frontier cut %v", tc, a.Layers, b.Layers)
+				}
+			}
+		}
+		if stats.CutsKept != len(cuts) {
+			t.Errorf("%+v: CutsKept=%d, len=%d", tc, stats.CutsKept, len(cuts))
+		}
+		if stats.StatesExpanded == 0 {
+			t.Errorf("%+v: StatesExpanded=0", tc)
+		}
+		// With a strictly convex cost, unbalanced compositions are dominated;
+		// whenever more than one composition exists something must be pruned.
+		if len(all) > 1 && stats.CutsDominated == 0 {
+			t.Errorf("%+v: expected dominance pruning over %d compositions", tc, len(all))
+		}
+	}
+}
+
+func TestEnumerateStageCutsDeterministic(t *testing.T) {
+	costOf := func(l int) float64 { return math.Sqrt(float64(l)) + float64(l%3) }
+	a, _, err := EnumerateStageCuts(16, 4, 1, 8, costOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, _, err := EnumerateStageCuts(16, 4, 1, 8, costOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("run %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestEnumerateStageCutsConstantCost(t *testing.T) {
+	// Constant cost: every composition ties on (Sum, Max); the frontier must
+	// collapse to exactly one cut (first in enumeration order).
+	cuts, _, err := EnumerateStageCuts(8, 2, 1, 8, func(int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 {
+		t.Fatalf("constant cost kept %d cuts, want 1: %v", len(cuts), cuts)
+	}
+	if cuts[0].Sum != 2 || cuts[0].Max != 1 {
+		t.Fatalf("bad aggregates: %+v", cuts[0])
+	}
+}
+
+func TestEnumerateStageCutsErrors(t *testing.T) {
+	costOf := func(l int) float64 { return float64(l) }
+	if _, _, err := EnumerateStageCuts(4, 8, 1, 4, costOf); err == nil {
+		t.Error("more stages than layers should error")
+	}
+	if _, _, err := EnumerateStageCuts(0, 1, 1, 1, costOf); err == nil {
+		t.Error("zero layers should error")
+	}
+	if _, _, err := EnumerateStageCuts(16, 2, 3, 4, costOf); err == nil {
+		t.Error("infeasible min/max window should error (2×4 < 16)")
+	}
+	if _, _, err := EnumerateStageCuts(8, 2, 1, 8, func(int) float64 { return -1 }); err == nil {
+		t.Error("negative cost should error")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -34,16 +35,25 @@ func Fig10(s Setup, devices, globalBatch, microbatch int) ([]Fig10Result, string
 	var results []Fig10Result
 	t := report.NewTable(fmt.Sprintf("Fig. 10 — 3D parallelism throughput on %d GPUs (normalized per model)", devices),
 		"model", "(p,d,m)", "Megatron", "PrimePar", "PrimePar/Megatron")
+	opt := pipeline.NewOptimizer(full)
+	ctx := context.Background()
+	fixed := func(cfg model.Config, c3 pipeline.Config3D, sys pipeline.System) (*pipeline.Result, error) {
+		p3, err := opt.Plan3D(ctx, pipeline.Plan3DRequest{Model: cfg, System: sys, Config: &c3})
+		if err != nil {
+			return nil, err
+		}
+		return p3.Result(), nil
+	}
 	for _, cfg := range s.Models {
 		res := Fig10Result{Model: cfg.Name}
 		configs := pipeline.AllConfigs(devices, cfg.Layers, globalBatch, microbatch)
 		var maxTp float64
 		for _, c3 := range configs {
-			mega, err := pipeline.Evaluate(cfg, full, c3, pipeline.Megatron)
+			mega, err := fixed(cfg, c3, pipeline.Megatron)
 			if err != nil {
 				continue
 			}
-			prime, err := pipeline.Evaluate(cfg, full, c3, pipeline.PrimePar)
+			prime, err := fixed(cfg, c3, pipeline.PrimePar)
 			if err != nil {
 				continue
 			}

@@ -21,15 +21,13 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strings"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/partition"
-	"repro/internal/sim"
 )
 
 // System selects the tensor-parallel strategy generator.
@@ -61,22 +59,36 @@ func (c Config3D) Microbatches() int {
 	return c.GlobalBatch / (c.D * c.Microbatch)
 }
 
-// Validate checks divisibility and machine fit.
+// Validate checks divisibility and machine fit. Every violation is reported,
+// joined with "; ", so a caller fixing a hand-written config sees the whole
+// list at once instead of peeling errors one at a time.
 func (c Config3D) Validate(devices, layers int) error {
+	var errs []string
 	if c.P*c.D*c.M != devices {
-		return fmt.Errorf("pipeline: p·d·m = %d·%d·%d ≠ %d devices", c.P, c.D, c.M, devices)
+		errs = append(errs, fmt.Sprintf("p·d·m = %d·%d·%d ≠ %d devices", c.P, c.D, c.M, devices))
 	}
 	for _, v := range []int{c.P, c.D, c.M} {
 		if v < 1 || v&(v-1) != 0 {
-			return fmt.Errorf("pipeline: (p,d,m)=(%d,%d,%d) must be powers of two", c.P, c.D, c.M)
+			errs = append(errs, fmt.Sprintf("(p,d,m)=(%d,%d,%d) must be powers of two", c.P, c.D, c.M))
+			break
 		}
 	}
 	if c.P > layers {
-		return fmt.Errorf("pipeline: %d stages exceed %d layers", c.P, layers)
+		errs = append(errs, fmt.Sprintf("%d stages exceed %d layers", c.P, layers))
 	}
-	if c.GlobalBatch%(c.D*c.Microbatch) != 0 || c.Microbatches() < 1 {
-		return fmt.Errorf("pipeline: global batch %d not divisible into %d replicas × microbatch %d",
-			c.GlobalBatch, c.D, c.Microbatch)
+	if c.Microbatch < 1 {
+		errs = append(errs, fmt.Sprintf("microbatch %d must be ≥ 1", c.Microbatch))
+	} else if c.D >= 1 {
+		if c.GlobalBatch%(c.D*c.Microbatch) != 0 {
+			errs = append(errs, fmt.Sprintf("global batch %d not divisible into %d replicas × microbatch %d",
+				c.GlobalBatch, c.D, c.Microbatch))
+		} else if c.Microbatches() < 1 {
+			errs = append(errs, fmt.Sprintf("global batch %d yields 0 microbatches at %d replicas × microbatch %d",
+				c.GlobalBatch, c.D, c.Microbatch))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("pipeline: %s", strings.Join(errs, "; "))
 	}
 	return nil
 }
@@ -86,7 +98,15 @@ func (c Config3D) String() string { return fmt.Sprintf("(%d,%d,%d)", c.P, c.D, c
 
 // AllConfigs enumerates every (p,d,m) with p·d·m = devices and p > 1 (the
 // paper's Fig. 10 sweep), ordered by p then d.
+//
+// Deprecated: the enumeration is part of (*Optimizer).Plan3D, which searches
+// these configurations (and, unlike the grid, uneven stage cuts within each)
+// in one call. Kept for callers that drive the grid themselves.
 func AllConfigs(devices, layers, globalBatch, microbatch int) []Config3D {
+	return allConfigs(devices, layers, globalBatch, microbatch)
+}
+
+func allConfigs(devices, layers, globalBatch, microbatch int) []Config3D {
 	var out []Config3D
 	for p := 2; p <= devices; p *= 2 {
 		if p > layers {
@@ -134,116 +154,21 @@ func stageCluster(full *device.Cluster, m int) *device.Cluster {
 
 // Evaluate simulates one (p,d,m) configuration of cfg on the full cluster
 // under the given system's tensor-parallel strategy.
+//
+// Deprecated: use (*Optimizer).Plan3D with Plan3DRequest.Config — the same
+// code path with cancellation and an explicit SearchCache threaded through.
+// This wrapper is bit-identical to Plan3D's fixed-configuration mode (pinned
+// by TestPlan3DFixedMatchesLegacyGoldens).
 func Evaluate(cfg model.Config, full *device.Cluster, c3 Config3D, system System) (*Result, error) {
-	if err := c3.Validate(full.NumDevices, cfg.Layers); err != nil {
-		return nil, err
-	}
-	stageCfg := cfg.WithBatch(c3.Microbatch)
-	g, err := model.BuildBlock(stageCfg)
+	p3, err := NewOptimizer(full).Plan3D(context.Background(), Plan3DRequest{
+		Model:  cfg,
+		System: system,
+		Config: &c3,
+	})
 	if err != nil {
 		return nil, err
 	}
-	layersPerStage := (cfg.Layers + c3.P - 1) / c3.P
-
-	sub := stageCluster(full, c3.M)
-	var seqs []partition.Seq
-	switch system {
-	case Megatron:
-		seqs, err = baseline.Megatron(g, sub.Bits(), 0)
-		if err != nil {
-			return nil, err
-		}
-	case PrimePar:
-		o := core.NewOptimizer(cost.NewModel(sub))
-		o.Opts.AllowBatchSplit = false // d is controlled externally (§6.4)
-		strat, err := o.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: layersPerStage})
-		if err != nil {
-			return nil, err
-		}
-		seqs = strat.Seqs
-	default:
-		return nil, fmt.Errorf("pipeline: unknown system %d", system)
-	}
-
-	sm := sim.New(sub)
-	rep, err := sm.Run(g, seqs, layersPerStage)
-	if err != nil {
-		return nil, err
-	}
-
-	nMB := c3.Microbatches()
-	stageTime := rep.IterationTime
-
-	// Inter-stage activation hand-off per micro-batch (both directions;
-	// the boundary tensor [mb, S, D] is spread over the m devices).
-	p2p := 0.0
-	if c3.P > 1 {
-		eb := full.Profile.ElementBytes
-		bytesPerDevice := float64(c3.Microbatch) * float64(cfg.SeqLen) * float64(cfg.Hidden) * eb / float64(c3.M)
-		bw, lat := full.InterLink()
-		if full.NumNodes() == 1 {
-			bw, lat = full.IntraLink()
-		}
-		p2p = 2 * (bytesPerDevice/bw + lat)
-	}
-
-	// Data-parallel gradient all-reduce, once per iteration: ring across
-	// the d replicas of this stage's weights. The d·m devices of a stage
-	// form one sub-cluster; the DP group indicator is its leading
-	// log2(d) bits, and the indicator machinery accounts for the m
-	// tensor-parallel ranks per node sharing the NIC concurrently —
-	// which is what makes data parallelism expensive for 100B+ models
-	// (the paper's §6.4 observation).
-	dpAR := 0.0
-	if c3.D > 1 {
-		eb := full.Profile.ElementBytes
-		wBytes := 0.0
-		for i, op := range g.Nodes {
-			for ti, t := range op.Tensors {
-				if t.Kind == graph.Weight {
-					wBytes += cost.BlockElems(op, seqs[i], ti) * eb
-				}
-			}
-		}
-		wBytes *= float64(layersPerStage)
-		stageAll := stageCluster(full, c3.D*c3.M)
-		var dpInd device.Indicator
-		for bit := 1; bit <= stageAll.Bits()-sub.Bits(); bit++ {
-			dpInd = append(dpInd, bit)
-		}
-		dpAR = stageAll.AllReduceTime(dpInd, wBytes)
-	}
-
-	// Event-driven 1F1B schedule: split the simulated stage time into its
-	// forward and backward+gradient parts (1:2 by FLOPs) and lay out the
-	// exact per-stage timeline with inter-stage hand-off latency.
-	fwd := stageTime / 3
-	bwd := stageTime - fwd
-	sched, err := Simulate1F1B(c3.P, nMB, fwd+p2p/2, bwd+p2p/2, 0)
-	if err != nil {
-		return nil, err
-	}
-	total := sched.Makespan + dpAR
-	tokens := float64(c3.GlobalBatch) * float64(cfg.SeqLen)
-
-	// Peak memory: weights resident once; activation stashes for up to p
-	// in-flight micro-batches (1F1B depth at stage 0).
-	inflight := c3.P
-	if nMB < inflight {
-		inflight = nMB
-	}
-	mem := rep.PeakMemoryBytes + float64(inflight-1)*stashOf(g, seqs, layersPerStage, full.Profile.ElementBytes)
-
-	return &Result{
-		System:          system,
-		Config:          c3,
-		IterationTime:   total,
-		Throughput:      tokens / total,
-		StageTime:       stageTime,
-		BubbleFraction:  sched.BubbleFraction,
-		PeakMemoryBytes: mem,
-		Seqs:            seqs,
-	}, nil
+	return p3.Result(), nil
 }
 
 func stashOf(g *graph.Graph, seqs []partition.Seq, layers int, eb float64) float64 {
@@ -258,18 +183,25 @@ func stashOf(g *graph.Graph, seqs []partition.Seq, layers int, eb float64) float
 
 // Best evaluates every configuration and returns the per-system optimum —
 // the numbers the paper reports as "highest throughput".
+//
+// Deprecated: use (*Optimizer).Plan3D, which searches the same grid plus
+// uneven stage cuts inside each configuration and is never worse (pinned by
+// TestJointNeverWorseThanGrid). Kept as the grid-only reference baseline.
 func Best(cfg model.Config, full *device.Cluster, globalBatch, microbatch int, system System) (*Result, []*Result, error) {
-	configs := AllConfigs(full.NumDevices, cfg.Layers, globalBatch, microbatch)
+	o := NewOptimizer(full)
+	configs := allConfigs(full.NumDevices, cfg.Layers, globalBatch, microbatch)
 	if len(configs) == 0 {
 		return nil, nil, fmt.Errorf("pipeline: no feasible (p,d,m) configuration")
 	}
 	var best *Result
 	var all []*Result
 	for _, c3 := range configs {
-		r, err := Evaluate(cfg, full, c3, system)
+		c3 := c3
+		p3, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: system, Config: &c3})
 		if err != nil {
 			continue
 		}
+		r := p3.Result()
 		all = append(all, r)
 		if best == nil || r.Throughput > best.Throughput {
 			best = r

@@ -1,0 +1,467 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// legacyEvalRow is one pre-redesign Evaluate output captured in
+// testdata/legacy_eval.json (exact float bits), on both legacy two-tier
+// profiles. The fixed-configuration Plan3D path must reproduce every field
+// bit-for-bit — the equivalence harness for the Evaluate → Plan3D collapse.
+type legacyEvalRow struct {
+	Model    string   `json:"model"`
+	Devices  int      `json:"devices"`
+	PerNode  int      `json:"per_node"`
+	Profile  string   `json:"profile"`
+	P        int      `json:"p"`
+	D        int      `json:"d"`
+	M        int      `json:"m"`
+	Micro    int      `json:"micro_batch"`
+	Global   int      `json:"global_batch"`
+	System   string   `json:"system"`
+	IterBits uint64   `json:"iteration_time_bits"`
+	TpBits   uint64   `json:"throughput_bits"`
+	StBits   uint64   `json:"stage_time_bits"`
+	BubBits  uint64   `json:"bubble_bits"`
+	MemBits  uint64   `json:"peak_memory_bits"`
+	Seqs     []string `json:"seqs"`
+}
+
+func loadLegacyRows(t *testing.T) []legacyEvalRow {
+	t.Helper()
+	data, err := os.ReadFile("testdata/legacy_eval.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []legacyEvalRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("suspiciously few golden rows: %d", len(rows))
+	}
+	return rows
+}
+
+func systemByName(t *testing.T, name string) System {
+	t.Helper()
+	switch name {
+	case Megatron.String():
+		return Megatron
+	case PrimePar.String():
+		return PrimePar
+	}
+	t.Fatalf("unknown system %q", name)
+	return 0
+}
+
+func TestPlan3DFixedMatchesLegacyGoldens(t *testing.T) {
+	rows := loadLegacyRows(t)
+	for _, row := range rows {
+		prof, err := device.ProfileByName(row.Profile)
+		if err != nil {
+			t.Fatalf("%s: %v", row.Profile, err)
+		}
+		cfg, err := model.ByName(row.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := device.MustCluster(row.Devices, row.PerNode, prof)
+		c3 := Config3D{P: row.P, D: row.D, M: row.M, Microbatch: row.Micro, GlobalBatch: row.Global}
+		sys := systemByName(t, row.System)
+		name := fmt.Sprintf("%s/%s/%v/%s", row.Model, row.Profile, c3, row.System)
+
+		// Private cache: the values must not depend on cache state either.
+		o := NewOptimizer(full)
+		o.Cache = core.NewSearchCache()
+		p3, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: sys, Config: &c3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := p3.Result()
+		checks := []struct {
+			field string
+			got   float64
+			want  uint64
+		}{
+			{"IterationTime", r.IterationTime, row.IterBits},
+			{"Throughput", r.Throughput, row.TpBits},
+			{"StageTime", r.StageTime, row.StBits},
+			{"BubbleFraction", r.BubbleFraction, row.BubBits},
+			{"PeakMemoryBytes", r.PeakMemoryBytes, row.MemBits},
+		}
+		for _, c := range checks {
+			if math.Float64bits(c.got) != c.want {
+				t.Errorf("%s: %s = %v (bits %d), legacy bits %d", name, c.field, c.got, math.Float64bits(c.got), c.want)
+			}
+		}
+		g, err := model.BuildBlock(cfg.WithBatch(c3.Microbatch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Seqs) != len(row.Seqs) {
+			t.Fatalf("%s: %d seqs, legacy %d", name, len(r.Seqs), len(row.Seqs))
+		}
+		for i, s := range r.Seqs {
+			if got := s.Format(g.Nodes[i].AxisNames()); got != row.Seqs[i] {
+				t.Errorf("%s: node %d strategy %q, legacy %q", name, i, got, row.Seqs[i])
+			}
+		}
+
+		// The deprecated wrapper must agree with the direct call exactly.
+		wr, err := Evaluate(cfg, full, c3, sys)
+		if err != nil {
+			t.Fatalf("%s: Evaluate wrapper: %v", name, err)
+		}
+		if math.Float64bits(wr.IterationTime) != row.IterBits || math.Float64bits(wr.PeakMemoryBytes) != row.MemBits {
+			t.Errorf("%s: Evaluate wrapper diverged from legacy bits", name)
+		}
+		// And digests of repeated fixed-config calls must be stable.
+		p3b, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: sys, Config: &c3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p3.Digest() != p3b.Digest() {
+			t.Errorf("%s: fixed-config digest unstable: %s vs %s", name, p3.Digest(), p3b.Digest())
+		}
+	}
+}
+
+// The acceptance bar: on the paper models at 16 and 32 devices the joint
+// planner must never return a worse iteration time than the (p,d,m) grid
+// over per-stage-optimal plans (the legacy Best protocol). One shared
+// private cache keeps the test fast — results are cache-independent.
+func TestJointNeverWorseThanGrid(t *testing.T) {
+	cache := core.NewSearchCache()
+	models := model.All()
+	scales := []int{16, 32}
+	if testing.Short() {
+		models = []model.Config{model.OPT6B7(), model.Llama2_70B()}
+		scales = []int{16}
+	}
+	const globalBatch, microbatch = 64, 2
+	sawWin := false
+	for _, cfg := range models {
+		for _, devices := range scales {
+			full := device.MustCluster(devices, 4, device.V100Profile())
+			o := NewOptimizer(full)
+			o.Cache = cache
+
+			grid := math.Inf(1)
+			var gridCfg Config3D
+			for _, c3 := range AllConfigs(devices, cfg.Layers, globalBatch, microbatch) {
+				c3 := c3
+				r, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: PrimePar, Config: &c3})
+				if err != nil {
+					continue
+				}
+				if r.IterationTime < grid {
+					grid = r.IterationTime
+					gridCfg = c3
+				}
+			}
+			if math.IsInf(grid, 1) {
+				t.Fatalf("%s@%d: grid found no feasible configuration", cfg.Name, devices)
+			}
+			joint, err := o.Plan3D(context.Background(), Plan3DRequest{
+				Model: cfg, System: PrimePar, GlobalBatch: globalBatch, Microbatch: microbatch,
+			})
+			if err != nil {
+				t.Fatalf("%s@%d: joint: %v", cfg.Name, devices, err)
+			}
+			if joint.IterationTime > grid {
+				t.Errorf("%s@%d: joint %.6g WORSE than grid %.6g (grid %v, joint %v layers=%v)",
+					cfg.Name, devices, joint.IterationTime, grid, gridCfg, joint.Config, joint.StageLayers())
+			}
+			if joint.IterationTime < grid {
+				sawWin = true
+			}
+			// The chosen cut must cover the model exactly — unless it is the
+			// legacy uniform protocol, which replicates ⌈L/p⌉ per stage.
+			sum := 0
+			uniform := true
+			for _, l := range joint.StageLayers() {
+				sum += l
+				if l != joint.StageLayers()[0] {
+					uniform = false
+				}
+			}
+			if sum != cfg.Layers && !uniform {
+				t.Errorf("%s@%d: non-uniform cut %v sums to %d ≠ %d layers",
+					cfg.Name, devices, joint.StageLayers(), sum, cfg.Layers)
+			}
+			if joint.Stats.ConfigsConsidered == 0 || joint.Stats.SchedulesSimulated == 0 {
+				t.Errorf("%s@%d: empty stats %+v", cfg.Name, devices, joint.Stats)
+			}
+			bd := joint.Breakdown
+			if total := bd.Warmup + bd.Steady + bd.Drain + bd.AllReduce; math.Abs(total-joint.IterationTime) > 1e-9*joint.IterationTime {
+				t.Errorf("%s@%d: breakdown %v+%v+%v+%v does not sum to iteration %v",
+					cfg.Name, devices, bd.Warmup, bd.Steady, bd.Drain, bd.AllReduce, joint.IterationTime)
+			}
+		}
+	}
+	// Models whose layer count is not divisible by every pipeline depth
+	// (Llama2-70B: 80, BLOOM-176B: 70) give uneven cuts a real shot; the
+	// joint planner should win somewhere across the sweep.
+	if !sawWin {
+		t.Log("joint never strictly beat the grid on this sweep (allowed, but unexpected)")
+	}
+}
+
+// Where the pipeline depth does not divide the layer count the legacy
+// protocol pads every stage to ⌈L/p⌉, so an uneven joint cut must strictly
+// win: BLOOM-176B (70 layers) at p=4 forces 18-layer uniform stages against
+// the joint 17/18 mix. Deterministic (search and simulator are exact).
+func TestJointBeatsGridAtNonDivisibleDepth(t *testing.T) {
+	cfg := model.BLOOM176B()
+	full := device.MustCluster(32, 4, device.V100Profile())
+	o := NewOptimizer(full)
+	o.Cache = core.NewSearchCache()
+	joint, err := o.Plan3D(context.Background(), Plan3DRequest{
+		Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2, Stages: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := math.Inf(1)
+	for _, c3 := range AllConfigs(32, cfg.Layers, 64, 2) {
+		if c3.P != 4 {
+			continue
+		}
+		c3 := c3
+		r, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: PrimePar, Config: &c3})
+		if err != nil {
+			continue
+		}
+		if r.IterationTime < grid {
+			grid = r.IterationTime
+		}
+	}
+	if !(joint.IterationTime < grid) {
+		t.Fatalf("joint %.6g did not beat grid %.6g at p=4 on 70 layers (cut %v)",
+			joint.IterationTime, grid, joint.StageLayers())
+	}
+	sum := 0
+	for _, l := range joint.StageLayers() {
+		sum += l
+	}
+	if sum != cfg.Layers {
+		t.Fatalf("winning cut %v sums to %d, want %d", joint.StageLayers(), sum, cfg.Layers)
+	}
+}
+
+func TestPlan3DValidation(t *testing.T) {
+	full := device.MustCluster(8, 4, device.V100Profile())
+	o := NewOptimizer(full)
+	o.Cache = core.NewSearchCache()
+	cfg := model.OPT6B7()
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  Plan3DRequest
+		want string
+	}{
+		{"missing batch", Plan3DRequest{Model: cfg, System: PrimePar}, "GlobalBatch"},
+		{"non-pow2 stages", Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2, Stages: 3}, "power of two"},
+		{"stages=1", Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2, Stages: 1}, "≥ 2"},
+		{"non-pow2 dp", Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2, DataParallel: 3}, "power of two"},
+		{"indivisible batch", Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 7, Microbatch: 2}, "no feasible"},
+		{"bad fixed config", Plan3DRequest{Model: cfg, System: PrimePar, Config: &Config3D{P: 3, D: 1, M: 1, Microbatch: 2, GlobalBatch: 8}}, "powers of two"},
+	}
+	for _, tc := range cases {
+		_, err := o.Plan3D(ctx, tc.req)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// All violations reported at once (the Validate fix).
+	err := (Config3D{P: 3, D: 2, M: 2, Microbatch: 0, GlobalBatch: 7}).Validate(32, 2)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	for _, want := range []string{"powers of two", "≠ 32 devices", "exceed 2 layers", "microbatch 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined validation error %q missing %q", err, want)
+		}
+	}
+	// The Microbatches()==0 guard (global batch divisible but too small).
+	err = (Config3D{P: 2, D: 4, M: 4, Microbatch: 1, GlobalBatch: 0}).Validate(32, 96)
+	if err == nil || !strings.Contains(err.Error(), "0 microbatches") {
+		t.Errorf("zero-microbatch config error = %v, want a '0 microbatches' message", err)
+	}
+}
+
+func TestPlan3DCancellation(t *testing.T) {
+	full := device.MustCluster(16, 4, device.V100Profile())
+	o := NewOptimizer(full)
+	o.Cache = core.NewSearchCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := o.Plan3D(ctx, Plan3DRequest{Model: model.OPT6B7(), System: PrimePar, GlobalBatch: 64, Microbatch: 2})
+	if err == nil {
+		t.Fatal("cancelled Plan3D returned no error")
+	}
+}
+
+func TestPlan3DFixedStagesFilter(t *testing.T) {
+	full := device.MustCluster(8, 4, device.V100Profile())
+	o := NewOptimizer(full)
+	o.Cache = core.NewSearchCache()
+	p3, err := o.Plan3D(context.Background(), Plan3DRequest{
+		Model: model.OPT6B7(), System: PrimePar, GlobalBatch: 64, Microbatch: 2, Stages: 4, DataParallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Config.P != 4 || p3.Config.D != 2 || p3.Config.M != 1 {
+		t.Fatalf("pinned stages/dp not honored: got %v", p3.Config)
+	}
+	if len(p3.Stages) != 4 {
+		t.Fatalf("expected 4 stage plans, got %d", len(p3.Stages))
+	}
+}
+
+// EstimatePlan3D must go warm once the same request has been planned
+// against the same cache — the admission gate's bypass signal.
+func TestEstimatePlan3DWarm(t *testing.T) {
+	full := device.MustCluster(8, 4, device.V100Profile())
+	o := NewOptimizer(full)
+	o.Cache = core.NewSearchCache()
+	req := Plan3DRequest{Model: model.OPT6B7(), System: PrimePar, GlobalBatch: 64, Microbatch: 2}
+	cold, err := o.EstimatePlan3D(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm {
+		t.Fatal("cold estimate claims warm")
+	}
+	if _, err := o.Plan3D(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := o.EstimatePlan3D(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Fatal("estimate still cold after planning")
+	}
+	if warm.Work >= cold.Work {
+		t.Fatalf("warm work %v not below cold %v", warm.Work, cold.Work)
+	}
+}
+
+// One SearchCache shared by concurrent Plan3D and plain core.Plan calls:
+// the env signature gives stage sub-clusters disjoint table keys, so
+// results must match isolated-cache references exactly. Run under -race in
+// CI (table-tier key disjointness across stage sub-clusters).
+func TestPlan3DRaceSharedCache(t *testing.T) {
+	cfg := model.OPT6B7()
+	full := device.MustCluster(8, 4, device.V100Profile())
+
+	// Isolated references first.
+	refO := NewOptimizer(full)
+	refO.Cache = core.NewSearchCache()
+	refJoint, err := refO.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := Config3D{P: 2, D: 2, M: 2, Microbatch: 2, GlobalBatch: 32}
+	refFixed, err := refO.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: PrimePar, Config: &c3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.BuildBlock(cfg.WithBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPlanOpt := core.NewOptimizer(cost.NewModel(full))
+	refPlanOpt.Cache = core.NewSearchCache()
+	refPlan, err := refPlanOpt.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: cfg.Layers})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := core.NewSearchCache()
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 3; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			o := NewOptimizer(full)
+			o.Cache = shared
+			p3, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p3.Digest() != refJoint.Digest() {
+				errs <- fmt.Errorf("shared-cache joint digest %s != isolated %s", p3.Digest(), refJoint.Digest())
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			o := NewOptimizer(full)
+			o.Cache = shared
+			c := c3
+			p3, err := o.Plan3D(context.Background(), Plan3DRequest{Model: cfg, System: PrimePar, Config: &c})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p3.Digest() != refFixed.Digest() {
+				errs <- fmt.Errorf("shared-cache fixed digest %s != isolated %s", p3.Digest(), refFixed.Digest())
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			co := core.NewOptimizer(cost.NewModel(full))
+			co.Cache = shared
+			strat, err := co.Plan(context.Background(), core.PlanRequest{Graph: g, Layers: cfg.Layers})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if strat.TotalCost != refPlan.TotalCost {
+				errs <- fmt.Errorf("shared-cache full-cluster plan cost %v != isolated %v", strat.TotalCost, refPlan.TotalCost)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPlan3DCold(b *testing.B) {
+	cfg := model.OPT6B7()
+	full := device.MustCluster(8, 4, device.V100Profile())
+	req := Plan3DRequest{Model: cfg, System: PrimePar, GlobalBatch: 64, Microbatch: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := NewOptimizer(full)
+		o.Cache = core.NewSearchCache() // cold every iteration
+		if _, err := o.Plan3D(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

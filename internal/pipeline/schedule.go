@@ -34,11 +34,36 @@ type Schedule struct {
 // 1F1B pattern: min(p−s, m) warm-up forwards, then alternating
 // backward/forward, then the cool-down backwards.
 func Simulate1F1B(p, m int, f, b, c float64) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("pipeline: need ≥1 stage and ≥1 micro-batch, got %d/%d", p, m)
+	}
+	fwd := filled(p, f)
+	bwd := filled(p, b)
+	return Simulate1F1BStages(fwd, bwd, m, c)
+}
+
+// Simulate1F1BStages is Simulate1F1B with per-stage durations — the joint
+// planner's inner cost for UNEVEN stage cuts: fwd[s] and bwd[s] are stage
+// s's forward and backward times (backward includes the gradient phase).
+// The op order is duration-independent (the fixed 1F1B pattern), so the
+// makespan is monotone non-decreasing in every fwd[s]/bwd[s] — the property
+// the joint planner's never-worse-than-grid guarantee rests on. With uniform
+// durations the arithmetic is bit-identical to the historical Simulate1F1B.
+func Simulate1F1BStages(fwd, bwd []float64, m int, c float64) (*Schedule, error) {
+	p := len(fwd)
 	if p < 1 || m < 1 {
 		return nil, fmt.Errorf("pipeline: need ≥1 stage and ≥1 micro-batch, got %d/%d", p, m)
 	}
-	if f < 0 || b < 0 || c < 0 {
+	if len(bwd) != p {
+		return nil, fmt.Errorf("pipeline: %d forward stages vs %d backward stages", p, len(bwd))
+	}
+	if c < 0 {
 		return nil, fmt.Errorf("pipeline: negative durations")
+	}
+	for s := 0; s < p; s++ {
+		if fwd[s] < 0 || bwd[s] < 0 {
+			return nil, fmt.Errorf("pipeline: negative durations")
+		}
 	}
 
 	// Build each stage's op order.
@@ -120,9 +145,9 @@ func Simulate1F1B(p, m int, f, b, c float64) (*Schedule, error) {
 		}
 		s := bestStage
 		op := order[s][next[s]]
-		dur := f
+		dur := fwd[s]
 		if op.backward {
-			dur = b
+			dur = bwd[s]
 		}
 		end := bestStart + dur
 		timeline[s] = append(timeline[s], SchedOp{Micro: op.micro, Backward: op.backward, Start: bestStart, End: end})
@@ -165,6 +190,39 @@ func filled(n int, v float64) []float64 {
 		out[i] = v
 	}
 	return out
+}
+
+// Breakdown splits the simulated timeline into the three 1F1B phases:
+// warm-up (forward-only fill, up to the start of the earliest backward),
+// drain (backward-only flush, after the end of the latest forward) and
+// steady (everything between). All three are ≥ 0 and sum to Makespan.
+func (s *Schedule) Breakdown() (warmup, steady, drain float64) {
+	firstBwd := math.Inf(1)
+	lastFwd := 0.0
+	for _, ops := range s.Timeline {
+		for _, op := range ops {
+			if op.Backward {
+				if op.Start < firstBwd {
+					firstBwd = op.Start
+				}
+			} else if op.End > lastFwd {
+				lastFwd = op.End
+			}
+		}
+	}
+	if math.IsInf(firstBwd, 1) {
+		firstBwd = s.Makespan
+	}
+	warmup = firstBwd
+	drain = s.Makespan - lastFwd
+	if drain < 0 {
+		drain = 0
+	}
+	steady = s.Makespan - warmup - drain
+	if steady < 0 {
+		steady = 0
+	}
+	return
 }
 
 // ClosedForm1F1B is the textbook makespan approximation
